@@ -1,0 +1,11 @@
+"""Shared fixtures for the figure-reproduction benchmarks."""
+
+import pytest
+
+from repro.bench.experiments import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """The workload/substrate configuration used for every figure."""
+    return ExperimentSettings()

@@ -1,0 +1,53 @@
+"""Ablation A3 — BVH versus brute-force intersection.
+
+The paper's solver uses a Goldsmith-Salmon BVH "to enable efficient ray
+tracing".  This benchmark measures the real (wall-clock) effect of the BVH on
+the Python tracer for a small render, and checks that the acceleration
+structure does not change the image.
+"""
+
+import numpy as np
+
+from repro.raytracer import Camera, random_scene, render
+from repro.raytracer.bvh import BVH, BruteForceIndex
+from repro.raytracer.image import image_rms_difference
+from repro.raytracer.ray import Ray
+from repro.raytracer.vec import vec3
+
+
+def _intersection_workload(index, rays):
+    hits = 0
+    for ray in rays:
+        primitive, _ = index.intersect(ray)
+        if primitive is not None:
+            hits += 1
+    return hits
+
+
+def test_bvh_versus_brute_force(benchmark):
+    scene = random_scene(num_spheres=120, clustering=0.4, seed=3)
+    primitives = scene.bounded_objects
+    bvh = BVH(primitives)
+    brute = BruteForceIndex(primitives)
+
+    rng = np.random.default_rng(1)
+    rays = [
+        Ray(vec3(0, 1, 5), vec3(*(rng.random(3) * 2 - 1))) for _ in range(400)
+    ]
+
+    bvh_hits = benchmark.pedantic(
+        _intersection_workload, args=(bvh, rays), rounds=3, iterations=1
+    )
+    brute_hits = _intersection_workload(brute, rays)
+
+    # identical results...
+    assert bvh_hits == brute_hits
+    # ...with far fewer primitive intersection tests
+    assert bvh.stats.primitive_tests < brute.stats.primitive_tests * 0.5
+
+
+def test_bvh_renders_identical_image():
+    camera = Camera(position=vec3(0, 0.5, 4), look_at=vec3(0, 0, -2), width=16, height=16)
+    with_bvh = render(random_scene(num_spheres=30, seed=11, use_bvh=True), camera)
+    without_bvh = render(random_scene(num_spheres=30, seed=11, use_bvh=False), camera)
+    assert image_rms_difference(with_bvh, without_bvh) < 1e-12

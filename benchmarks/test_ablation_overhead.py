@@ -1,0 +1,37 @@
+"""Ablation A1 — S-Net runtime overhead sweep.
+
+DESIGN.md calls out the per-record runtime overhead as the design parameter
+behind the single-node gap of Fig. 6.  This benchmark sweeps the overhead
+scale factor (0x, 1x, 10x, 50x of the calibrated values) on the 8-node best
+dynamic configuration and verifies the expected monotone degradation.
+"""
+
+from repro.bench.experiments import ExperimentSettings, run_variant
+
+
+def _sweep(factors):
+    results = {}
+    for factor in factors:
+        settings = ExperimentSettings()
+        if factor == 0.0:
+            from repro.dsnet.config import DSNetConfig
+
+            settings = ExperimentSettings(dsnet_config=DSNetConfig.zero_overhead())
+        else:
+            settings = settings.with_overhead_scale(factor)
+        results[factor] = run_variant(settings, "snet_best_dynamic", 8).runtime_seconds
+    return results
+
+
+def test_overhead_ablation(benchmark):
+    factors = (0.0, 1.0, 10.0, 50.0)
+    results = benchmark.pedantic(_sweep, args=(factors,), rounds=1, iterations=1)
+    print()
+    for factor, runtime in results.items():
+        print(f"  overhead x{factor:<5}: {runtime:8.1f} s")
+
+    # runtime grows monotonically with the coordination overhead
+    ordered = [results[f] for f in factors]
+    assert all(b >= a for a, b in zip(ordered, ordered[1:]))
+    # and the calibrated overhead costs less than 25% on top of the ideal runtime
+    assert results[1.0] <= results[0.0] * 1.25

@@ -1,0 +1,47 @@
+"""Ablation A2 — block vs. factoring scheduling under varying scene imbalance.
+
+The paper reports that block scheduling and simple factoring both work well.
+This ablation compares them on the 8-node dynamic configuration (64 tasks,
+16 tokens) for a balanced scene and for an extremely clustered scene, and
+additionally verifies that *both* beat the static fork-join distribution when
+the scene is imbalanced.
+"""
+
+from repro.bench.experiments import ExperimentSettings, run_snet_dynamic, run_snet_static
+
+
+def _compare(clustering):
+    settings = ExperimentSettings(clustering=clustering)
+    block = run_snet_dynamic(settings, 8, tasks=64, tokens=16, scheduling="block")
+    factoring = run_snet_dynamic(settings, 8, tasks=64, tokens=16, scheduling="factoring")
+    static = run_snet_static(settings, 8)
+    return {
+        "block": block.runtime_seconds,
+        "factoring": factoring.runtime_seconds,
+        "static": static.runtime_seconds,
+    }
+
+
+def test_scheduling_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {c: _compare(c) for c in (0.0, 0.45, 0.9)}, rounds=1, iterations=1
+    )
+    print()
+    for clustering, row in results.items():
+        print(
+            f"  clustering={clustering:4.2f}  block={row['block']:7.1f}s  "
+            f"factoring={row['factoring']:7.1f}s  static={row['static']:7.1f}s"
+        )
+
+    for clustering, row in results.items():
+        # both dynamic schedulers beat the static distribution
+        assert row["block"] < row["static"]
+        assert row["factoring"] < row["static"]
+        # and stay within 20% of each other (the paper found both competitive)
+        ratio = row["block"] / row["factoring"]
+        assert 0.8 <= ratio <= 1.25
+
+    # the advantage of dynamic scheduling grows with scene imbalance
+    gain_balanced = results[0.0]["static"] / results[0.0]["block"]
+    gain_clustered = results[0.9]["static"] / results[0.9]["block"]
+    assert gain_clustered > gain_balanced

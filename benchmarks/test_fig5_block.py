@@ -1,0 +1,46 @@
+"""E2 — Fig. 5 (right): 8 nodes, block scheduling, tasks x tokens sweep.
+
+Same sweep as E1 but with equally sized sections (block scheduling).  The
+paper notes that block scheduling "produces the best results" together with
+factoring and that with 16 tokens each node holds two tokens on average.
+"""
+
+from collections import defaultdict
+
+from repro.bench.figures import fig5_sweep
+from repro.bench.reporting import format_fig5_table
+
+
+def _sweep(settings):
+    return fig5_sweep("block", settings)
+
+
+def test_fig5_block(benchmark, settings):
+    cells = benchmark.pedantic(_sweep, args=(settings,), rounds=1, iterations=1)
+    print()
+    print(format_fig5_table(cells, "Fig. 5 (right) - 8 nodes, block scheduling"))
+
+    by_tasks = defaultdict(dict)
+    for cell in cells:
+        by_tasks[cell.tasks][cell.tokens] = cell.runtime_seconds
+
+    assert all(runtime > 0 for row in by_tasks.values() for runtime in row.values())
+
+    # 16 tokens is at or near the optimum for every task count
+    for tasks, row in by_tasks.items():
+        if 16 in row:
+            best = min(row.values())
+            assert row[16] <= 1.10 * best, (tasks, row)
+
+    # with a fixed 16-token budget, more (smaller) tasks never hurt much:
+    # the 64/72-task rows are at least as good as the 16-task row
+    sixteen_token_column = {
+        tasks: row[16] for tasks, row in by_tasks.items() if 16 in row
+    }
+    if 16 in sixteen_token_column and 64 in sixteen_token_column:
+        assert sixteen_token_column[64] <= sixteen_token_column[16] * 1.05
+
+    # fully static assignment (tokens == tasks) is worse than the 16-token optimum
+    for tasks, row in by_tasks.items():
+        if tasks >= 32 and 16 in row and tasks in row:
+            assert row[tasks] > row[16], (tasks, row)

@@ -1,0 +1,49 @@
+"""E1 — Fig. 5 (left): 8 nodes, simple factoring scheduling, tasks x tokens sweep.
+
+Regenerates the series of the left-hand chart of Fig. 5: the runtime of the
+dynamically load-balanced S-Net ray tracer on 8 nodes under *simple
+factoring* scheduling, for every combination of tasks and tokens in
+{8, 16, 32, 48, 64, 72} (tokens <= tasks).
+
+The paper's qualitative findings asserted here:
+
+* performance is generally best when 16 tokens are available (two per node,
+  one solver instance per CPU);
+* making every section an initial token (tokens == tasks) loses the benefit
+  of dynamic scheduling and is clearly worse than the 16-token optimum.
+"""
+
+from collections import defaultdict
+
+from repro.bench.figures import fig5_sweep
+from repro.bench.reporting import format_fig5_table
+
+
+def _sweep(settings):
+    return fig5_sweep("factoring", settings)
+
+
+def test_fig5_factoring(benchmark, settings):
+    cells = benchmark.pedantic(_sweep, args=(settings,), rounds=1, iterations=1)
+    print()
+    print(format_fig5_table(cells, "Fig. 5 (left) - 8 nodes, simple factoring scheduling"))
+
+    by_tasks = defaultdict(dict)
+    for cell in cells:
+        by_tasks[cell.tasks][cell.tokens] = cell.runtime_seconds
+
+    # every configuration produced a complete picture and a sane runtime
+    assert all(runtime > 0 for row in by_tasks.values() for runtime in row.values())
+
+    # 16 tokens (one per CPU) is the sweet spot: for every task count that
+    # allows it, 16 tokens is within 10% of the best configuration observed
+    for tasks, row in by_tasks.items():
+        if 16 in row:
+            best = min(row.values())
+            assert row[16] <= 1.10 * best, (tasks, row)
+
+    # dynamic scheduling beats the degenerate fully-static assignment:
+    # tokens == tasks is slower than the 16-token configuration
+    for tasks, row in by_tasks.items():
+        if tasks >= 32 and 16 in row and tasks in row:
+            assert row[tasks] > row[16], (tasks, row)

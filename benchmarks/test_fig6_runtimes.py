@@ -1,0 +1,57 @@
+"""E3 — Fig. 6 (left): absolute runtimes of all five variants on 1-8 nodes.
+
+Regenerates the grouped-bar chart of Fig. 6 (left): S-Net Static, S-Net
+Static 2 CPU, MPI, MPI 2 Proc/Node and S-Net Best Dynamic on 1, 2, 4, 6 and
+8 nodes, rendering the 3000x3000 reference scene.
+
+Shape assertions (the paper's findings):
+
+* on a single node the S-Net variants are no faster than the equivalent MPI
+  runs (the S-Net runtime adds overhead);
+* from two nodes onwards the S-Net static overhead is amortised: S-Net
+  Static stays within ~15 % of the MPI baseline;
+* every variant scales: more nodes never increase the runtime;
+* the dynamically scheduled S-Net variant is the fastest variant of all at
+  4, 6 and 8 nodes (the paper's headline result).
+"""
+
+from repro.bench.figures import fig6_runtimes
+from repro.bench.reporting import format_fig6_table
+
+
+def _runtimes(settings):
+    return fig6_runtimes(settings)
+
+
+def test_fig6_runtimes(benchmark, settings):
+    table = benchmark.pedantic(_runtimes, args=(settings,), rounds=1, iterations=1)
+    print()
+    print(format_fig6_table(table))
+
+    runtimes = {
+        variant: {nodes: result.runtime_seconds for nodes, result in per_node.items()}
+        for variant, per_node in table.items()
+    }
+
+    # single node: S-Net adds overhead over the equivalent MPI configuration
+    assert runtimes["snet_static"][1] >= runtimes["mpi"][1] * 0.99
+    assert runtimes["snet_static_2cpu"][1] >= runtimes["mpi_2proc"][1] * 0.99
+
+    # amortisation from 2 nodes onwards: S-Net static close to MPI
+    for nodes in (2, 4, 6, 8):
+        assert runtimes["snet_static"][nodes] <= runtimes["mpi"][nodes] * 1.15
+
+    # scaling: runtime decreases monotonically with node count for every variant
+    for variant, per_node in runtimes.items():
+        ordered = [per_node[n] for n in sorted(per_node)]
+        assert all(b <= a * 1.02 for a, b in zip(ordered, ordered[1:])), (variant, ordered)
+
+    # the dynamically scheduled variant wins at scale
+    for nodes in (4, 6, 8):
+        others = [runtimes[v][nodes] for v in runtimes if v != "snet_best_dynamic"]
+        assert runtimes["snet_best_dynamic"][nodes] < min(others)
+
+    # two processes/solvers per node beat one per node
+    for nodes in (1, 2, 4, 6, 8):
+        assert runtimes["mpi_2proc"][nodes] < runtimes["mpi"][nodes]
+        assert runtimes["snet_static_2cpu"][nodes] < runtimes["snet_static"][nodes]

@@ -1,0 +1,41 @@
+"""E4 — Fig. 6 (right): speed-up versus MPI with 2 processes per node.
+
+The right-hand chart of Fig. 6 normalises the S-Net Static 2 CPU and S-Net
+Best Dynamic runtimes by the MPI 2 Proc/Node runtimes.  In the paper the
+static S-Net variant stays below 1 (it never beats tuned MPI), while the
+dynamically scheduled variant overtakes MPI between 2 and 4 nodes and
+reaches roughly 1.4x at 8 nodes.
+"""
+
+from repro.bench.figures import fig6_runtimes, fig6_speedups
+from repro.bench.reporting import format_speedup_table
+
+
+def _speedups(settings):
+    table = fig6_runtimes(
+        settings, variants=("snet_static_2cpu", "mpi_2proc", "snet_best_dynamic")
+    )
+    return fig6_speedups(table)
+
+
+def test_fig6_speedup(benchmark, settings):
+    speedups = benchmark.pedantic(_speedups, args=(settings,), rounds=1, iterations=1)
+    print()
+    print(format_speedup_table(speedups))
+
+    dynamic = speedups["snet_best_dynamic"]
+    static_2cpu = speedups["snet_static_2cpu"]
+
+    # the static S-Net variant does not overtake hand-tuned MPI
+    assert all(value <= 1.05 for value in static_2cpu.values())
+
+    # the dynamic variant overtakes MPI at scale and wins by a clear margin
+    assert dynamic[8] > 1.25
+    assert dynamic[6] > 1.2
+    assert dynamic[4] > 1.0
+
+    # the dynamic variant's advantage at scale is at least as large as on a
+    # single node (the win comes from load balancing, which needs nodes)
+    ordered = [dynamic[n] for n in sorted(dynamic)]
+    assert ordered[-1] >= ordered[0]
+    assert ordered[-1] >= max(ordered) * 0.9

@@ -1,0 +1,22 @@
+"""E5 — the worked factoring example of Section V.
+
+"Suppose a scene of 3000x3000 pixels is split along the y axis by dividing
+it into 48 sections.  One possible scheduling is to split the scene into two
+batches with the first batch containing 24 sections of size 93 and the
+second batch the remaining 24 sections of size 32."
+"""
+
+from repro.bench.figures import scheduling_example
+
+
+def test_scheduling_example(benchmark):
+    result = benchmark.pedantic(scheduling_example, rounds=1, iterations=1)
+    print()
+    print("Factoring example:", result["batch_sizes"], "rows per section per batch")
+
+    assert result["num_sections"] == 48
+    assert result["batch_sizes"] == [93, 32]
+    assert result["first_batch"] == [93] * 24
+    # the final section absorbs the rounding remainder, all others are 32 rows
+    assert result["second_batch"][:-1] == [32] * 23
+    assert result["covers_image"]

@@ -1,0 +1,33 @@
+"""Reproduction of "Message Driven Programming with S-Net" (ICPP 2010).
+
+The package is organised as follows:
+
+* :mod:`repro.snet` -- the S-Net coordination language core: records, the
+  structural type system, boxes, filters, synchrocells, combinators, the
+  textual language front-end and the thread-based runtime.
+* :mod:`repro.dsnet` -- Distributed S-Net: placement combinators and the
+  simulated distributed runtime.
+* :mod:`repro.mpisim` -- an MPI-like message passing substrate running on the
+  cluster simulator (the baseline implementation uses it directly).
+* :mod:`repro.cluster` -- a discrete-event simulator of the paper's 8-node
+  dual-CPU 100 Mbit Ethernet cluster.
+* :mod:`repro.raytracer` -- the example application: a Whitted ray tracer
+  with a Goldsmith--Salmon bounding-volume hierarchy.
+* :mod:`repro.scheduling` -- block and factoring section schedulers.
+* :mod:`repro.apps` -- the paper's applications: the MPI baseline and the
+  static, static-2CPU and dynamically load-balanced S-Net networks.
+* :mod:`repro.bench` -- the experiment harness regenerating Figs. 5 and 6.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "snet",
+    "dsnet",
+    "mpisim",
+    "cluster",
+    "raytracer",
+    "scheduling",
+    "apps",
+    "bench",
+]

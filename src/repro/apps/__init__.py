@@ -1,0 +1,49 @@
+"""The paper's applications: ray tracing under MPI and under S-Net.
+
+* :mod:`repro.apps.backends` -- render backends: the *real* backend renders
+  pixels with :mod:`repro.raytracer`; the *model* backend produces
+  placeholder chunks and per-section costs for the simulated experiments.
+* :mod:`repro.apps.boxes` -- the box functions (splitter, solver, init,
+  merge, genImg) shared by all S-Net variants.
+* :mod:`repro.apps.merger` -- the merger sub-network of Fig. 3.
+* :mod:`repro.apps.networks` -- the static (Fig. 2), static 2-CPU and
+  dynamically load-balanced (Fig. 4) networks, plus the paper's textual
+  S-Net sources for them.
+* :mod:`repro.apps.mpi_baseline` -- the hand-written MPI fork/join ray
+  tracer the paper compares against.
+* :mod:`repro.apps.workloads` -- input-record construction and result
+  extraction helpers.
+"""
+
+from repro.apps.backends import ModelRenderBackend, RealRenderBackend, RenderBackend
+from repro.apps.boxes import RayTracingBoxes
+from repro.apps.merger import build_merger
+from repro.apps.networks import (
+    FIG2_SOURCE,
+    FIG3_MERGER_SOURCE,
+    FIG4_SOLVER_SOURCE,
+    build_dynamic_network,
+    build_static_2cpu_network,
+    build_static_network,
+)
+from repro.apps.mpi_baseline import mpi_raytracer_program, run_mpi_raytracer
+from repro.apps.workloads import initial_record, dynamic_input_records, extract_image
+
+__all__ = [
+    "RenderBackend",
+    "RealRenderBackend",
+    "ModelRenderBackend",
+    "RayTracingBoxes",
+    "build_merger",
+    "build_static_network",
+    "build_static_2cpu_network",
+    "build_dynamic_network",
+    "FIG2_SOURCE",
+    "FIG3_MERGER_SOURCE",
+    "FIG4_SOLVER_SOURCE",
+    "mpi_raytracer_program",
+    "run_mpi_raytracer",
+    "initial_record",
+    "dynamic_input_records",
+    "extract_image",
+]

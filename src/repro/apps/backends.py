@@ -1,0 +1,210 @@
+"""Render backends: real pixels or modelled costs.
+
+The S-Net networks and the MPI baseline are written once against the
+:class:`RenderBackend` interface:
+
+* :class:`RealRenderBackend` actually traces rays — used by the examples,
+  the integration tests and any run where the image itself matters (small
+  resolutions);
+* :class:`ModelRenderBackend` produces lightweight placeholder chunks whose
+  payload sizes match the real ones and exposes per-section costs from the
+  :class:`~repro.raytracer.cost.SectionCostModel` — used by the simulated
+  performance experiments, where only *when* things happen matters.
+
+This split is the substitution documented in DESIGN.md: the coordination
+structures (networks, schedulers, runtimes) are identical in both modes; only
+the box bodies differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.raytracer.camera import Camera
+from repro.raytracer.cost import CostParameters, SectionCostModel
+from repro.raytracer.image import ImageChunk, blank_image, merge_chunk_into, to_ppm
+from repro.raytracer.scene import Scene
+from repro.raytracer.tracer import render_section
+from repro.scheduling.base import Section
+
+__all__ = [
+    "RenderBackend",
+    "RealRenderBackend",
+    "ModelRenderBackend",
+    "ChunkPlaceholder",
+    "PicturePlaceholder",
+]
+
+#: memory-copy throughput of the reference CPU (bytes/second), used to cost
+#: the merger's accumulator copies and the master's image assembly
+REFERENCE_COPY_BANDWIDTH = 400e6
+#: effective shared-filesystem write throughput (bytes/second)
+REFERENCE_WRITE_BANDWIDTH = 8e6
+#: effective scene-loading throughput (bytes/second)
+REFERENCE_READ_BANDWIDTH = 8e6
+
+
+@dataclass
+class ChunkPlaceholder:
+    """Stand-in for an :class:`~repro.raytracer.image.ImageChunk` (model mode)."""
+
+    y_start: int
+    rows: int
+    width: int
+    section_id: int = 0
+
+    @property
+    def y_end(self) -> int:
+        return self.y_start + self.rows
+
+    def payload_size(self) -> int:
+        return self.rows * self.width * 3 + 32
+
+
+@dataclass
+class PicturePlaceholder:
+    """Stand-in for the accumulated result picture (model mode)."""
+
+    width: int
+    height: int
+    merged_chunks: int = 0
+    covered_rows: int = 0
+
+    def payload_size(self) -> int:
+        return self.width * self.height * 3 + 32
+
+
+class RenderBackend:
+    """Interface between the coordination code and the rendering substrate."""
+
+    def __init__(self, scene: Scene, camera: Camera):
+        self.scene = scene
+        self.camera = camera
+        self.saved_images: List[Any] = []
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.camera.width
+
+    @property
+    def height(self) -> int:
+        return self.camera.height
+
+    # -- box bodies -----------------------------------------------------------
+    def render_section(self, section: Section) -> Any:
+        """The solver body: render one section, return the chunk."""
+        raise NotImplementedError
+
+    def init_picture(self, chunk: Any) -> Any:
+        """The init body: create the accumulator picture from the first chunk."""
+        raise NotImplementedError
+
+    def merge(self, picture: Any, chunk: Any) -> Any:
+        """The merge body: insert a chunk into (a copy of) the picture."""
+        raise NotImplementedError
+
+    def write_image(self, picture: Any) -> None:
+        """The genImg body: write the completed picture to the output file."""
+        self.saved_images.append(picture)
+
+    # -- cost model (reference seconds; model mode only) ----------------------
+    def section_cost(self, section: Section) -> float:
+        return 0.0
+
+    def chunk_copy_cost(self, chunk: Any) -> float:
+        return 0.0
+
+    def picture_copy_cost(self) -> float:
+        return 0.0
+
+    def image_write_cost(self) -> float:
+        return 0.0
+
+    def scene_load_cost(self) -> float:
+        return 0.0
+
+    def split_cost(self) -> float:
+        return 0.0
+
+
+class RealRenderBackend(RenderBackend):
+    """Backend that actually renders pixels (for small resolutions)."""
+
+    def render_section(self, section: Section) -> ImageChunk:
+        return render_section(
+            self.scene, self.camera, section.y_start, section.y_end, section.index
+        )
+
+    def init_picture(self, chunk: ImageChunk) -> np.ndarray:
+        picture = blank_image(self.width, self.height)
+        return merge_chunk_into(picture, chunk)
+
+    def merge(self, picture: np.ndarray, chunk: ImageChunk) -> np.ndarray:
+        return merge_chunk_into(picture, chunk)
+
+    def write_image(self, picture: np.ndarray) -> None:
+        # keep both the raw array (for assertions) and the PPM encoding
+        self.saved_images.append(picture)
+        self.last_ppm = to_ppm(picture)
+
+
+class ModelRenderBackend(RenderBackend):
+    """Backend that produces placeholders and costs instead of pixels."""
+
+    def __init__(
+        self,
+        scene: Scene,
+        camera: Camera,
+        cost_parameters: Optional[CostParameters] = None,
+    ):
+        super().__init__(scene, camera)
+        self.cost_model = SectionCostModel(scene, camera, cost_parameters)
+
+    # -- box bodies -----------------------------------------------------------
+    def render_section(self, section: Section) -> ChunkPlaceholder:
+        return ChunkPlaceholder(
+            y_start=section.y_start,
+            rows=section.rows,
+            width=self.width,
+            section_id=section.index,
+        )
+
+    def init_picture(self, chunk: ChunkPlaceholder) -> PicturePlaceholder:
+        return PicturePlaceholder(
+            width=self.width,
+            height=self.height,
+            merged_chunks=1,
+            covered_rows=chunk.rows,
+        )
+
+    def merge(self, picture: PicturePlaceholder, chunk: ChunkPlaceholder) -> PicturePlaceholder:
+        return PicturePlaceholder(
+            width=picture.width,
+            height=picture.height,
+            merged_chunks=picture.merged_chunks + 1,
+            covered_rows=picture.covered_rows + chunk.rows,
+        )
+
+    # -- costs ------------------------------------------------------------------
+    def section_cost(self, section: Section) -> float:
+        return self.cost_model.section_cost(section.y_start, section.y_end)
+
+    def chunk_copy_cost(self, chunk: Any) -> float:
+        nbytes = chunk.payload_size() if hasattr(chunk, "payload_size") else 0
+        return nbytes / REFERENCE_COPY_BANDWIDTH
+
+    def picture_copy_cost(self) -> float:
+        return (self.width * self.height * 3) / REFERENCE_COPY_BANDWIDTH
+
+    def image_write_cost(self) -> float:
+        return (self.width * self.height * 3) / REFERENCE_WRITE_BANDWIDTH
+
+    def scene_load_cost(self) -> float:
+        return self.scene.payload_size() / REFERENCE_READ_BANDWIDTH
+
+    def split_cost(self) -> float:
+        return 0.01

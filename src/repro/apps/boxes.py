@@ -1,0 +1,250 @@
+"""The box functions of the ray-tracing application.
+
+These are the "algorithm engineering" half of the paper's methodology: plain
+functions over value parameters, with no knowledge of concurrency, placement
+or scheduling.  The concurrency engineering half — how they are composed —
+lives in :mod:`repro.apps.merger` and :mod:`repro.apps.networks`.
+
+Five boxes are defined (exactly the ones of Figs. 2–4):
+
+``splitter``
+    divides the image into sections according to a scheduler and emits one
+    record per section; in the static variants every section carries a
+    ``<node>`` (and optionally ``<cpu>``) tag, in the dynamic variant only
+    the first ``<tokens>`` sections do;
+``solver``
+    renders one section into a chunk;
+``init``
+    creates the accumulator picture from the first chunk (tagged ``<fst>``);
+``merge``
+    inserts a further chunk into the accumulator picture;
+``genImg``
+    writes the finished picture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.apps.backends import RenderBackend
+from repro.scheduling.base import Scheduler, Section, validate_sections
+from repro.scheduling.block import BlockScheduler
+from repro.snet.boxes import Box
+from repro.snet.records import Record
+
+__all__ = ["RayTracingBoxes"]
+
+
+class RayTracingBoxes:
+    """Factory for the application's boxes over a given render backend.
+
+    Parameters
+    ----------
+    backend:
+        The render backend (real or model).
+    scheduler:
+        How the splitter divides the image into sections.  Defaults to block
+        scheduling with as many sections as there are ``<tasks>``.
+    """
+
+    def __init__(self, backend: RenderBackend, scheduler: Optional[Scheduler] = None):
+        self.backend = backend
+        self.scheduler = scheduler
+
+    # -- section generation ------------------------------------------------
+    def _sections(self, num_tasks: int) -> List[Section]:
+        scheduler = self.scheduler or BlockScheduler(num_tasks)
+        sections = scheduler.sections(self.backend.height)
+        validate_sections(sections, self.backend.height)
+        return sections
+
+    # -- splitter variants ---------------------------------------------------
+    def static_splitter(self) -> Box:
+        """Splitter of Fig. 2: every section is assigned to a node up front.
+
+        Sections are dealt round-robin over the ``<nodes>`` compute nodes.
+        The first section additionally carries ``<fst>``.
+        """
+        backend = self.backend
+        boxes = self
+
+        def splitter(scene, nodes, tasks, out):
+            sections = boxes._sections(tasks)
+            for section in sections:
+                entries = {
+                    "scene": scene,
+                    "sect": section,
+                    "<node>": section.index % nodes,
+                    "<tasks>": len(sections),
+                }
+                if section.index == 0:
+                    entries["<fst>"] = 1
+                out(entries)
+
+        return Box(
+            "splitter",
+            "(scene, <nodes>, <tasks>) -> (scene, sect, <node>, <tasks>, <fst>)"
+            " | (scene, sect, <node>, <tasks>)",
+            splitter,
+            cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
+        )
+
+    def static_2cpu_splitter(self) -> Box:
+        """Splitter for the 2-CPU static variant: adds a ``<cpu>`` tag (0/1).
+
+        Sections are dealt so that consecutive sections land on the same node
+        but alternate CPUs, mirroring "marking input data with a <cpu> tag of
+        values 0 and 1" in the paper.
+        """
+        backend = self.backend
+        boxes = self
+
+        def splitter(scene, nodes, tasks, out):
+            sections = boxes._sections(tasks)
+            for section in sections:
+                entries = {
+                    "scene": scene,
+                    "sect": section,
+                    "<node>": (section.index // 2) % nodes,
+                    "<cpu>": section.index % 2,
+                    "<tasks>": len(sections),
+                }
+                if section.index == 0:
+                    entries["<fst>"] = 1
+                out(entries)
+
+        return Box(
+            "splitter",
+            "(scene, <nodes>, <tasks>) -> (scene, sect, <node>, <cpu>, <tasks>, <fst>)"
+            " | (scene, sect, <node>, <cpu>, <tasks>)",
+            splitter,
+            cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
+        )
+
+    def dynamic_splitter(self) -> Box:
+        """Splitter for the dynamically scheduled variant (Section IV-B).
+
+        Only the first ``<tokens>`` sections carry a ``<node>`` tag (the
+        initial tokens); the remaining sections queue inside the solver
+        segment until a token is released by a completed section.
+
+        Token values are distinct, so every token owns its own solver
+        replica and several replicas on the same node can use all of its
+        CPUs.  They are dealt so that the *physical* nodes initially receive
+        contiguous bands of the image: when ``tokens == tasks`` this
+        degenerates into exactly the blocked static distribution whose load
+        imbalance the paper identifies as the bad case for the dynamic
+        scheduler.
+        """
+        backend = self.backend
+        boxes = self
+
+        def splitter(scene, nodes, tasks, tokens, out):
+            sections = boxes._sections(tasks)
+            per_node = max(1, -(-tokens // nodes))  # ceil(tokens / nodes)
+            for section in sections:
+                entries = {
+                    "scene": scene,
+                    "sect": section,
+                    "<tasks>": len(sections),
+                }
+                if section.index < tokens:
+                    # distinct abstract node ids; the distributed runtime maps
+                    # them onto physical nodes modulo the cluster size (like
+                    # MPI ranks with several ranks per node), so consecutive
+                    # sections initially land on the same node until that
+                    # node's token quota is exhausted
+                    slot = section.index % per_node
+                    node = section.index // per_node
+                    entries["<node>"] = slot * nodes + node
+                if section.index == 0:
+                    entries["<fst>"] = 1
+                out(entries)
+
+        return Box(
+            "splitter",
+            "(scene, <nodes>, <tasks>, <tokens>)"
+            " -> (scene, sect, <node>, <tasks>, <fst>)"
+            " | (scene, sect, <node>, <tasks>)"
+            " | (scene, sect, <tasks>)",
+            splitter,
+            cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
+        )
+
+    # -- solver ---------------------------------------------------------------
+    def solver(self) -> Box:
+        """The solver box of Fig. 2: render one section into a chunk."""
+        backend = self.backend
+
+        def solve(scene, sect):
+            return {"chunk": backend.render_section(sect)}
+
+        return Box(
+            "solver",
+            "(scene, sect) -> (chunk)",
+            solve,
+            cost=lambda rec: backend.section_cost(rec.field("sect")),
+        )
+
+    # -- merger boxes ------------------------------------------------------------
+    def init_box(self) -> Box:
+        """The init box of Fig. 3: first chunk becomes the accumulator picture."""
+        backend = self.backend
+
+        def init(chunk, fst):
+            return {"pic": backend.init_picture(chunk)}
+
+        return Box(
+            "init",
+            "(chunk, <fst>) -> (pic)",
+            init,
+            cost=lambda rec: backend.picture_copy_cost(),
+        )
+
+    def merge_box(self) -> Box:
+        """The merge box of Fig. 3: insert one more chunk into the picture."""
+        backend = self.backend
+
+        def merge(chunk, pic):
+            return {"pic": backend.merge(pic, chunk)}
+
+        return Box(
+            "merge",
+            "(chunk, pic) -> (pic)",
+            merge,
+            cost=lambda rec: backend.picture_copy_cost()
+            + backend.chunk_copy_cost(rec.field("chunk")),
+        )
+
+    def genimg_box(self) -> Box:
+        """The genImg box of Fig. 2: write the completed picture to a file."""
+        backend = self.backend
+
+        def genimg(pic):
+            backend.write_image(pic)
+            return None
+
+        return Box(
+            "genImg",
+            "(pic) -> ()",
+            genimg,
+            cost=lambda rec: backend.image_write_cost(),
+        )
+
+    # -- environment for the textual front-end -----------------------------------
+    def environment(self, dynamic: bool = False, two_cpu: bool = False) -> dict:
+        """A name -> Box mapping usable as a builder :class:`BoxEnvironment`."""
+        if dynamic:
+            splitter = self.dynamic_splitter()
+        elif two_cpu:
+            splitter = self.static_2cpu_splitter()
+        else:
+            splitter = self.static_splitter()
+        return {
+            "splitter": splitter,
+            "solver": self.solver(),
+            "solve": self.solver(),
+            "init": self.init_box(),
+            "merge": self.merge_box(),
+            "genImg": self.genimg_box(),
+        }

@@ -1,0 +1,116 @@
+"""The hand-written MPI ray tracer the paper compares against.
+
+"The implementation we use in this paper distributes an image evenly across
+all cluster nodes and processes these independently.  The root process
+collects all sub-results and assembles the completed scene."  (Section II)
+
+:func:`mpi_raytracer_program` is that program expressed against the simulated
+MPI substrate: the root reads the scene from the shared file system,
+broadcasts it, every rank renders its block of rows, the root gathers the
+chunks, assembles the image and writes it back to the shared file system.
+Compute time comes from the render backend (real seconds are irrelevant in
+the simulation; the model backend charges the per-section cost), transfer
+time from the simulated network.
+
+:func:`run_mpi_raytracer` wraps the program in a launcher call and returns
+the :class:`~repro.mpisim.launcher.MPIJob` plus the assembled result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.apps.backends import ModelRenderBackend, RealRenderBackend, RenderBackend
+from repro.cluster.topology import Cluster
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.launcher import MPIJob, run_mpi
+from repro.scheduling.base import Section, validate_sections
+from repro.scheduling.block import BlockScheduler
+
+__all__ = ["mpi_raytracer_program", "run_mpi_raytracer", "MPIRaytraceResult"]
+
+_CHUNK_TAG = 42
+
+
+@dataclass
+class MPIRaytraceResult:
+    """Result of one simulated MPI ray-tracing job."""
+
+    job: MPIJob
+    chunks: List[Any]
+    makespan: float
+
+
+def mpi_raytracer_program(
+    comm: Communicator, backend: RenderBackend, real_render: bool = False
+) -> Generator:
+    """One MPI rank of the baseline fork-join ray tracer.
+
+    Parameters
+    ----------
+    comm:
+        The rank's communicator.
+    backend:
+        Render backend shared by all ranks (scene, camera, cost model).
+    real_render:
+        When True the solver actually renders pixels (small images only);
+        otherwise only the modelled cost is charged.
+    """
+    rank, size = comm.rank, comm.size
+    sections = BlockScheduler(size).sections(backend.height)
+    validate_sections(sections, backend.height)
+
+    if rank == 0:
+        # root: read the scene description from the shared file system and
+        # broadcast it to every worker
+        yield from comm.cluster.filesystem.read(backend.scene.payload_size())
+        yield from comm.bcast(backend.scene, root=0)
+    else:
+        yield from comm.bcast(None, root=0)
+
+    # every rank (including the root) renders its own section; whether that
+    # produces real pixels or a placeholder is the backend's business
+    section = sections[rank]
+    yield from comm.compute(backend.section_cost(section))
+    chunk = backend.render_section(section)
+
+    if rank != 0:
+        yield from comm.send(chunk, dest=0, tag=_CHUNK_TAG)
+        return None
+
+    # root: collect the remaining chunks in arrival order and assemble
+    chunks: List[Any] = [chunk]
+    for _ in range(size - 1):
+        received = yield from comm.recv(tag=_CHUNK_TAG)
+        chunks.append(received)
+    picture = backend.init_picture(chunks[0])
+    yield from comm.compute(backend.picture_copy_cost())
+    for extra in chunks[1:]:
+        picture = backend.merge(picture, extra)
+        yield from comm.compute(backend.chunk_copy_cost(extra))
+    backend.write_image(picture)
+    yield from comm.cluster.filesystem.write(backend.width * backend.height * 3)
+    return chunks
+
+
+def run_mpi_raytracer(
+    cluster: Cluster,
+    backend: RenderBackend,
+    processes_per_node: int = 1,
+    real_render: bool = False,
+) -> MPIRaytraceResult:
+    """Launch the baseline on ``cluster`` with ``processes_per_node`` ranks/node."""
+    if processes_per_node < 1:
+        raise ValueError("processes_per_node must be at least 1")
+    num_ranks = cluster.num_nodes * processes_per_node
+    placement = [rank % cluster.num_nodes for rank in range(num_ranks)]
+    job = run_mpi(
+        cluster,
+        num_ranks,
+        mpi_raytracer_program,
+        placement=placement,
+        program_kwargs={"backend": backend, "real_render": real_render},
+    )
+    chunks = job.results[0] or []
+    return MPIRaytraceResult(job=job, chunks=chunks, makespan=job.makespan)

@@ -1,0 +1,199 @@
+"""The paper's three S-Net network variants (Figs. 2 and 4).
+
+Each builder returns a ready-to-run :class:`~repro.snet.network.Network`:
+
+* :func:`build_static_network` — the simple fork–join model of Fig. 2:
+  ``splitter .. solver!@<node> .. merger .. genImg``;
+* :func:`build_static_2cpu_network` — the same with one more index split so
+  that two solver instances run per node (``(solver!<cpu>)!@<node>``), the
+  paper's "S-Net Static 2 CPU" variant;
+* :func:`build_dynamic_network` — the dynamically load-balanced variant of
+  Section IV-B, where the ``solver!@<node>`` component of Fig. 2 is replaced
+  by the solver segment of Fig. 4 (sections without a node tag queue in a
+  synchrocell chain until a node token is released by a finished section).
+
+The textual S-Net sources from the paper are kept verbatim in
+:data:`FIG2_SOURCE`, :data:`FIG3_MERGER_SOURCE` and :data:`FIG4_SOLVER_SOURCE`
+and are parsed by the language front-end tests; the builders construct the
+same topology programmatically (plus one documented deviation, see
+:func:`build_solver_segment`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.backends import RenderBackend
+from repro.apps.boxes import RayTracingBoxes
+from repro.apps.merger import build_merger
+from repro.scheduling.base import Scheduler
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.filters import Filter, FilterRule, OutputTemplate
+from repro.snet.network import Network
+from repro.snet.patterns import Pattern
+from repro.snet.placement import placed_split
+from repro.snet.records import Tag
+from repro.snet.synchrocell import SyncroCell
+
+__all__ = [
+    "FIG2_SOURCE",
+    "FIG3_MERGER_SOURCE",
+    "FIG4_SOLVER_SOURCE",
+    "build_static_network",
+    "build_static_2cpu_network",
+    "build_dynamic_network",
+    "build_solver_segment",
+]
+
+
+#: Fig. 2 — overall design for the simple fork-join model (verbatim).
+FIG2_SOURCE = """
+net raytracing_stat
+{
+  box splitter( (scene, <nodes>, <tasks>)
+                -> (scene, sect, <node>, <tasks>, <fst>)
+                 | (scene, sect, <node>, <tasks> ));
+  box solver ( (scene, sect) -> (chunk));
+  net merger ( (chunk, <fst>) -> (pic),
+               (chunk) -> (pic));
+  box genImg ( (pic) -> ());
+} connect
+  splitter .. solver!@<node> .. merger .. genImg
+"""
+
+#: Fig. 3 — the merger network (verbatim).
+FIG3_MERGER_SOURCE = """
+net merger
+{
+  box init ( (chunk, <fst>) -> (pic));
+  box merge ( (chunk, pic) -> (pic));
+} connect
+  ( ( init .. [ {} -> {<cnt=1>} ] )
+    | []
+  )
+  .. ( [| {pic}, {chunk} |]
+       .. ( ( merge
+              .. [ {<cnt>} -> {<cnt+=1>}]
+            )
+            | []
+          )
+     )*{<tasks> == <cnt>} ;
+"""
+
+#: Fig. 4 — the dynamically scheduled solver segment (verbatim).
+FIG4_SOLVER_SOURCE = """
+net solver_segment
+{
+  box solve ( (scene, sect) -> (chunk));
+} connect
+  ( ( ( solve .. [ {chunk, <node>}
+                   -> {chunk}; {<node>} ]
+      )!@<node>
+      | []
+    )
+    .. ( [] | [| {sect}, {<node>} |] )
+  ) * {chunk} ;
+"""
+
+
+def build_solver_segment(boxes: RayTracingBoxes) -> Network:
+    """The dynamically scheduled solver segment of Fig. 4.
+
+    Structure (exactly the figure)::
+
+        ( ( ( solve .. [ {chunk,<node>} -> {chunk}; {<node>} ] )!@<node>
+            | []
+          )
+          .. ( [] | [| {sect}, {<node>} |] )
+        ) * {chunk}
+
+    One deviation from a literal reading of the filter: the node-token output
+    template ``{<node>}`` is built *without* flow inheritance.  Under strict
+    flow-inheritance semantics the recycled token would drag the ``<fst>``
+    tag of the first section onto whichever section it unblocks next, which
+    would make the merger initialise a second accumulator picture and never
+    terminate.  Fig. 4's own dataflow annotations label the token edge with
+    just ``<node>`` (no trailing ellipsis), so the pure token matches the
+    intended behaviour.
+    """
+    solve = boxes.solver()
+    # [ {chunk, <node>} -> {chunk} ; {<node>} ]
+    release_filter = Filter(
+        [
+            FilterRule(
+                Pattern(["chunk", "<node>"]),
+                [
+                    OutputTemplate(keep=(Tag("node"),), inherit=False),
+                    OutputTemplate(keep=("chunk",), inherit=True),
+                ],
+            )
+        ],
+        name="release-node",
+    )
+    solve_and_release = Serial(solve, release_filter)
+    placed = placed_split(solve_and_release, "node")
+
+    first_stage = Parallel(placed, Filter.identity("bypass-unassigned"))
+
+    token_sync = SyncroCell([Pattern(["sect"]), Pattern(["<node>"])], name="sect-node-sync")
+    second_stage = Parallel(Filter.identity("bypass-chunks"), token_sync)
+
+    segment = Serial(first_stage, second_stage)
+    star = Star(segment, Pattern(["chunk"]), name="solver-star")
+    return Network("solver_segment", star)
+
+
+def build_static_network(
+    backend: RenderBackend, scheduler: Optional[Scheduler] = None
+) -> Network:
+    """The simple fork-join network of Fig. 2 (one solver instance per node)."""
+    boxes = RayTracingBoxes(backend, scheduler)
+    splitter = boxes.static_splitter()
+    solver = boxes.solver()
+    merger = build_merger(boxes)
+    genimg = boxes.genimg_box()
+    body = Serial(
+        Serial(Serial(splitter, placed_split(solver, "node")), merger), genimg
+    )
+    return Network("raytracing_stat", body)
+
+
+def build_static_2cpu_network(
+    backend: RenderBackend, scheduler: Optional[Scheduler] = None
+) -> Network:
+    """The static variant with two solver instances per node.
+
+    The paper obtains it "by adding one more index split combinator to the
+    solver of Fig. 2 (``(solver!<cpu>)!@<node>``) and marking input data with
+    a ``<cpu>`` tag of values 0 and 1".
+    """
+    boxes = RayTracingBoxes(backend, scheduler)
+    splitter = boxes.static_2cpu_splitter()
+    solver = boxes.solver()
+    per_cpu = IndexSplit(solver, "cpu")
+    merger = build_merger(boxes)
+    genimg = boxes.genimg_box()
+    body = Serial(
+        Serial(Serial(splitter, placed_split(per_cpu, "node")), merger), genimg
+    )
+    return Network("raytracing_stat_2cpu", body)
+
+
+def build_dynamic_network(
+    backend: RenderBackend, scheduler: Optional[Scheduler] = None
+) -> Network:
+    """The dynamically load-balanced network (Fig. 2 with the Fig. 4 segment).
+
+    "This modification of the S-NET solution presented so far can be achieved
+    by simply replacing the ``solver@<node>`` component from Figure 2 by the
+    network segment shown in Figure 4.  Since the remaining part of the S-NET
+    ... is oblivious of the node tag, it can be utilised in the dynamic
+    setting without modification."
+    """
+    boxes = RayTracingBoxes(backend, scheduler)
+    splitter = boxes.dynamic_splitter()
+    solver_segment = build_solver_segment(boxes)
+    merger = build_merger(boxes)
+    genimg = boxes.genimg_box()
+    body = Serial(Serial(Serial(splitter, solver_segment), merger), genimg)
+    return Network("raytracing_dyn", body)

@@ -1,0 +1,50 @@
+"""Input-record construction and result extraction for the S-Net variants."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.backends import RenderBackend
+from repro.raytracer.scene import Scene
+from repro.snet.records import Record
+
+__all__ = ["initial_record", "dynamic_input_records", "extract_image"]
+
+
+def initial_record(scene: Scene, nodes: int, tasks: int) -> Record:
+    """The single input record of the static networks: ``{scene,<nodes>,<tasks>}``."""
+    if nodes < 1 or tasks < 1:
+        raise ValueError("nodes and tasks must both be at least 1")
+    return Record({"scene": scene, "<nodes>": nodes, "<tasks>": tasks})
+
+
+def dynamic_input_records(
+    scene: Scene, nodes: int, tasks: int, tokens: int
+) -> List[Record]:
+    """The input of the dynamic network: one record carrying the token count.
+
+    The paper controls the dynamic variant with two knobs — the number of
+    tasks (sections) and the number of node tokens initially released; both
+    travel as tags on the single input record.
+    """
+    if tokens < 1 or tokens > tasks:
+        raise ValueError(
+            f"the number of tokens ({tokens}) must be between 1 and the number "
+            f"of tasks ({tasks})"
+        )
+    return [
+        Record(
+            {"scene": scene, "<nodes>": nodes, "<tasks>": tasks, "<tokens>": tokens}
+        )
+    ]
+
+
+def extract_image(backend: RenderBackend) -> Any:
+    """Return the picture written by ``genImg`` during the last run."""
+    if not backend.saved_images:
+        raise ValueError(
+            "genImg never fired: the network produced no completed picture"
+        )
+    return backend.saved_images[-1]

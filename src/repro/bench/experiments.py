@@ -1,0 +1,259 @@
+"""Running one evaluation variant on a simulated cluster.
+
+Every experiment builds a fresh cluster of the paper's node type
+(2 CPUs/node, 100 Mbit Ethernet), a :class:`ModelRenderBackend` over the
+reference scene at 3000x3000, and runs one of the five variants:
+
+============================  =====================================================
+variant                        meaning
+============================  =====================================================
+``mpi``                        hand-written MPI fork/join, 1 process per node
+``mpi_2proc``                  the same with 2 processes per node
+``snet_static``                Fig. 2 network, one solver instance per node
+``snet_static_2cpu``           Fig. 2 network with ``(solver!<cpu>)!@<node>``
+``snet_dynamic``               Fig. 2 network with the Fig. 4 solver segment
+============================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.apps.backends import ModelRenderBackend
+from repro.apps.mpi_baseline import run_mpi_raytracer
+from repro.apps.networks import (
+    build_dynamic_network,
+    build_static_2cpu_network,
+    build_static_network,
+)
+from repro.apps.workloads import dynamic_input_records, initial_record
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.dsnet.config import DSNetConfig
+from repro.dsnet.simruntime import SimulatedDSNetRuntime
+from repro.raytracer.camera import Camera
+from repro.raytracer.cost import CostParameters
+from repro.raytracer.scene import Scene, paper_scene
+from repro.scheduling.base import Scheduler
+from repro.scheduling.block import BlockScheduler
+from repro.scheduling.factoring import FactoringScheduler
+
+__all__ = [
+    "ExperimentSettings",
+    "VariantResult",
+    "run_variant",
+    "run_mpi_variant",
+    "run_snet_static",
+    "run_snet_static_2cpu",
+    "run_snet_dynamic",
+    "VARIANTS",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Workload and substrate parameters shared by every experiment."""
+
+    width: int = 3000
+    height: int = 3000
+    num_spheres: int = 300
+    clustering: float = 0.45
+    seed: int = 2010
+    total_render_seconds: float = 630.0
+    cpus_per_node: int = 2
+    use_bvh: bool = True
+    dsnet_config: DSNetConfig = field(default_factory=DSNetConfig.calibrated)
+
+    def scene(self) -> Scene:
+        return paper_scene(
+            num_spheres=self.num_spheres,
+            clustering=self.clustering,
+            seed=self.seed,
+            use_bvh=self.use_bvh,
+        )
+
+    def camera(self) -> Camera:
+        return Camera(width=self.width, height=self.height)
+
+    def backend(self, scheduler_tasks_hint: Optional[int] = None) -> ModelRenderBackend:
+        return ModelRenderBackend(
+            self.scene(),
+            self.camera(),
+            CostParameters(total_seconds=self.total_render_seconds),
+        )
+
+    def cluster(self, num_nodes: int) -> Cluster:
+        return Cluster(
+            ClusterSpec(num_nodes=num_nodes, cpus_per_node=self.cpus_per_node)
+        )
+
+    def with_overhead_scale(self, factor: float) -> "ExperimentSettings":
+        return replace(self, dsnet_config=self.dsnet_config.scaled(factor))
+
+
+@dataclass
+class VariantResult:
+    """Makespan and statistics of one variant run."""
+
+    variant: str
+    num_nodes: int
+    runtime_seconds: float
+    tasks: int
+    tokens: Optional[int] = None
+    scheduler: Optional[str] = None
+    mean_utilisation: float = 0.0
+    network_bytes: int = 0
+
+    def speedup_against(self, other: "VariantResult") -> float:
+        """Speed-up of this variant over ``other`` (>1 means this is faster)."""
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return other.runtime_seconds / self.runtime_seconds
+
+
+def _mean_utilisation(cluster: Cluster, makespan: float) -> float:
+    if makespan <= 0:
+        return 0.0
+    return sum(node.utilisation(makespan) for node in cluster.nodes) / len(cluster.nodes)
+
+
+def run_mpi_variant(
+    settings: ExperimentSettings, num_nodes: int, processes_per_node: int = 1
+) -> VariantResult:
+    """The MPI baseline on ``num_nodes`` nodes (Fig. 6 'MPI' / 'MPI 2 Proc/Node')."""
+    cluster = settings.cluster(num_nodes)
+    backend = settings.backend()
+    result = run_mpi_raytracer(cluster, backend, processes_per_node=processes_per_node)
+    name = "mpi" if processes_per_node == 1 else "mpi_2proc"
+    return VariantResult(
+        variant=name,
+        num_nodes=num_nodes,
+        runtime_seconds=result.makespan,
+        tasks=num_nodes * processes_per_node,
+        mean_utilisation=_mean_utilisation(cluster, result.makespan),
+        network_bytes=cluster.network.total_bytes,
+    )
+
+
+def _run_snet(
+    settings: ExperimentSettings,
+    num_nodes: int,
+    network_builder,
+    inputs_builder,
+    variant: str,
+    tasks: int,
+    tokens: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
+) -> VariantResult:
+    cluster = settings.cluster(num_nodes)
+    backend = settings.backend()
+    network = network_builder(backend, scheduler)
+    runtime = SimulatedDSNetRuntime(cluster, settings.dsnet_config)
+    sim_result = runtime.run(network, inputs_builder(backend))
+    if not backend.saved_images:
+        raise RuntimeError(
+            f"variant {variant!r} finished without producing a picture "
+            "(coordination bug: the merger never completed)"
+        )
+    return VariantResult(
+        variant=variant,
+        num_nodes=num_nodes,
+        runtime_seconds=sim_result.makespan,
+        tasks=tasks,
+        tokens=tokens,
+        scheduler=getattr(scheduler, "name", None),
+        mean_utilisation=_mean_utilisation(cluster, sim_result.makespan),
+        network_bytes=sim_result.network_bytes,
+    )
+
+
+def run_snet_static(
+    settings: ExperimentSettings, num_nodes: int, tasks: Optional[int] = None
+) -> VariantResult:
+    """Fig. 2 static network: by default one task (section) per node."""
+    tasks = tasks or num_nodes
+    return _run_snet(
+        settings,
+        num_nodes,
+        build_static_network,
+        lambda backend: [initial_record(backend.scene, nodes=num_nodes, tasks=tasks)],
+        "snet_static",
+        tasks,
+        scheduler=BlockScheduler(tasks),
+    )
+
+
+def run_snet_static_2cpu(
+    settings: ExperimentSettings, num_nodes: int, tasks: Optional[int] = None
+) -> VariantResult:
+    """Static variant with two solver instances per node (two tasks per node)."""
+    tasks = tasks or 2 * num_nodes
+    return _run_snet(
+        settings,
+        num_nodes,
+        build_static_2cpu_network,
+        lambda backend: [initial_record(backend.scene, nodes=num_nodes, tasks=tasks)],
+        "snet_static_2cpu",
+        tasks,
+        scheduler=BlockScheduler(tasks),
+    )
+
+
+def run_snet_dynamic(
+    settings: ExperimentSettings,
+    num_nodes: int,
+    tasks: int,
+    tokens: int,
+    scheduling: str = "block",
+) -> VariantResult:
+    """The dynamically load-balanced variant with a task/token configuration."""
+    if scheduling == "block":
+        scheduler: Scheduler = BlockScheduler(tasks)
+    elif scheduling == "factoring":
+        scheduler = FactoringScheduler(num_tasks=tasks)
+    else:
+        raise ValueError(f"unknown scheduling strategy {scheduling!r}")
+    return _run_snet(
+        settings,
+        num_nodes,
+        build_dynamic_network,
+        lambda backend: dynamic_input_records(
+            backend.scene, nodes=num_nodes, tasks=tasks, tokens=tokens
+        ),
+        "snet_dynamic",
+        tasks,
+        tokens=tokens,
+        scheduler=scheduler,
+    )
+
+
+def run_snet_best_dynamic(settings: ExperimentSettings, num_nodes: int) -> VariantResult:
+    """The paper's "S-Net best dynamic": nodes*8 tasks, tasks/2 tokens, block."""
+    tasks = num_nodes * 8
+    tokens = max(1, tasks // 2)
+    result = run_snet_dynamic(settings, num_nodes, tasks=tasks, tokens=tokens, scheduling="block")
+    return replace_variant_name(result, "snet_best_dynamic")
+
+
+def replace_variant_name(result: VariantResult, name: str) -> VariantResult:
+    result.variant = name
+    return result
+
+
+#: registry used by :func:`run_variant` and the Fig. 6 sweep
+VARIANTS = {
+    "mpi": lambda settings, nodes: run_mpi_variant(settings, nodes, 1),
+    "mpi_2proc": lambda settings, nodes: run_mpi_variant(settings, nodes, 2),
+    "snet_static": run_snet_static,
+    "snet_static_2cpu": run_snet_static_2cpu,
+    "snet_best_dynamic": run_snet_best_dynamic,
+}
+
+
+def run_variant(
+    settings: ExperimentSettings, variant: str, num_nodes: int
+) -> VariantResult:
+    """Run one of the five Fig. 6 variants by name."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}")
+    return VARIANTS[variant](settings, num_nodes)

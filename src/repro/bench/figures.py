@@ -1,0 +1,124 @@
+"""Parameter sweeps reproducing Figs. 5 and 6 and the Section V example."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.experiments import (
+    ExperimentSettings,
+    VariantResult,
+    run_snet_dynamic,
+    run_variant,
+)
+from repro.bench.paper_data import (
+    PAPER_FIG5_TASK_COUNTS,
+    PAPER_FIG5_TOKEN_COUNTS,
+    PAPER_FIG6_NODE_COUNTS,
+)
+from repro.scheduling.factoring import FactoringScheduler
+
+__all__ = [
+    "Fig5Cell",
+    "fig5_sweep",
+    "fig6_runtimes",
+    "fig6_speedups",
+    "scheduling_example",
+]
+
+
+@dataclass(frozen=True)
+class Fig5Cell:
+    """One point of Fig. 5: a (tasks, tokens) configuration and its runtime."""
+
+    tasks: int
+    tokens: int
+    runtime_seconds: float
+
+
+def fig5_sweep(
+    scheduling: str,
+    settings: Optional[ExperimentSettings] = None,
+    num_nodes: int = 8,
+    task_counts: Sequence[int] = PAPER_FIG5_TASK_COUNTS,
+    token_counts: Sequence[int] = PAPER_FIG5_TOKEN_COUNTS,
+) -> List[Fig5Cell]:
+    """Reproduce one half of Fig. 5 (``scheduling`` is 'factoring' or 'block').
+
+    The paper sweeps tasks and tokens over {8, 16, 32, 48, 64, 72} on 8
+    nodes; configurations with more tokens than tasks are meaningless (a
+    token is an initially assigned task) and are skipped, as in the paper's
+    plots where each task series starts at its own task count.
+    """
+    settings = settings or ExperimentSettings()
+    cells: List[Fig5Cell] = []
+    for tasks in task_counts:
+        for tokens in token_counts:
+            if tokens > tasks:
+                continue
+            result = run_snet_dynamic(
+                settings, num_nodes, tasks=tasks, tokens=tokens, scheduling=scheduling
+            )
+            cells.append(Fig5Cell(tasks=tasks, tokens=tokens, runtime_seconds=result.runtime_seconds))
+    return cells
+
+
+def fig6_runtimes(
+    settings: Optional[ExperimentSettings] = None,
+    node_counts: Sequence[int] = PAPER_FIG6_NODE_COUNTS,
+    variants: Sequence[str] = (
+        "snet_static",
+        "snet_static_2cpu",
+        "mpi",
+        "mpi_2proc",
+        "snet_best_dynamic",
+    ),
+) -> Dict[str, Dict[int, VariantResult]]:
+    """Reproduce Fig. 6 (left): absolute runtimes of all variants over 1-8 nodes."""
+    settings = settings or ExperimentSettings()
+    table: Dict[str, Dict[int, VariantResult]] = {}
+    for variant in variants:
+        table[variant] = {}
+        for nodes in node_counts:
+            table[variant][nodes] = run_variant(settings, variant, nodes)
+    return table
+
+
+def fig6_speedups(
+    runtimes: Dict[str, Dict[int, VariantResult]],
+    baseline: str = "mpi_2proc",
+    compared: Sequence[str] = ("snet_static_2cpu", "snet_best_dynamic"),
+) -> Dict[str, Dict[int, float]]:
+    """Reproduce Fig. 6 (right): speed-up relative to MPI with 2 processes/node."""
+    if baseline not in runtimes:
+        raise ValueError(f"baseline variant {baseline!r} missing from the runtime table")
+    speedups: Dict[str, Dict[int, float]] = {}
+    for variant in compared:
+        if variant not in runtimes:
+            continue
+        speedups[variant] = {}
+        for nodes, result in runtimes[variant].items():
+            reference = runtimes[baseline][nodes]
+            speedups[variant][nodes] = result.speedup_against(reference)
+    return speedups
+
+
+def scheduling_example(height: int = 3000, num_tasks: int = 48) -> Dict[str, object]:
+    """The worked factoring example of Section V.
+
+    "suppose a scene of 3000x3000 pixels is split along the y axis by
+    dividing it into 48 sections.  One possible scheduling is to split the
+    scene into two batches with the first batch containing 24 sections of
+    size 93 and the second batch the remaining 24 sections of size 32."
+    """
+    scheduler = FactoringScheduler(num_tasks=num_tasks, num_batches=2, decay=3.0)
+    sections = scheduler.sections(height)
+    sizes = scheduler.batch_sizes(height)
+    per_batch = num_tasks // 2
+    return {
+        "num_sections": len(sections),
+        "batch_sizes": sizes,
+        "first_batch": [s.rows for s in sections[:per_batch]],
+        "second_batch": [s.rows for s in sections[per_batch:]],
+        "covers_image": sections[-1].y_end == height,
+    }

@@ -1,0 +1,39 @@
+"""Numbers reported in the paper, for side-by-side comparison.
+
+Only Fig. 6 gives absolute values in the text/figure; Fig. 5 is published as
+line charts without a data table, so for it we record the qualitative claims
+made in Section V instead (best token count, worst configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "PAPER_FIG6_RUNTIMES",
+    "PAPER_FIG6_NODE_COUNTS",
+    "PAPER_FIG5_TASK_COUNTS",
+    "PAPER_FIG5_TOKEN_COUNTS",
+    "PAPER_SCENE_RESOLUTION",
+]
+
+#: node counts evaluated in Fig. 6
+PAPER_FIG6_NODE_COUNTS = (1, 2, 4, 6, 8)
+
+#: absolute runtimes in seconds from Fig. 6 (left), per variant and node count
+PAPER_FIG6_RUNTIMES: Dict[str, Dict[int, float]] = {
+    "snet_static": {1: 941.87, 2: 402.75, 4: 217.97, 6: 158.58, 8: 132.66},
+    "snet_static_2cpu": {1: 829.74, 2: 329.14, 4: 204.23, 6: 143.33, 8: 121.99},
+    "mpi": {1: 650.99, 2: 405.95, 4: 213.43, 6: 163.83, 8: 136.23},
+    "mpi_2proc": {1: 401.80, 2: 211.77, 4: 139.00, 6: 105.61, 8: 87.01},
+    "snet_best_dynamic": {1: 953.18, 2: 228.52, 4: 119.77, 6: 76.39, 8: 61.84},
+}
+
+#: task counts swept in Fig. 5
+PAPER_FIG5_TASK_COUNTS = (8, 16, 32, 48, 64, 72)
+
+#: token counts swept in Fig. 5
+PAPER_FIG5_TOKEN_COUNTS = (8, 16, 32, 48, 64, 72)
+
+#: the evaluation scene is 3000 x 3000 pixels
+PAPER_SCENE_RESOLUTION = (3000, 3000)

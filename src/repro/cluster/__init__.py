@@ -1,0 +1,56 @@
+"""Discrete-event simulation of the paper's evaluation cluster.
+
+The paper evaluates on an 8-node cluster (two Intel PIII 1.4 GHz CPUs and
+1 GB RAM per node, 100 Mbit Ethernet, shared file system).  We do not have
+that hardware, so this package provides a faithful *model* of it:
+
+* :mod:`repro.cluster.sim` -- a minimal discrete-event simulation kernel
+  (events, processes, timeouts, stores, resources) in the style of SimPy;
+* :mod:`repro.cluster.machine` -- compute nodes with a configurable number of
+  CPUs and relative speed;
+* :mod:`repro.cluster.network` -- a latency + bandwidth Ethernet model with
+  per-link contention;
+* :mod:`repro.cluster.topology` -- cluster assembly (nodes + network +
+  shared file system) and the paper's reference configuration;
+* :mod:`repro.cluster.filesystem` -- a simple shared-filesystem cost model;
+* :mod:`repro.cluster.metrics` -- utilisation/queueing statistics collected
+  during simulation runs.
+
+All performance experiments (Figs. 5 and 6) run on this substrate with
+virtual time, so they are deterministic and take seconds of wall-clock time
+while modelling minutes of cluster time.
+"""
+
+from repro.cluster.sim import (
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    Simulator,
+    Store,
+    Timeout,
+)
+from repro.cluster.machine import Node
+from repro.cluster.network import EthernetNetwork, NetworkMessage
+from repro.cluster.filesystem import SharedFileSystem
+from repro.cluster.topology import Cluster, ClusterSpec, paper_cluster
+from repro.cluster.metrics import MetricsCollector, UtilisationSample
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Timeout",
+    "Store",
+    "Resource",
+    "Interrupt",
+    "Node",
+    "EthernetNetwork",
+    "NetworkMessage",
+    "SharedFileSystem",
+    "Cluster",
+    "ClusterSpec",
+    "paper_cluster",
+    "MetricsCollector",
+    "UtilisationSample",
+]

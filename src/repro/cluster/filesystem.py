@@ -1,0 +1,60 @@
+"""Shared file-system model.
+
+The cluster nodes share a network file system; the ray-tracing application
+only touches it twice (reading the scene description and writing the final
+image), so a simple cost model suffices: reads and writes are serialised
+through a single server resource and cost latency + size/bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cluster.sim import Resource, SimulationError, Simulator
+
+__all__ = ["SharedFileSystem"]
+
+#: NFS-over-100Mbit effective throughput (bytes/second); below raw wire speed
+DEFAULT_FS_BANDWIDTH = 8e6
+DEFAULT_FS_LATENCY = 2e-3
+
+
+class SharedFileSystem:
+    """A single shared file server with FIFO request queueing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = DEFAULT_FS_BANDWIDTH,
+        latency: float = DEFAULT_FS_LATENCY,
+    ):
+        if bandwidth <= 0:
+            raise SimulationError("file system bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._server = Resource(sim, 1, name="fileserver")
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _access(self, nbytes: int) -> Generator:
+        if nbytes < 0:
+            raise SimulationError("file access size must be non-negative")
+        yield self._server.request()
+        try:
+            yield self.sim.timeout(self.latency + nbytes / self.bandwidth)
+        finally:
+            self._server.release()
+
+    def read(self, nbytes: int) -> Generator:
+        """Process fragment: read ``nbytes`` from the shared file system."""
+        yield from self._access(nbytes)
+        self.bytes_read += nbytes
+
+    def write(self, nbytes: int) -> Generator:
+        """Process fragment: write ``nbytes`` to the shared file system."""
+        yield from self._access(nbytes)
+        self.bytes_written += nbytes
+
+    def utilisation(self, total_time: Optional[float] = None) -> float:
+        return self._server.utilisation(total_time)

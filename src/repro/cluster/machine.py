@@ -1,0 +1,66 @@
+"""Compute-node model.
+
+A :class:`Node` bundles the per-node resources of the simulated cluster: a
+set of CPUs (a counted :class:`~repro.cluster.sim.Resource`) and a relative
+speed factor.  Work is expressed in *reference seconds* (seconds on the
+paper's Intel PIII 1.4 GHz CPU); executing ``work`` reference seconds on a
+node takes ``work / speed`` simulated seconds once a CPU has been acquired.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cluster.sim import Resource, SimulationError, Simulator
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A compute node with ``cpus`` CPUs and a relative ``speed`` factor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cpus: int = 2,
+        speed: float = 1.0,
+        memory_bytes: int = 1024 * 1024 * 1024,
+    ):
+        if cpus < 1:
+            raise SimulationError("a node needs at least one CPU")
+        if speed <= 0:
+            raise SimulationError("node speed must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.speed = speed
+        self.memory_bytes = memory_bytes
+        self.cpu = Resource(sim, cpus, name=f"node{node_id}-cpus")
+        self.completed_work = 0.0
+
+    @property
+    def num_cpus(self) -> int:
+        return self.cpu.capacity
+
+    def compute(self, work: float) -> Generator:
+        """A process fragment: acquire a CPU, run ``work`` reference seconds.
+
+        Usage inside a simulation process::
+
+            yield from node.compute(1.5)
+        """
+        if work < 0:
+            raise SimulationError(f"negative work amount {work}")
+        yield self.cpu.request()
+        try:
+            yield self.sim.timeout(work / self.speed)
+            self.completed_work += work
+        finally:
+            self.cpu.release()
+
+    def utilisation(self, total_time: Optional[float] = None) -> float:
+        """Average CPU utilisation of this node over the run."""
+        return self.cpu.utilisation(total_time)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id} cpus={self.num_cpus} speed={self.speed}>"

@@ -1,0 +1,116 @@
+"""Ethernet network model.
+
+The paper's cluster uses switched 100 Mbit Ethernet.  We model a message
+transfer between two distinct nodes as
+
+* a fixed per-message latency (default 100 microseconds, typical for
+  100 Mbit switches plus the TCP/MPI software stack of the era), plus
+* a serialisation time of ``bytes / bandwidth`` during which the *link* of
+  the sending node is occupied (half-duplex approximation; concurrent sends
+  from the same node queue behind each other).
+
+Transfers between two endpoints on the *same* node cost only a small
+loopback latency and no link occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.cluster.sim import Resource, SimulationError, Simulator
+
+__all__ = ["NetworkMessage", "EthernetNetwork"]
+
+#: 100 Mbit/s expressed in bytes per second
+DEFAULT_BANDWIDTH = 100e6 / 8
+#: per-message latency of the network + protocol stack (seconds)
+DEFAULT_LATENCY = 100e-6
+#: latency of a node-local (loopback / shared memory) transfer (seconds)
+DEFAULT_LOCAL_LATENCY = 5e-6
+
+
+@dataclass
+class NetworkMessage:
+    """Book-keeping record of a completed transfer (for metrics and tests)."""
+
+    src: int
+    dst: int
+    nbytes: int
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+class EthernetNetwork:
+    """Latency/bandwidth network with per-node link contention."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        local_latency: float = DEFAULT_LOCAL_LATENCY,
+    ):
+        if bandwidth <= 0:
+            raise SimulationError("bandwidth must be positive")
+        if latency < 0 or local_latency < 0:
+            raise SimulationError("latencies must be non-negative")
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.local_latency = local_latency
+        self._links: Dict[int, Resource] = {
+            node: Resource(sim, 1, name=f"link{node}") for node in range(num_nodes)
+        }
+        self.messages: List[NetworkMessage] = []
+
+    def transfer_time(self, nbytes: int, local: bool = False) -> float:
+        """Uncontended transfer duration for a message of ``nbytes`` bytes."""
+        if local:
+            return self.local_latency
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process fragment: move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Usage: ``yield from network.transfer(0, 3, 65536)``.
+        """
+        if src < 0 or src >= self.num_nodes or dst < 0 or dst >= self.num_nodes:
+            raise SimulationError(
+                f"transfer endpoints ({src}, {dst}) outside cluster of "
+                f"{self.num_nodes} nodes"
+            )
+        start = self.sim.now
+        if src == dst:
+            yield self.sim.timeout(self.local_latency)
+        else:
+            link = self._links[src]
+            yield link.request()
+            try:
+                yield self.sim.timeout(self.transfer_time(nbytes))
+            finally:
+                link.release()
+        self.messages.append(
+            NetworkMessage(src, dst, nbytes, start, self.sim.now)
+        )
+
+    # -- statistics -------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages if m.src != m.dst)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    def bytes_sent_by(self, node: int) -> int:
+        return sum(m.nbytes for m in self.messages if m.src == node and m.dst != node)
+
+    def link_utilisation(self, node: int, total_time: Optional[float] = None) -> float:
+        return self._links[node].utilisation(total_time)

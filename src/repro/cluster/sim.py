@@ -1,0 +1,395 @@
+"""A minimal discrete-event simulation kernel.
+
+The kernel follows the familiar process-interaction style of SimPy: model
+code is written as Python generator functions that ``yield`` *events*; the
+simulator suspends the process until the event fires and resumes it with the
+event's value.
+
+Supported primitives:
+
+* :class:`Timeout` -- fires after a simulated delay;
+* :class:`Store` -- an unbounded or bounded FIFO buffer with blocking
+  ``get``/``put`` (the building block for streams and mailboxes);
+* :class:`Resource` -- a counted resource with FIFO queueing (CPUs);
+* :class:`AllOf` -- fires when all child events have fired;
+* :class:`Process` -- processes are events too, so one process can wait for
+  another to finish.
+
+The implementation is deliberately small (a priority queue of callbacks) but
+complete enough to express the MPI substrate, the distributed S-Net runtime
+and the ray-tracing workloads used in the evaluation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "Store",
+    "Resource",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for malformed simulation programs (e.g. deadlock detection)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted by another process."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_value", "_ok", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._ok = True
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event has fired and its callbacks have been run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception (re-raised in the waiter)."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends."""
+
+    __slots__ = ("generator", "name", "_target", "_interrupts", "_epoch")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "process"):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name
+        self._target: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        #: invalidates stale wake-ups from events the process no longer waits on
+        self._epoch = 0
+        # bootstrap: resume the process at the current simulation time
+        self._schedule_resume(None, True)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process: its current wait raises :class:`Interrupt`."""
+        if self._triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        # invalidate the event the process is currently waiting on
+        self._epoch += 1
+        self._schedule_resume(None, True)
+
+    # -- wake-up plumbing -----------------------------------------------------
+    def _schedule_resume(self, value: Any, ok: bool, delay: float = 0.0) -> None:
+        wake = Event(self.sim)
+        wake._value = value
+        wake._ok = ok
+        epoch = self._epoch
+        wake.callbacks.append(lambda ev: self._resume(ev, epoch))
+        self.sim._schedule(wake, delay)
+
+    def _wait_on(self, event: Event) -> None:
+        self._target = event
+        epoch = self._epoch
+        event.callbacks.append(lambda ev: self._resume(ev, epoch))
+
+    def _resume(self, trigger: Event, epoch: int) -> None:
+        if self._triggered or epoch != self._epoch:
+            return
+        self._epoch += 1
+        self._target = None
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                next_event = self.generator.throw(interrupt)
+            elif not trigger.ok:
+                next_event = self.generator.throw(trigger.value)
+            else:
+                next_event = self.generator.send(trigger.value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            # process chose not to handle the interrupt: terminate silently
+            if not self._triggered:
+                self.succeed(None)
+            return
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_event!r}; processes must "
+                "yield Event objects"
+            )
+        if next_event.processed:
+            # the event has already fired and delivered its callbacks;
+            # resume on the next scheduling step with its value
+            self._schedule_resume(next_event._value, next_event._ok)
+        else:
+            self._wait_on(next_event)
+
+
+class AllOf(Event):
+    """Fires once all child events have fired; value is the list of values."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.triggered:
+                self._child_done(event)
+            else:
+                event.callbacks.append(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class Store:
+    """A FIFO buffer with blocking ``get`` and (optionally) bounded ``put``."""
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None, name: str = "store"):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self.total_put = 0
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once the item has been accepted."""
+        event = Event(self.sim)
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            self._putters.append((event, item))
+        else:
+            self._accept(item)
+            event.succeed()
+        return event
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _accept(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self._accept(item)
+            event.succeed()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Resource:
+    """A counted resource (e.g. the CPUs of a node) with FIFO queueing."""
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    def request(self) -> Event:
+        """Return an event that fires once a unit of the resource is granted."""
+        self._account()
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        self._account()
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self.in_use -= 1
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilisation(self, total_time: Optional[float] = None) -> float:
+        """Average fraction of capacity in use since the start of the run."""
+        self._account()
+        horizon = total_time if total_time is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (horizon * self.capacity)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Simulator:
+    """The discrete-event simulation core: a clock plus an event queue."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self.process_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "process") -> Process:
+        self.process_count += 1
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def store(self, capacity: Optional[int] = None, name: str = "store") -> Store:
+        return Store(self, capacity=capacity, name=name)
+
+    def resource(self, capacity: int, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name=name)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue is exhausted (or ``until`` is reached).
+
+        Returns the simulated time at which the run stopped.
+        """
+        while self._queue:
+            scheduled_time, _, event = heapq.heappop(self._queue)
+            if until is not None and scheduled_time > until:
+                self._now = until
+                heapq.heappush(self._queue, (scheduled_time, next(self._counter), event))
+                return self._now
+            self._now = scheduled_time
+            event._triggered = True
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "main") -> Any:
+        """Convenience: run a single process to completion and return its value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {name!r} did not finish: simulation deadlocked"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,97 @@
+"""Cluster assembly: nodes + network + shared file system.
+
+:func:`paper_cluster` builds the configuration of the paper's testbed:
+8 nodes, 2 CPUs each, 100 Mbit Ethernet, shared file system.  The CPU speed
+is expressed relative to the Intel PIII 1.4 GHz reference, i.e. 1.0 —
+all compute costs in the cost models are calibrated in reference seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.cluster.filesystem import SharedFileSystem
+from repro.cluster.machine import Node
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.network import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, EthernetNetwork
+from repro.cluster.sim import SimulationError, Simulator
+
+__all__ = ["ClusterSpec", "Cluster", "paper_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a cluster configuration."""
+
+    num_nodes: int = 8
+    cpus_per_node: int = 2
+    cpu_speed: float = 1.0
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise SimulationError("a cluster needs at least one node")
+        if self.cpus_per_node < 1:
+            raise SimulationError("nodes need at least one CPU")
+
+
+class Cluster:
+    """A simulated cluster: the simulator plus nodes, network and file system."""
+
+    def __init__(self, spec: ClusterSpec, sim: Optional[Simulator] = None):
+        self.spec = spec
+        self.sim = sim or Simulator()
+        self.nodes: List[Node] = [
+            Node(self.sim, node_id, cpus=spec.cpus_per_node, speed=spec.cpu_speed)
+            for node_id in range(spec.num_nodes)
+        ]
+        self.network = EthernetNetwork(
+            self.sim,
+            spec.num_nodes,
+            bandwidth=spec.bandwidth,
+            latency=spec.latency,
+        )
+        self.filesystem = SharedFileSystem(self.sim)
+        self.metrics = MetricsCollector()
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    def node(self, node_id: int) -> Node:
+        if node_id < 0 or node_id >= len(self.nodes):
+            raise SimulationError(
+                f"node id {node_id} outside cluster of {len(self.nodes)} nodes"
+            )
+        return self.nodes[node_id]
+
+    def compute_on(self, node_id: int, work: float) -> Generator:
+        """Process fragment: run ``work`` reference seconds on node ``node_id``."""
+        yield from self.node(node_id).compute(work)
+
+    def send(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process fragment: transfer ``nbytes`` from node ``src`` to ``dst``."""
+        yield from self.network.transfer(src, dst, nbytes)
+
+    def collect_node_metrics(self) -> None:
+        """Snapshot per-node utilisation into :attr:`metrics` (end of run)."""
+        horizon = self.sim.now
+        for node in self.nodes:
+            self.metrics.record_node(
+                node.node_id, node.utilisation(horizon), node.completed_work
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster nodes={self.spec.num_nodes} "
+            f"cpus/node={self.spec.cpus_per_node} now={self.sim.now:.3f}s>"
+        )
+
+
+def paper_cluster(
+    num_nodes: int = 8, cpus_per_node: int = 2, sim: Optional[Simulator] = None
+) -> Cluster:
+    """The paper's testbed: 8 dual-CPU nodes on 100 Mbit Ethernet."""
+    return Cluster(ClusterSpec(num_nodes=num_nodes, cpus_per_node=cpus_per_node), sim=sim)

@@ -1,0 +1,35 @@
+"""Distributed S-Net.
+
+The paper extends S-Net with two placement combinators — static placement
+``A@num`` and indexed dynamic placement ``A!@<tag>`` — that map the logical
+network onto abstract compute nodes; the prototype implementation runs on
+MPI, where node numbers correspond to MPI task identifiers.
+
+This package provides:
+
+* the placement combinators (re-exported from :mod:`repro.snet.placement`
+  and :mod:`repro.snet.combinators`);
+* :mod:`repro.dsnet.config` -- the runtime cost parameters of the prototype
+  Distributed S-Net implementation (per-record overheads, marshalling
+  throughput) used by the simulation;
+* :mod:`repro.dsnet.simruntime` -- a distributed execution engine on top of
+  the cluster simulator: entities are placed on nodes, box executions
+  consume CPU time according to their cost model, records crossing node
+  boundaries consume network time.  This is the engine behind the Figs. 5/6
+  reproduction.
+"""
+
+from repro.snet.combinators import IndexSplit
+from repro.snet.placement import StaticPlacement, placed_split
+
+from repro.dsnet.config import DSNetConfig
+from repro.dsnet.simruntime import SimulatedDSNetRuntime, SimRunResult
+
+__all__ = [
+    "StaticPlacement",
+    "IndexSplit",
+    "placed_split",
+    "DSNetConfig",
+    "SimulatedDSNetRuntime",
+    "SimRunResult",
+]

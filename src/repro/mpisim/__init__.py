@@ -1,0 +1,39 @@
+"""Simulated MPI substrate.
+
+The original Distributed S-Net runtime and the paper's baseline ray tracer
+are built on MPI.  This package provides an MPI-like message-passing layer
+whose processes are discrete-event simulation processes and whose transfers
+consume simulated network time on the :mod:`repro.cluster` substrate:
+
+* :mod:`repro.mpisim.datatypes` -- payload size estimation,
+* :mod:`repro.mpisim.messages` -- message envelopes, matching, mailboxes,
+* :mod:`repro.mpisim.communicator` -- point-to-point and collective
+  operations (send/recv/isend/irecv, bcast, scatter, gather, reduce,
+  allgather, barrier),
+* :mod:`repro.mpisim.launcher` -- ``mpiexec``-style launching of rank
+  programs on a cluster.
+
+Programs are written as generator functions following the mpi4py idioms (see
+the mpi4py tutorial): lower-case ``send``/``recv`` move arbitrary Python
+objects.  Because everything runs in simulated time, an "MPI program" here is
+a coroutine that ``yield from``-delegates to the communicator methods.
+"""
+
+from repro.mpisim.datatypes import payload_bytes
+from repro.mpisim.messages import Message, Mailbox, ANY_SOURCE, ANY_TAG
+from repro.mpisim.communicator import Communicator, Request
+from repro.mpisim.launcher import MPIJob, run_mpi, round_robin_placement, block_placement
+
+__all__ = [
+    "payload_bytes",
+    "Message",
+    "Mailbox",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Request",
+    "MPIJob",
+    "run_mpi",
+    "round_robin_placement",
+    "block_placement",
+]

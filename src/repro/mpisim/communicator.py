@@ -1,0 +1,222 @@
+"""Simulated MPI communicator: point-to-point and collective operations.
+
+A :class:`Communicator` is handed to every rank program by the launcher.  Its
+methods are generator fragments used with ``yield from`` inside the rank's
+simulation process, e.g.::
+
+    def worker(comm):
+        data = yield from comm.recv(source=0, tag=11)
+        yield from comm.compute(len(data) * 0.001)
+        yield from comm.send(result, dest=0, tag=12)
+
+Point-to-point semantics follow MPI's standard mode: ``send`` completes once
+the payload has been pushed through the (simulated) network and delivered to
+the destination mailbox; ``recv`` blocks until a matching message exists.
+Collectives are implemented on top of point-to-point with the usual
+root-based algorithms (linear fan-out/fan-in, which is what MPICH-1 over
+100 Mbit Ethernet effectively did for small communicators).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from repro.cluster.sim import Event, SimulationError, Simulator
+from repro.cluster.topology import Cluster
+from repro.mpisim.datatypes import payload_bytes
+from repro.mpisim.messages import ANY_SOURCE, ANY_TAG, Mailbox, Message
+
+__all__ = ["Request", "Communicator"]
+
+
+class Request:
+    """Handle for a non-blocking operation (:meth:`Communicator.isend`/``irecv``)."""
+
+    def __init__(self, sim: Simulator, event: Event, kind: str):
+        self._sim = sim
+        self._event = event
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        return self._event.triggered
+
+    def test(self) -> bool:
+        """Non-blocking completion check."""
+        return self._event.triggered
+
+    def wait(self) -> Generator:
+        """Process fragment: wait for completion and return the result."""
+        value = yield self._event
+        if self.kind == "recv":
+            assert isinstance(value, Message)
+            return value.payload
+        return value
+
+
+class Communicator:
+    """One rank's view of the communicator (``COMM_WORLD`` equivalent)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        rank: int,
+        size: int,
+        rank_to_node: Sequence[int],
+        mailboxes: Sequence[Mailbox],
+        overhead_per_message: float = 0.0,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.rank = rank
+        self.size = size
+        self._rank_to_node = list(rank_to_node)
+        self._mailboxes = mailboxes
+        self.overhead_per_message = overhead_per_message
+        self.sent_messages = 0
+        self.received_messages = 0
+
+    # -- introspection (mpi4py naming kept for familiarity) -----------------
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    def node_of(self, rank: int) -> int:
+        if rank < 0 or rank >= self.size:
+            raise SimulationError(f"rank {rank} outside communicator of size {self.size}")
+        return self._rank_to_node[rank]
+
+    @property
+    def node_id(self) -> int:
+        return self.node_of(self.rank)
+
+    # -- local compute --------------------------------------------------------
+    def compute(self, work: float) -> Generator:
+        """Run ``work`` reference-CPU seconds on this rank's node."""
+        yield from self.cluster.compute_on(self.node_id, work)
+
+    # -- point-to-point ---------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> Generator:
+        """Blocking standard-mode send."""
+        if dest < 0 or dest >= self.size:
+            raise SimulationError(f"send to invalid rank {dest}")
+        nbytes = payload_bytes(obj)
+        sent_at = self.sim.now
+        if self.overhead_per_message > 0:
+            yield self.sim.timeout(self.overhead_per_message)
+        yield from self.cluster.send(self.node_id, self.node_of(dest), nbytes)
+        message = Message(
+            source=self.rank,
+            dest=dest,
+            tag=tag,
+            payload=obj,
+            nbytes=nbytes,
+            sent_at=sent_at,
+            delivered_at=self.sim.now,
+        )
+        self._mailboxes[dest].deliver(message)
+        self.sent_messages += 1
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; returns a :class:`Request`."""
+        process = self.sim.process(self.send(obj, dest, tag), name=f"isend-{self.rank}->{dest}")
+        return Request(self.sim, process, "send")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the payload."""
+        message = yield self._mailboxes[self.rank].receive(source, tag)
+        self.received_messages += 1
+        return message.payload
+
+    def recv_message(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive returning the full :class:`Message` envelope."""
+        message = yield self._mailboxes[self.rank].receive(source, tag)
+        self.received_messages += 1
+        return message
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``wait()`` yields the payload."""
+        event = self._mailboxes[self.rank].receive(source, tag)
+        return Request(self.sim, event, "recv")
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already queued locally."""
+        return self._mailboxes[self.rank].probe(source, tag) is not None
+
+    # -- collectives ---------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> Generator:
+        """Broadcast from ``root``; every rank returns the broadcast value."""
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    yield from self.send(obj, dest, tag=_BCAST_TAG)
+            return obj
+        value = yield from self.recv(source=root, tag=_BCAST_TAG)
+        return value
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0) -> Generator:
+        """Scatter one element of ``values`` to each rank."""
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise SimulationError(
+                    "scatter at root requires one value per rank"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    yield from self.send(values[dest], dest, tag=_SCATTER_TAG)
+            return values[root]
+        value = yield from self.recv(source=root, tag=_SCATTER_TAG)
+        return value
+
+    def gather(self, value: Any, root: int = 0) -> Generator:
+        """Gather one value per rank at ``root`` (others return ``None``)."""
+        if self.rank == root:
+            results: List[Any] = [None] * self.size
+            results[root] = value
+            for _ in range(self.size - 1):
+                message = yield from self.recv_message(source=ANY_SOURCE, tag=_GATHER_TAG)
+                results[message.source] = message.payload
+            return results
+        yield from self.send(value, root, tag=_GATHER_TAG)
+        return None
+
+    def allgather(self, value: Any) -> Generator:
+        """Gather at rank 0, then broadcast the full list to everyone."""
+        gathered = yield from self.gather(value, root=0)
+        result = yield from self.bcast(gathered, root=0)
+        return result
+
+    def reduce(
+        self, value: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b, root: int = 0
+    ) -> Generator:
+        """Reduce values from all ranks at ``root`` with the binary ``op``."""
+        gathered = yield from self.gather(value, root=root)
+        if self.rank != root:
+            return None
+        assert gathered is not None
+        accumulator = gathered[0]
+        for item in gathered[1:]:
+            accumulator = op(accumulator, item)
+        return accumulator
+
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b
+    ) -> Generator:
+        reduced = yield from self.reduce(value, op=op, root=0)
+        result = yield from self.bcast(reduced, root=0)
+        return result
+
+    def barrier(self) -> Generator:
+        """Synchronise all ranks (gather + broadcast of a token)."""
+        yield from self.gather(None, root=0)
+        yield from self.bcast(None, root=0)
+
+    def __repr__(self) -> str:
+        return f"<Communicator rank={self.rank}/{self.size} node={self.node_id}>"
+
+
+_BCAST_TAG = -101
+_SCATTER_TAG = -102
+_GATHER_TAG = -103

@@ -1,0 +1,52 @@
+"""Payload size estimation for simulated message transfers.
+
+The simulated network charges time proportionally to message size, so we
+need a byte-size estimate for arbitrary Python payloads.  The rules mirror
+what an MPI + pickle transport would move over the wire:
+
+* numpy arrays: ``nbytes``;
+* ``bytes``/``bytearray``/``str``: their length;
+* S-Net records: their :meth:`~repro.snet.records.Record.payload_size`;
+* objects exposing ``payload_size()`` or ``nbytes``: that value;
+* containers: the sum of their elements plus a small per-element overhead;
+* everything else: a small constant (pickled scalar/handle).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["payload_bytes", "SCALAR_BYTES", "CONTAINER_ITEM_OVERHEAD"]
+
+#: assumed wire size of a scalar / small opaque object
+SCALAR_BYTES = 64
+#: pickling overhead charged per container element
+CONTAINER_ITEM_OVERHEAD = 8
+
+
+def payload_bytes(obj: Any) -> int:
+    """Estimate the number of bytes ``obj`` occupies on the wire."""
+    if obj is None:
+        return 8
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    sizer = getattr(obj, "payload_size", None)
+    if callable(sizer):
+        return int(sizer())
+    if isinstance(obj, dict):
+        return sum(
+            payload_bytes(k) + payload_bytes(v) + CONTAINER_ITEM_OVERHEAD
+            for k, v in obj.items()
+        ) + SCALAR_BYTES
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_bytes(item) + CONTAINER_ITEM_OVERHEAD for item in obj) + SCALAR_BYTES
+    return SCALAR_BYTES

@@ -1,0 +1,95 @@
+"""Message envelopes, matching rules and per-rank mailboxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+from collections import deque
+
+from repro.cluster.sim import Event, SimulationError, Simulator
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Mailbox"]
+
+#: wildcard source rank (like ``MPI.ANY_SOURCE``)
+ANY_SOURCE = -1
+#: wildcard message tag (like ``MPI.ANY_TAG``)
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message envelope."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    delivered_at: float
+
+    def matches(self, source: int, tag: int) -> bool:
+        """MPI matching: wildcards match anything."""
+        if source != ANY_SOURCE and self.source != source:
+            return False
+        if tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+
+class Mailbox:
+    """The receive queue of one rank with MPI-style (source, tag) matching.
+
+    Unmatched messages are kept in arrival order; pending receives are
+    satisfied in posting order by the first matching message — the same
+    non-overtaking guarantee MPI gives per (source, tag) channel.
+    """
+
+    def __init__(self, sim: Simulator, rank: int):
+        self.sim = sim
+        self.rank = rank
+        self._messages: Deque[Message] = deque()
+        self._pending: Deque[Tuple[Event, int, int]] = deque()
+        self.delivered_count = 0
+
+    def deliver(self, message: Message) -> None:
+        """Called by the transport when a message arrives at this rank."""
+        if message.dest != self.rank:
+            raise SimulationError(
+                f"message for rank {message.dest} delivered to mailbox {self.rank}"
+            )
+        self.delivered_count += 1
+        # try to satisfy the oldest pending matching receive
+        for index, (event, source, tag) in enumerate(self._pending):
+            if message.matches(source, tag):
+                del self._pending[index]
+                event.succeed(message)
+                return
+        self._messages.append(message)
+
+    def receive(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Return an event that fires with the next matching :class:`Message`."""
+        for index, message in enumerate(self._messages):
+            if message.matches(source, tag):
+                del self._messages[index]
+                event = Event(self.sim)
+                event.succeed(message)
+                return event
+        event = Event(self.sim)
+        self._pending.append((event, source, tag))
+        return event
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
+        """Non-destructively check for a matching queued message."""
+        for message in self._messages:
+            if message.matches(source, tag):
+                return message
+        return None
+
+    @property
+    def queued(self) -> int:
+        return len(self._messages)
+
+    @property
+    def pending_receives(self) -> int:
+        return len(self._pending)

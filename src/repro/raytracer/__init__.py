@@ -1,0 +1,59 @@
+"""Whitted ray tracer with a bounding-volume hierarchy.
+
+This is the example application of the paper (Section II): a recursive ray
+tracer rendering a 2-D image of a 3-D scene, accelerated by a
+Goldsmith–Salmon insertion-built BVH.  The tracer is used in two ways:
+
+* **really** — the threaded S-Net runtime and the examples render small
+  images pixel-by-pixel through the public API (:func:`render`,
+  :func:`render_section`);
+* **as a cost model** — the performance experiments (Figs. 5 and 6) need the
+  *time* a 3000x3000 render would take on the paper's hardware, not the
+  pixels; :mod:`repro.raytracer.cost` estimates per-section work in reference
+  CPU seconds from the screen-space distribution of scene objects, which is
+  what drives load (im)balance.
+
+Modules: :mod:`vec`, :mod:`ray`, :mod:`camera`, :mod:`materials`,
+:mod:`geometry`, :mod:`bvh`, :mod:`shading`, :mod:`tracer`, :mod:`scene`,
+:mod:`image`, :mod:`cost`.
+"""
+
+from repro.raytracer.vec import normalize, reflect, refract, vec3
+from repro.raytracer.ray import Ray
+from repro.raytracer.camera import Camera
+from repro.raytracer.materials import Material
+from repro.raytracer.geometry import AABB, Plane, Sphere, Triangle
+from repro.raytracer.bvh import BVH, BruteForceIndex
+from repro.raytracer.scene import Light, Scene, paper_scene, random_scene
+from repro.raytracer.tracer import Hit, RayTracer, render, render_section
+from repro.raytracer.image import ImageChunk, assemble_chunks, to_ppm
+from repro.raytracer.cost import SectionCostModel, CostParameters
+
+__all__ = [
+    "vec3",
+    "normalize",
+    "reflect",
+    "refract",
+    "Ray",
+    "Camera",
+    "Material",
+    "AABB",
+    "Sphere",
+    "Plane",
+    "Triangle",
+    "BVH",
+    "BruteForceIndex",
+    "Light",
+    "Scene",
+    "paper_scene",
+    "random_scene",
+    "Hit",
+    "RayTracer",
+    "render",
+    "render_section",
+    "ImageChunk",
+    "assemble_chunks",
+    "to_ppm",
+    "SectionCostModel",
+    "CostParameters",
+]

@@ -1,0 +1,306 @@
+"""Bounding-volume hierarchy (Goldsmith & Salmon insertion construction).
+
+The paper's Cast function traverses a BVH "which builds a hierarchical
+representation of 3D objects ... when adding an object to the BVH, it inserts
+the bounding volume that contains the object at the optimal place in the
+hierarchy using a branch-and-bound algorithm, which minimizes the cost
+estimation based on the surface area" [Goldsmith & Salmon 1987].
+
+:class:`BVH` implements exactly that incremental construction:
+
+* each candidate insertion position is scored by the *increase in total
+  surface area* it would cause (the inherited-cost bound of the paper);
+* branch-and-bound: a subtree is only descended if its local bound is not
+  already worse than the best complete candidate found so far;
+* leaves hold a single primitive; inserting into a leaf splits it into an
+  internal node with two children.
+
+A :class:`BruteForceIndex` with the same query interface serves as the
+correctness oracle in tests and as the "no acceleration structure" baseline
+for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.raytracer.geometry.aabb import AABB
+from repro.raytracer.geometry.primitives import Primitive
+from repro.raytracer.ray import Ray
+
+__all__ = ["BVHNode", "BVH", "BruteForceIndex", "TraversalStats"]
+
+
+@dataclass
+class TraversalStats:
+    """Counters collected during intersection queries (for tests/benches)."""
+
+    node_visits: int = 0
+    primitive_tests: int = 0
+
+    def reset(self) -> None:
+        self.node_visits = 0
+        self.primitive_tests = 0
+
+
+class BVHNode:
+    """One node of the hierarchy: a bounding box plus children or a primitive."""
+
+    __slots__ = ("box", "left", "right", "primitive", "parent")
+
+    def __init__(
+        self,
+        box: AABB,
+        primitive: Optional[Primitive] = None,
+        left: Optional["BVHNode"] = None,
+        right: Optional["BVHNode"] = None,
+        parent: Optional["BVHNode"] = None,
+    ):
+        self.box = box
+        self.primitive = primitive
+        self.left = left
+        self.right = right
+        self.parent = parent
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.primitive is not None
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (leaf = 1)."""
+        if self.is_leaf:
+            return 1
+        left_depth = self.left.depth() if self.left else 0
+        right_depth = self.right.depth() if self.right else 0
+        return 1 + max(left_depth, right_depth)
+
+
+class BVH:
+    """Incrementally built bounding-volume hierarchy."""
+
+    def __init__(self, primitives: Iterable[Primitive] = ()):
+        self.root: Optional[BVHNode] = None
+        self.size = 0
+        self.stats = TraversalStats()
+        for primitive in primitives:
+            self.insert(primitive)
+
+    # -- construction ------------------------------------------------------
+    def insert(self, primitive: Primitive) -> None:
+        """Insert one primitive at the cheapest position (surface-area cost)."""
+        if not primitive.is_bounded:
+            raise ValueError(
+                f"unbounded primitive {primitive!r} cannot be stored in a BVH; "
+                "keep it on the scene's unbounded list"
+            )
+        leaf_box = primitive.bounding_box()
+        new_leaf = BVHNode(leaf_box, primitive=primitive)
+        self.size += 1
+        if self.root is None:
+            self.root = new_leaf
+            return
+        sibling = self._find_best_sibling(leaf_box)
+        self._attach(sibling, new_leaf)
+
+    def _find_best_sibling(self, box: AABB) -> BVHNode:
+        """Branch-and-bound search for the node to pair with the new leaf.
+
+        The cost of choosing node ``n`` as sibling is the surface area of the
+        merged box plus the *inherited* increase in surface area of all of
+        ``n``'s ancestors.  A subtree is pruned when its lower bound (the
+        inherited cost plus the raw area of the new box) already exceeds the
+        best known candidate.
+        """
+        assert self.root is not None
+        best_node = self.root
+        best_cost = box.union(self.root.box).surface_area()
+        new_area = box.surface_area()
+        # stack of (node, inherited_cost)
+        stack: List[Tuple[BVHNode, float]] = [(self.root, 0.0)]
+        while stack:
+            node, inherited = stack.pop()
+            merged_area = box.union(node.box).surface_area()
+            direct_cost = merged_area + inherited
+            if direct_cost < best_cost:
+                best_cost = direct_cost
+                best_node = node
+            if node.is_leaf:
+                continue
+            # inherited cost for children: this node's box will grow to
+            # include the new leaf no matter where below it ends up
+            child_inherited = inherited + (merged_area - node.box.surface_area())
+            lower_bound = child_inherited + new_area
+            if lower_bound < best_cost:
+                if node.left is not None:
+                    stack.append((node.left, child_inherited))
+                if node.right is not None:
+                    stack.append((node.right, child_inherited))
+        return best_node
+
+    def _attach(self, sibling: BVHNode, new_leaf: BVHNode) -> None:
+        """Splice ``new_leaf`` next to ``sibling`` under a new internal node."""
+        old_parent = sibling.parent
+        merged = sibling.box.union(new_leaf.box)
+        new_internal = BVHNode(merged, left=sibling, right=new_leaf, parent=old_parent)
+        sibling.parent = new_internal
+        new_leaf.parent = new_internal
+        if old_parent is None:
+            self.root = new_internal
+        else:
+            if old_parent.left is sibling:
+                old_parent.left = new_internal
+            else:
+                old_parent.right = new_internal
+        # refit ancestor boxes
+        node = old_parent
+        while node is not None:
+            node.box = node.left.box.union(node.right.box)  # type: ignore[union-attr]
+            node = node.parent
+
+    # -- queries -------------------------------------------------------------
+    def intersect(
+        self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf
+    ) -> Tuple[Optional[Primitive], Optional[float]]:
+        """Closest primitive hit by the ray, or ``(None, None)``."""
+        if self.root is None:
+            return None, None
+        best_primitive: Optional[Primitive] = None
+        best_t = t_max
+        stack: List[BVHNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            self.stats.node_visits += 1
+            if not node.box.intersects_ray(ray, t_min, best_t):
+                continue
+            if node.is_leaf:
+                self.stats.primitive_tests += 1
+                t = node.primitive.intersect(ray, t_min, best_t)  # type: ignore[union-attr]
+                if t is not None and t < best_t:
+                    best_t = t
+                    best_primitive = node.primitive
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        if best_primitive is None:
+            return None, None
+        return best_primitive, best_t
+
+    def any_hit(self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf) -> bool:
+        """Early-exit occlusion query used for shadow rays."""
+        if self.root is None:
+            return False
+        stack: List[BVHNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            self.stats.node_visits += 1
+            if not node.box.intersects_ray(ray, t_min, t_max):
+                continue
+            if node.is_leaf:
+                self.stats.primitive_tests += 1
+                if node.primitive.intersect(ray, t_min, t_max) is not None:  # type: ignore[union-attr]
+                    return True
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return False
+
+    # -- invariants (used by property-based tests) -------------------------------
+    def leaves(self) -> List[BVHNode]:
+        result: List[BVHNode] = []
+        if self.root is None:
+            return result
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        return result
+
+    def check_invariants(self) -> bool:
+        """Every node's box contains its children; every leaf holds one primitive."""
+        if self.root is None:
+            return self.size == 0
+        stack = [self.root]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+                if not node.box.contains_box(node.primitive.bounding_box()):  # type: ignore[union-attr]
+                    return False
+            else:
+                if node.left is None or node.right is None:
+                    return False
+                if not node.box.contains_box(node.left.box):
+                    return False
+                if not node.box.contains_box(node.right.box):
+                    return False
+                stack.append(node.left)
+                stack.append(node.right)
+        return count == self.size
+
+    def depth(self) -> int:
+        return self.root.depth() if self.root else 0
+
+    def total_surface_area(self) -> float:
+        """Sum of internal-node surface areas (the construction cost metric)."""
+        total = 0.0
+        if self.root is None:
+            return total
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                total += node.box.surface_area()
+                stack.append(node.left)  # type: ignore[arg-type]
+                stack.append(node.right)  # type: ignore[arg-type]
+        return total
+
+
+class BruteForceIndex:
+    """Linear scan over all primitives; the oracle/baseline index."""
+
+    def __init__(self, primitives: Iterable[Primitive] = ()):
+        self.primitives: List[Primitive] = list(primitives)
+        self.stats = TraversalStats()
+
+    def insert(self, primitive: Primitive) -> None:
+        self.primitives.append(primitive)
+
+    @property
+    def size(self) -> int:
+        return len(self.primitives)
+
+    def intersect(
+        self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf
+    ) -> Tuple[Optional[Primitive], Optional[float]]:
+        best_primitive: Optional[Primitive] = None
+        best_t = t_max
+        for primitive in self.primitives:
+            self.stats.primitive_tests += 1
+            t = primitive.intersect(ray, t_min, best_t)
+            if t is not None and t < best_t:
+                best_t = t
+                best_primitive = primitive
+        if best_primitive is None:
+            return None, None
+        return best_primitive, best_t
+
+    def any_hit(self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf) -> bool:
+        for primitive in self.primitives:
+            self.stats.primitive_tests += 1
+            if primitive.intersect(ray, t_min, t_max) is not None:
+                return True
+        return False

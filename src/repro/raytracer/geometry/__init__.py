@@ -1,0 +1,6 @@
+"""Scene geometry: axis-aligned boxes and intersectable primitives."""
+
+from repro.raytracer.geometry.aabb import AABB
+from repro.raytracer.geometry.primitives import Plane, Primitive, Sphere, Triangle
+
+__all__ = ["AABB", "Primitive", "Sphere", "Plane", "Triangle"]

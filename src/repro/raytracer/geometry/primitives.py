@@ -1,0 +1,172 @@
+"""Intersectable primitives: spheres, planes, triangles.
+
+Every primitive answers three questions needed by the tracer and the BVH:
+
+* ``intersect(ray, t_min, t_max)`` — the smallest ray parameter at which the
+  ray hits the primitive within the interval, or ``None``;
+* ``normal_at(point)`` — the outward surface normal;
+* ``bounding_box()`` — an :class:`~repro.raytracer.geometry.aabb.AABB`
+  enclosing the primitive (planes are unbounded and return a huge box; the
+  scene generators therefore never put planes inside the BVH, they are kept
+  on a separate "unbounded" list).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.raytracer.geometry.aabb import AABB
+from repro.raytracer.materials import Material
+from repro.raytracer.ray import Ray
+from repro.raytracer.vec import Vector, cross, dot, normalize, vec3
+
+__all__ = ["Primitive", "Sphere", "Plane", "Triangle"]
+
+_ids = itertools.count(1)
+
+#: half-extent of the box used for unbounded primitives
+_HUGE = 1e9
+
+
+class Primitive:
+    """Base class of all intersectable scene objects."""
+
+    def __init__(self, material: Optional[Material] = None):
+        self.material = material or Material()
+        self.primitive_id = next(_ids)
+
+    def intersect(self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf) -> Optional[float]:
+        raise NotImplementedError
+
+    def normal_at(self, point: Vector) -> Vector:
+        raise NotImplementedError
+
+    def bounding_box(self) -> AABB:
+        raise NotImplementedError
+
+    @property
+    def is_bounded(self) -> bool:
+        return True
+
+    @property
+    def centroid(self) -> Vector:
+        return self.bounding_box().centroid
+
+
+class Sphere(Primitive):
+    """A sphere given by centre and radius."""
+
+    def __init__(self, center: Vector, radius: float, material: Optional[Material] = None):
+        super().__init__(material)
+        if radius <= 0:
+            raise ValueError(f"sphere radius must be positive, got {radius}")
+        self.center = np.asarray(center, dtype=np.float64)
+        self.radius = float(radius)
+
+    def intersect(self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf) -> Optional[float]:
+        oc = ray.origin - self.center
+        half_b = dot(oc, ray.direction)
+        c = dot(oc, oc) - self.radius * self.radius
+        discriminant = half_b * half_b - c
+        if discriminant < 0:
+            return None
+        sqrt_d = np.sqrt(discriminant)
+        for t in (-half_b - sqrt_d, -half_b + sqrt_d):
+            if t_min <= t <= t_max:
+                return float(t)
+        return None
+
+    def normal_at(self, point: Vector) -> Vector:
+        return normalize(point - self.center)
+
+    def bounding_box(self) -> AABB:
+        r = vec3(self.radius, self.radius, self.radius)
+        return AABB(self.center - r, self.center + r)
+
+    def __repr__(self) -> str:
+        return f"Sphere(center={self.center.tolist()}, r={self.radius})"
+
+
+class Plane(Primitive):
+    """An infinite plane through ``point`` with normal ``normal``."""
+
+    def __init__(
+        self, point: Vector, normal: Vector, material: Optional[Material] = None
+    ):
+        super().__init__(material)
+        self.point = np.asarray(point, dtype=np.float64)
+        self.normal = normalize(np.asarray(normal, dtype=np.float64))
+
+    def intersect(self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf) -> Optional[float]:
+        denom = dot(ray.direction, self.normal)
+        if abs(denom) < 1e-12:
+            return None
+        t = dot(self.point - ray.origin, self.normal) / denom
+        if t_min <= t <= t_max:
+            return float(t)
+        return None
+
+    def normal_at(self, point: Vector) -> Vector:
+        return self.normal
+
+    def bounding_box(self) -> AABB:
+        return AABB(vec3(-_HUGE, -_HUGE, -_HUGE), vec3(_HUGE, _HUGE, _HUGE))
+
+    @property
+    def is_bounded(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"Plane(point={self.point.tolist()}, normal={self.normal.tolist()})"
+
+
+class Triangle(Primitive):
+    """A triangle given by three vertices (Möller–Trumbore intersection)."""
+
+    def __init__(
+        self,
+        v0: Vector,
+        v1: Vector,
+        v2: Vector,
+        material: Optional[Material] = None,
+    ):
+        super().__init__(material)
+        self.v0 = np.asarray(v0, dtype=np.float64)
+        self.v1 = np.asarray(v1, dtype=np.float64)
+        self.v2 = np.asarray(v2, dtype=np.float64)
+        self._normal = normalize(cross(self.v1 - self.v0, self.v2 - self.v0))
+
+    def intersect(self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf) -> Optional[float]:
+        edge1 = self.v1 - self.v0
+        edge2 = self.v2 - self.v0
+        h = cross(ray.direction, edge2)
+        a = dot(edge1, h)
+        if abs(a) < 1e-12:
+            return None
+        f = 1.0 / a
+        s = ray.origin - self.v0
+        u = f * dot(s, h)
+        if u < 0.0 or u > 1.0:
+            return None
+        q = cross(s, edge1)
+        v = f * dot(ray.direction, q)
+        if v < 0.0 or u + v > 1.0:
+            return None
+        t = f * dot(edge2, q)
+        if t_min <= t <= t_max:
+            return float(t)
+        return None
+
+    def normal_at(self, point: Vector) -> Vector:
+        return self._normal
+
+    def bounding_box(self) -> AABB:
+        stacked = np.stack([self.v0, self.v1, self.v2])
+        return AABB(stacked.min(axis=0), stacked.max(axis=0))
+
+    def __repr__(self) -> str:
+        return f"Triangle({self.v0.tolist()}, {self.v1.tolist()}, {self.v2.tolist()})"

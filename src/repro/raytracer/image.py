@@ -1,0 +1,111 @@
+"""Image chunks, assembly and PPM output.
+
+The splitter divides the image into horizontal sections; each solver returns
+an :class:`ImageChunk` (its rows plus their vertical offset); the merger
+re-assembles the chunks into the complete picture which ``genImg`` writes to
+disk.  These are the exact data types flowing through the paper's networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ImageChunk", "assemble_chunks", "blank_image", "to_ppm", "image_rms_difference"]
+
+
+@dataclass
+class ImageChunk:
+    """A horizontal band of rendered pixels starting at row ``y_start``."""
+
+    y_start: int
+    pixels: np.ndarray  # shape (rows, width, 3), float64 in [0, 1]
+    section_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.pixels = np.asarray(self.pixels, dtype=np.float64)
+        if self.pixels.ndim != 3 or self.pixels.shape[2] != 3:
+            raise ValueError(
+                f"chunk pixels must have shape (rows, width, 3), got {self.pixels.shape}"
+            )
+        if self.y_start < 0:
+            raise ValueError("chunk y_start must be non-negative")
+
+    @property
+    def rows(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    @property
+    def y_end(self) -> int:
+        return self.y_start + self.rows
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.pixels.nbytes)
+
+    def payload_size(self) -> int:
+        """Wire size: 3 bytes/pixel (the original sends 24-bit RGB chunks)."""
+        return self.rows * self.width * 3 + 32
+
+
+def blank_image(width: int, height: int) -> np.ndarray:
+    """An all-black image of the requested size."""
+    return np.zeros((height, width, 3), dtype=np.float64)
+
+
+def assemble_chunks(
+    chunks: Iterable[ImageChunk], width: int, height: int
+) -> np.ndarray:
+    """Place every chunk at its row offset in a full-size image.
+
+    Raises ``ValueError`` if a chunk lies outside the image or chunks overlap
+    (both indicate a scheduling bug).
+    """
+    image = blank_image(width, height)
+    covered = np.zeros(height, dtype=bool)
+    for chunk in chunks:
+        if chunk.width != width:
+            raise ValueError(
+                f"chunk width {chunk.width} does not match image width {width}"
+            )
+        if chunk.y_end > height:
+            raise ValueError(
+                f"chunk rows [{chunk.y_start}, {chunk.y_end}) outside image height {height}"
+            )
+        if covered[chunk.y_start : chunk.y_end].any():
+            raise ValueError(
+                f"chunk rows [{chunk.y_start}, {chunk.y_end}) overlap a previous chunk"
+            )
+        covered[chunk.y_start : chunk.y_end] = True
+        image[chunk.y_start : chunk.y_end] = chunk.pixels
+    return image
+
+
+def merge_chunk_into(image: np.ndarray, chunk: ImageChunk) -> np.ndarray:
+    """Return a copy of ``image`` with ``chunk`` merged in (the merge box)."""
+    result = image.copy()
+    result[chunk.y_start : chunk.y_end] = chunk.pixels
+    return result
+
+
+def to_ppm(image: np.ndarray) -> bytes:
+    """Encode an image as a binary PPM (P6) byte string."""
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"image must have shape (height, width, 3), got {image.shape}")
+    height, width = image.shape[:2]
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    data = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8).tobytes()
+    return header + data
+
+
+def image_rms_difference(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square pixel difference between two images (test helper)."""
+    if a.shape != b.shape:
+        raise ValueError(f"image shapes differ: {a.shape} vs {b.shape}")
+    return float(np.sqrt(np.mean((a - b) ** 2)))

@@ -1,0 +1,37 @@
+"""Rays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.raytracer.vec import Vector, normalize
+
+__all__ = ["Ray"]
+
+
+@dataclass
+class Ray:
+    """A half-line ``origin + t * direction`` with a recursion depth counter.
+
+    The depth counter implements the ``MAX_RAY_DEPTH`` cut-off of Algorithm 2
+    in the paper: secondary rays (reflection, refraction) carry
+    ``depth = parent.depth + 1``.
+    """
+
+    origin: Vector
+    direction: Vector
+    depth: int = 0
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=np.float64)
+        self.direction = normalize(np.asarray(self.direction, dtype=np.float64))
+
+    def at(self, t: float) -> Vector:
+        """The point at parameter ``t`` along the ray."""
+        return self.origin + t * self.direction
+
+    def spawn(self, origin: Vector, direction: Vector) -> "Ray":
+        """Create a secondary ray one recursion level deeper."""
+        return Ray(origin, direction, depth=self.depth + 1)

@@ -1,0 +1,76 @@
+"""Whitted shading: local illumination plus reflection/refraction/shadow rays.
+
+This module implements the ``Shader`` step of Algorithm 2 in the paper: given
+the closest hit it computes the pixel colour from
+
+* an ambient term,
+* Phong diffuse + specular terms per light, attenuated by shadow rays,
+* a recursive reflection ray when the material is reflective, and
+* a recursive transmission ray when the material is transparent
+  (falling back to reflection on total internal reflection).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.raytracer.ray import Ray
+from repro.raytracer.vec import Vector, dot, normalize, reflect, refract
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.raytracer.tracer import Hit, RayTracer
+
+__all__ = ["shade"]
+
+#: offset applied along the normal to avoid self-intersection ("shadow acne")
+EPSILON = 1e-4
+
+
+def shade(tracer: "RayTracer", hit: "Hit", ray: Ray) -> Vector:
+    """Compute the colour contributed by ``hit`` for ``ray``."""
+    material = hit.primitive.material
+    normal = hit.normal
+    # flip the normal when hitting a surface from the inside (refraction exit)
+    inside = dot(ray.direction, normal) > 0
+    oriented_normal = -normal if inside else normal
+    surface_point = hit.point + oriented_normal * EPSILON
+
+    color = material.ambient * material.color
+
+    for light in tracer.scene.lights:
+        to_light = light.position - surface_point
+        distance = float(np.linalg.norm(to_light))
+        light_dir = to_light / distance if distance > 0 else to_light
+        # shadow ray: is the light occluded?
+        shadow_ray = Ray(surface_point, light_dir, depth=ray.depth)
+        if tracer.occluded(shadow_ray, distance):
+            continue
+        lambert = max(0.0, dot(oriented_normal, light_dir))
+        color = color + material.diffuse * lambert * light.intensity * (
+            material.color * light.color
+        )
+        if material.specular > 0:
+            half_vector = normalize(light_dir - ray.direction)
+            highlight = max(0.0, dot(oriented_normal, half_vector)) ** material.shininess
+            color = color + material.specular * highlight * light.intensity * light.color
+
+    if material.reflectivity > 0:
+        reflected_dir = reflect(ray.direction, oriented_normal)
+        reflected = tracer.trace(ray.spawn(surface_point, reflected_dir))
+        color = color + material.reflectivity * reflected
+
+    if material.transparency > 0:
+        ratio = material.ior if inside else 1.0 / material.ior
+        refracted_dir = refract(ray.direction, oriented_normal, ratio)
+        if refracted_dir is None:
+            # total internal reflection
+            reflected_dir = reflect(ray.direction, oriented_normal)
+            contribution = tracer.trace(ray.spawn(surface_point, reflected_dir))
+        else:
+            exit_point = hit.point - oriented_normal * EPSILON
+            contribution = tracer.trace(ray.spawn(exit_point, refracted_dir))
+        color = color + material.transparency * contribution
+
+    return np.clip(color, 0.0, 1.0)

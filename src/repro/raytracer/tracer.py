@@ -1,0 +1,127 @@
+"""The ray-tracing core: Cast, Trace and whole-image/section rendering.
+
+This module mirrors Algorithms 1 and 2 of the paper:
+
+* :meth:`RayTracer.cast` — find the closest intersection of a ray with the
+  scene (traversing the BVH plus the unbounded primitives);
+* :meth:`RayTracer.trace` — follow a ray: below the maximum depth, cast it
+  and shade the closest hit, otherwise return the background colour;
+* :func:`render` / :func:`render_section` — loop over (a horizontal band of)
+  the image plane casting one primary ray per pixel (Algorithm 1).  Sections
+  are horizontal bands because that is how the paper's splitter divides the
+  3000x3000 scene along the y axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.raytracer.camera import Camera
+from repro.raytracer.geometry.primitives import Primitive
+from repro.raytracer.image import ImageChunk
+from repro.raytracer.ray import Ray
+from repro.raytracer.scene import Scene
+from repro.raytracer.shading import shade
+from repro.raytracer.vec import Vector
+
+__all__ = ["Hit", "RayTracer", "render", "render_section"]
+
+
+@dataclass
+class Hit:
+    """The closest intersection found by :meth:`RayTracer.cast`."""
+
+    primitive: Primitive
+    t: float
+    point: Vector
+    normal: Vector
+
+
+class RayTracer:
+    """Stateless renderer for one scene/camera pair.
+
+    "Stateless" in the S-Net sense: tracing a ray depends only on the scene
+    and the ray, never on previous invocations, which is what allows the
+    solver box to be replicated and relocated freely.
+    """
+
+    def __init__(self, scene: Scene, camera: Camera):
+        self.scene = scene
+        self.camera = camera
+        self.rays_cast = 0
+
+    # -- Algorithm 2, step "Cast" -------------------------------------------
+    def cast(self, ray: Ray) -> Optional[Hit]:
+        """Find the closest intersection of ``ray`` with the scene."""
+        self.rays_cast += 1
+        primitive, t = self.scene.index.intersect(ray)
+        # unbounded primitives (ground plane) are tested separately
+        for obj in self.scene.unbounded_objects:
+            t_obj = obj.intersect(ray, 1e-6, t if t is not None else np.inf)
+            if t_obj is not None and (t is None or t_obj < t):
+                primitive, t = obj, t_obj
+        if primitive is None or t is None:
+            return None
+        point = ray.at(t)
+        return Hit(primitive, t, point, primitive.normal_at(point))
+
+    def occluded(self, shadow_ray: Ray, max_distance: float) -> bool:
+        """Is anything between the shadow ray origin and the light?"""
+        if self.scene.index.any_hit(shadow_ray, 1e-6, max_distance):
+            return True
+        for obj in self.scene.unbounded_objects:
+            if obj.intersect(shadow_ray, 1e-6, max_distance) is not None:
+                return True
+        return False
+
+    # -- Algorithm 2 ------------------------------------------------------------
+    def trace(self, ray: Ray) -> Vector:
+        """Follow ``ray`` and return its colour contribution."""
+        if ray.depth >= self.scene.max_ray_depth:
+            return self.scene.background
+        hit = self.cast(ray)
+        if hit is None:
+            return self.scene.background
+        return shade(self, hit, ray)
+
+    # -- Algorithm 1 ------------------------------------------------------------
+    def render_rows(self, y_start: int, y_end: int) -> np.ndarray:
+        """Render image rows ``[y_start, y_end)``; returns (rows, width, 3)."""
+        if not 0 <= y_start <= y_end <= self.camera.height:
+            raise ValueError(
+                f"row range [{y_start}, {y_end}) outside image of height "
+                f"{self.camera.height}"
+            )
+        rows = y_end - y_start
+        pixels = np.zeros((rows, self.camera.width, 3), dtype=np.float64)
+        for local_y, py in enumerate(range(y_start, y_end)):
+            for px in range(self.camera.width):
+                ray = self.camera.primary_ray(px, py)
+                pixels[local_y, px] = self.trace(ray)
+        return pixels
+
+    def render_pixel(self, px: int, py: int) -> Vector:
+        """Render a single pixel (used by tests and the cost calibrator)."""
+        return self.trace(self.camera.primary_ray(px, py))
+
+
+def render(scene: Scene, camera: Camera) -> np.ndarray:
+    """Render the whole image sequentially (the reference implementation)."""
+    tracer = RayTracer(scene, camera)
+    return tracer.render_rows(0, camera.height)
+
+
+def render_section(
+    scene: Scene, camera: Camera, y_start: int, y_end: int, section_id: int = 0
+) -> ImageChunk:
+    """Render one horizontal section and wrap it as an :class:`ImageChunk`.
+
+    This is exactly the work done by the paper's ``solver`` box for one
+    section record.
+    """
+    tracer = RayTracer(scene, camera)
+    pixels = tracer.render_rows(y_start, y_end)
+    return ImageChunk(y_start=y_start, pixels=pixels, section_id=section_id)

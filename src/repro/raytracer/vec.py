@@ -1,0 +1,62 @@
+"""3-vector helpers on top of numpy.
+
+Vectors are plain ``numpy.ndarray`` of shape ``(3,)`` and dtype float64; the
+helpers here keep the geometry code short and allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+__all__ = ["vec3", "normalize", "length", "dot", "cross", "reflect", "refract"]
+
+Vector = np.ndarray
+
+
+def vec3(x: float, y: float, z: float) -> Vector:
+    """Construct a 3-vector."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def length(v: Vector) -> float:
+    """Euclidean length."""
+    return float(np.sqrt(np.dot(v, v)))
+
+
+def normalize(v: Vector) -> Vector:
+    """Return ``v`` scaled to unit length (zero vectors are returned as-is)."""
+    norm = length(v)
+    if norm == 0.0:
+        return v.copy()
+    return v / norm
+
+
+def dot(a: Vector, b: Vector) -> float:
+    """Scalar product."""
+    return float(np.dot(a, b))
+
+
+def cross(a: Vector, b: Vector) -> Vector:
+    """Vector product."""
+    return np.cross(a, b)
+
+
+def reflect(direction: Vector, normal: Vector) -> Vector:
+    """Reflect ``direction`` about ``normal`` (both assumed unit length)."""
+    return direction - 2.0 * dot(direction, normal) * normal
+
+
+def refract(direction: Vector, normal: Vector, ior_ratio: float) -> Union[Vector, None]:
+    """Refract ``direction`` through a surface with the given IOR ratio.
+
+    Returns ``None`` for total internal reflection (Snell's law has no
+    solution), which the shader turns into a pure reflection.
+    """
+    cos_incident = -dot(direction, normal)
+    sin2_transmitted = ior_ratio * ior_ratio * (1.0 - cos_incident * cos_incident)
+    if sin2_transmitted > 1.0:
+        return None
+    cos_transmitted = np.sqrt(1.0 - sin2_transmitted)
+    return ior_ratio * direction + (ior_ratio * cos_incident - cos_transmitted) * normal

@@ -1,0 +1,29 @@
+"""Section schedulers: how the splitter divides the image into tasks.
+
+The paper experiments with two scheduling strategies for the dynamically
+load-balanced network (Section V):
+
+* **block scheduling** (:class:`BlockScheduler`) — the image is split into
+  ``num_tasks`` equally sized sections;
+* **simple factoring** (:class:`FactoringScheduler`) — a variant of Hummel,
+  Schonberg & Flynn's factoring: the rows are divided into batches of
+  sections where all sections of one batch are equal and the section size
+  decreases from batch to batch by a fixed factor.  The paper's example
+  (3000 rows, 48 sections, two batches of 24 sections sized 93 and 32 rows)
+  is reproduced exactly by the defaults.
+
+Both schedulers return :class:`Section` lists consumed by the splitter boxes
+of the applications.
+"""
+
+from repro.scheduling.base import Section, Scheduler, validate_sections
+from repro.scheduling.block import BlockScheduler
+from repro.scheduling.factoring import FactoringScheduler
+
+__all__ = [
+    "Section",
+    "Scheduler",
+    "validate_sections",
+    "BlockScheduler",
+    "FactoringScheduler",
+]

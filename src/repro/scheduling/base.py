@@ -1,0 +1,64 @@
+"""Common scheduler interface and section data type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Section", "Scheduler", "validate_sections"]
+
+
+@dataclass(frozen=True)
+class Section:
+    """A horizontal band of image rows ``[y_start, y_end)`` to be rendered."""
+
+    index: int
+    y_start: int
+    y_end: int
+
+    def __post_init__(self) -> None:
+        if self.y_end <= self.y_start:
+            raise ValueError(
+                f"section {self.index}: empty row range [{self.y_start}, {self.y_end})"
+            )
+        if self.y_start < 0:
+            raise ValueError(f"section {self.index}: negative start row")
+
+    @property
+    def rows(self) -> int:
+        return self.y_end - self.y_start
+
+    def payload_size(self) -> int:
+        """Wire size of a section descriptor (a few integers)."""
+        return 32
+
+
+class Scheduler:
+    """Base class: a scheduler partitions ``height`` rows into sections."""
+
+    #: short name used in benchmark tables
+    name = "scheduler"
+
+    def sections(self, height: int) -> List[Section]:
+        raise NotImplementedError
+
+    def num_sections(self, height: int) -> int:
+        return len(self.sections(height))
+
+
+def validate_sections(sections: Sequence[Section], height: int) -> None:
+    """Check that sections exactly tile ``[0, height)`` without gaps/overlap."""
+    if not sections:
+        raise ValueError("no sections produced")
+    ordered = sorted(sections, key=lambda s: s.y_start)
+    if ordered[0].y_start != 0:
+        raise ValueError(f"first section starts at {ordered[0].y_start}, expected 0")
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.y_start != previous.y_end:
+            raise ValueError(
+                f"gap or overlap between rows {previous.y_end} and {current.y_start}"
+            )
+    if ordered[-1].y_end != height:
+        raise ValueError(
+            f"last section ends at {ordered[-1].y_end}, expected image height {height}"
+        )

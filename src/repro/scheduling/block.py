@@ -1,0 +1,43 @@
+"""Block scheduling: equally sized sections."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.scheduling.base import Scheduler, Section
+
+__all__ = ["BlockScheduler"]
+
+
+class BlockScheduler(Scheduler):
+    """Split ``height`` rows into ``num_tasks`` near-equal contiguous blocks.
+
+    When ``height`` is not divisible by ``num_tasks`` the remainder rows are
+    distributed one per section from the front, so section sizes differ by at
+    most one row.
+    """
+
+    name = "block"
+
+    def __init__(self, num_tasks: int):
+        if num_tasks < 1:
+            raise ValueError("block scheduling needs at least one task")
+        self.num_tasks = num_tasks
+
+    def sections(self, height: int) -> List[Section]:
+        if height < self.num_tasks:
+            raise ValueError(
+                f"cannot split {height} rows into {self.num_tasks} non-empty sections"
+            )
+        base = height // self.num_tasks
+        remainder = height % self.num_tasks
+        sections: List[Section] = []
+        row = 0
+        for index in range(self.num_tasks):
+            rows = base + (1 if index < remainder else 0)
+            sections.append(Section(index=index, y_start=row, y_end=row + rows))
+            row += rows
+        return sections
+
+    def __repr__(self) -> str:
+        return f"BlockScheduler(num_tasks={self.num_tasks})"

@@ -1,0 +1,98 @@
+"""Simple factoring: decreasing section sizes in equal-sized batches.
+
+The paper describes its scheduler as "a simple variant of factoring"
+[Hummel, Schonberg & Flynn 1992]: the scheduler divides the problem into
+several batches of sections, where within each batch the sections are of the
+same size and the section size decreases from batch to batch by a certain
+factor.  The worked example — a 3000-row image split into 48 sections as two
+batches of 24 sections sized 93 and 32 rows — is reproduced by the defaults
+(two batches, size decay factor 3):
+
+    first-batch size  = floor(3000 / (24 * (1 + 1/3))) = 93
+    second-batch size = remaining 768 rows / 24         = 32
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.scheduling.base import Scheduler, Section
+
+__all__ = ["FactoringScheduler"]
+
+
+class FactoringScheduler(Scheduler):
+    """Batches of equally sized sections with geometrically decreasing sizes.
+
+    Parameters
+    ----------
+    num_tasks:
+        Total number of sections to produce.
+    num_batches:
+        Number of batches; ``num_tasks`` must be divisible by it.
+    decay:
+        Factor by which the section size shrinks from one batch to the next.
+    """
+
+    name = "factoring"
+
+    def __init__(self, num_tasks: int, num_batches: int = 2, decay: float = 3.0):
+        if num_tasks < 1:
+            raise ValueError("factoring needs at least one task")
+        if num_batches < 1:
+            raise ValueError("factoring needs at least one batch")
+        if num_tasks % num_batches != 0:
+            raise ValueError(
+                f"num_tasks ({num_tasks}) must be divisible by num_batches ({num_batches})"
+            )
+        if decay <= 1.0:
+            raise ValueError("the decay factor must be greater than 1")
+        self.num_tasks = num_tasks
+        self.num_batches = num_batches
+        self.decay = decay
+
+    def batch_sizes(self, height: int) -> List[int]:
+        """Section size (rows) used in each batch."""
+        per_batch = self.num_tasks // self.num_batches
+        weights = [self.decay ** (-i) for i in range(self.num_batches)]
+        first_size = int(height / (per_batch * sum(weights)))
+        if first_size < 1:
+            raise ValueError(
+                f"cannot split {height} rows into {self.num_tasks} factoring sections"
+            )
+        sizes: List[int] = []
+        remaining = height
+        for batch in range(self.num_batches):
+            if batch == self.num_batches - 1:
+                size = remaining // per_batch
+            else:
+                size = max(1, int(first_size * self.decay ** (-batch)))
+            sizes.append(size)
+            remaining -= size * per_batch
+        if remaining < 0 or sizes[-1] < 1:
+            raise ValueError(
+                f"factoring with {self.num_tasks} tasks and decay {self.decay} "
+                f"does not fit {height} rows"
+            )
+        return sizes
+
+    def sections(self, height: int) -> List[Section]:
+        per_batch = self.num_tasks // self.num_batches
+        sizes = self.batch_sizes(height)
+        sections: List[Section] = []
+        row = 0
+        index = 0
+        for batch, size in enumerate(sizes):
+            for position in range(per_batch):
+                is_last_section = batch == len(sizes) - 1 and position == per_batch - 1
+                end = height if is_last_section else row + size
+                sections.append(Section(index=index, y_start=row, y_end=end))
+                row = end
+                index += 1
+        return sections
+
+    def __repr__(self) -> str:
+        return (
+            f"FactoringScheduler(num_tasks={self.num_tasks}, "
+            f"num_batches={self.num_batches}, decay={self.decay})"
+        )

@@ -1,0 +1,63 @@
+"""Core S-Net coordination language.
+
+This package implements the S-Net coordination model described in
+"Message Driven Programming with S-Net: Methodology and Performance"
+(Penczek et al., ICPP Workshops 2010):
+
+* :mod:`repro.snet.records` -- records as label/value sets (fields + tags)
+* :mod:`repro.snet.types` -- structural record types, subtyping, signatures
+* :mod:`repro.snet.patterns` -- type patterns and guard expressions
+* :mod:`repro.snet.boxes` -- stateless SISO boxes
+* :mod:`repro.snet.filters` -- filter entities ``[{..} -> {..}]``
+* :mod:`repro.snet.synchrocell` -- synchrocells ``[| {a}, {b} |]``
+* :mod:`repro.snet.combinators` -- serial / parallel composition, serial and
+  parallel replication
+* :mod:`repro.snet.network` -- named network definitions
+* :mod:`repro.snet.lang` -- parser and type checker for the textual syntax
+* :mod:`repro.snet.runtime` -- thread-based execution engine
+"""
+
+from repro.snet.records import Record, Field, Tag, BTag
+from repro.snet.types import RecordType, TypeSignature, Variant
+from repro.snet.patterns import Pattern, Guard
+from repro.snet.boxes import Box, box
+from repro.snet.filters import Filter, FilterRule
+from repro.snet.synchrocell import SyncroCell
+from repro.snet.combinators import (
+    Serial,
+    Parallel,
+    Star,
+    IndexSplit,
+    serial,
+    parallel,
+    star,
+    split,
+)
+from repro.snet.network import Network, NetworkDefinition
+
+__all__ = [
+    "Record",
+    "Field",
+    "Tag",
+    "BTag",
+    "RecordType",
+    "TypeSignature",
+    "Variant",
+    "Pattern",
+    "Guard",
+    "Box",
+    "box",
+    "Filter",
+    "FilterRule",
+    "SyncroCell",
+    "Serial",
+    "Parallel",
+    "Star",
+    "IndexSplit",
+    "serial",
+    "parallel",
+    "star",
+    "split",
+    "Network",
+    "NetworkDefinition",
+]

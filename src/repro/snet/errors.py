@@ -1,0 +1,63 @@
+"""Exception hierarchy for the S-Net reproduction.
+
+Every error raised by the coordination layer derives from :class:`SNetError`
+so that applications embedding S-Net networks can catch coordination problems
+separately from box-language (plain Python) exceptions.
+"""
+
+from __future__ import annotations
+
+
+class SNetError(Exception):
+    """Base class for all S-Net coordination-layer errors."""
+
+
+class RecordError(SNetError):
+    """Raised for malformed records (duplicate labels, bad tag values...)."""
+
+
+class TypeError_(SNetError):
+    """Raised by the type system (invalid signatures, no matching variant).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``TypeError`` while keeping the intent obvious.
+    """
+
+
+class RouteError(SNetError):
+    """Raised when a record cannot be routed to any branch of a network."""
+
+
+class BoxError(SNetError):
+    """Raised when a box signature is violated or a box function misbehaves."""
+
+
+class FilterError(SNetError):
+    """Raised for invalid filter rules or filter application failures."""
+
+
+class SynchroError(SNetError):
+    """Raised for invalid synchrocell configurations."""
+
+
+class NetworkError(SNetError):
+    """Raised for malformed network compositions."""
+
+
+class PlacementError(SNetError):
+    """Raised by Distributed S-Net placement combinators."""
+
+
+class RuntimeError_(SNetError):
+    """Raised by the execution engines (deadlock, closed stream writes...)."""
+
+
+class ParseError(SNetError):
+    """Raised by the textual S-Net language frontend."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)

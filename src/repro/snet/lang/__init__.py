@@ -1,0 +1,37 @@
+"""Textual S-Net language front-end.
+
+This sub-package parses the surface syntax used throughout the paper --
+box signatures, type signatures, filters, synchrocells and ``net ... connect``
+definitions (Figs. 2--4) -- and builds the corresponding runtime entities.
+
+* :mod:`repro.snet.lang.lexer` -- tokenizer
+* :mod:`repro.snet.lang.ast` -- abstract syntax tree nodes
+* :mod:`repro.snet.lang.parser` -- recursive-descent parser
+* :mod:`repro.snet.lang.builder` -- AST -> entity graph construction
+* :mod:`repro.snet.lang.typecheck` -- signature inference and connectivity checks
+"""
+
+from repro.snet.lang.parser import (
+    parse_box_signature,
+    parse_filter,
+    parse_guard,
+    parse_network,
+    parse_pattern,
+    parse_record_type,
+    parse_synchrocell,
+    parse_type_signature,
+)
+from repro.snet.lang.builder import build_network, BoxEnvironment
+
+__all__ = [
+    "parse_box_signature",
+    "parse_filter",
+    "parse_guard",
+    "parse_network",
+    "parse_pattern",
+    "parse_record_type",
+    "parse_synchrocell",
+    "parse_type_signature",
+    "build_network",
+    "BoxEnvironment",
+]

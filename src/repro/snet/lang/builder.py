@@ -1,0 +1,231 @@
+"""Building runtime entity graphs from parsed S-Net declarations.
+
+The textual front-end produces an AST; the builder resolves box and net names
+against a :class:`BoxEnvironment` supplied by the embedding application (box
+*functions* live in the box language — Python here — so the coordination
+source only ever mentions their names and signatures, exactly as in the
+paper) and produces the entity graph executed by the runtimes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from repro.snet.base import Entity
+from repro.snet.boxes import Box, BoxSignature
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.errors import NetworkError
+from repro.snet.lang import ast as A
+from repro.snet.lang.parser import parse_network, parse_net_expr
+from repro.snet.network import Network, NetworkDefinition
+from repro.snet.placement import StaticPlacement
+from repro.snet.records import Record
+
+__all__ = ["BoxEnvironment", "build_network", "build_net_expr"]
+
+BoxImpl = Union[Callable[..., object], Box, Entity, NetworkDefinition]
+
+
+class BoxEnvironment:
+    """Name-resolution environment for the builder.
+
+    Maps box names to Python callables (or pre-built :class:`Box` objects)
+    and net names to entities/:class:`NetworkDefinition` objects.  Optionally
+    carries per-box cost models consumed by the simulated runtime.
+    """
+
+    def __init__(
+        self,
+        implementations: Optional[Mapping[str, BoxImpl]] = None,
+        costs: Optional[Mapping[str, Callable[[Record], float]]] = None,
+    ):
+        self._impls: Dict[str, BoxImpl] = dict(implementations or {})
+        self._costs: Dict[str, Callable[[Record], float]] = dict(costs or {})
+
+    def register(self, name: str, impl: BoxImpl, cost: Optional[Callable[[Record], float]] = None) -> None:
+        self._impls[name] = impl
+        if cost is not None:
+            self._costs[name] = cost
+
+    def implementation(self, name: str) -> Optional[BoxImpl]:
+        return self._impls.get(name)
+
+    def cost(self, name: str) -> Optional[Callable[[Record], float]]:
+        return self._costs.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._impls
+
+
+class _Scope:
+    """Lexical scope of entity factories available inside a net definition."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.entities: Dict[str, Callable[[], Entity]] = {}
+
+    def define(self, name: str, factory: Callable[[], Entity]) -> None:
+        self.entities[name] = factory
+
+    def lookup(self, name: str) -> Optional[Callable[[], Entity]]:
+        if name in self.entities:
+            return self.entities[name]
+        if self.parent is not None:
+            return self.parent.lookup(name)
+        return None
+
+
+def build_network(
+    source_or_ast: Union[str, A.NetDecl],
+    env: Union[BoxEnvironment, Mapping[str, BoxImpl]],
+) -> NetworkDefinition:
+    """Build a :class:`NetworkDefinition` from S-Net source text or an AST.
+
+    Parameters
+    ----------
+    source_or_ast:
+        Either the textual ``net ... connect ...`` definition or an already
+        parsed :class:`repro.snet.lang.ast.NetDecl`.
+    env:
+        The box environment providing Python implementations for every box
+        declared in the source (and for any net declared without a body).
+    """
+    if isinstance(source_or_ast, str):
+        decl = parse_network(source_or_ast)
+    else:
+        decl = source_or_ast
+    if not isinstance(env, BoxEnvironment):
+        env = BoxEnvironment(env)
+    scope = _Scope()
+    _populate_scope_from_env(env, scope)
+    network = _build_net_decl(decl, env, scope)
+    return NetworkDefinition(decl.name, network.body, signature=decl.signature)
+
+
+def build_net_expr(
+    source_or_ast: Union[str, A.NetExpr],
+    env: Union[BoxEnvironment, Mapping[str, BoxImpl]],
+) -> Entity:
+    """Build an entity from a bare connect expression (no ``net`` wrapper)."""
+    if isinstance(source_or_ast, str):
+        expr = parse_net_expr(source_or_ast)
+    else:
+        expr = source_or_ast
+    if not isinstance(env, BoxEnvironment):
+        env = BoxEnvironment(env)
+    scope = _Scope()
+    _populate_scope_from_env(env, scope)
+    return _build_expr(expr, scope)
+
+
+def _populate_scope_from_env(env: BoxEnvironment, scope: _Scope) -> None:
+    """Expose pre-built entities from the environment as resolvable names.
+
+    Bare callables are skipped: their signature is only known once a ``box``
+    declaration names them, so they become resolvable through the declaration
+    scope instead.
+    """
+    for name in list(env._impls):
+        impl = env._impls[name]
+        if isinstance(impl, (Entity, NetworkDefinition)):
+            scope.define(name, _factory_for_impl(name, impl, env))
+
+
+def _factory_for_impl(name: str, impl: BoxImpl, env: BoxEnvironment) -> Callable[[], Entity]:
+    if isinstance(impl, NetworkDefinition):
+        return impl.instantiate
+    if isinstance(impl, Entity):
+        return impl.copy
+    if callable(impl):
+        raise NetworkError(
+            f"{name!r} is a bare callable; building it from a connect "
+            "expression requires a box declaration giving its signature "
+            "(use build_network with a 'net' definition, or register a Box)"
+        )
+    raise NetworkError(f"cannot interpret implementation for {name!r}: {impl!r}")
+
+
+def _build_net_decl(decl: A.NetDecl, env: BoxEnvironment, parent_scope: _Scope) -> Network:
+    scope = _Scope(parent_scope)
+
+    # local box declarations resolve their function from the environment
+    for box_decl in decl.boxes:
+        scope.define(box_decl.name, _box_factory(box_decl, env))
+
+    # local net declarations
+    for net_decl in decl.nets:
+        if net_decl.body is not None:
+            built = _build_net_decl(net_decl, env, scope)
+            scope.define(net_decl.name, built.copy)
+        else:
+            impl = env.implementation(net_decl.name)
+            if impl is None:
+                raise NetworkError(
+                    f"net {net_decl.name!r} is declared without a body and has "
+                    "no implementation in the box environment"
+                )
+            scope.define(net_decl.name, _factory_for_impl(net_decl.name, impl, env))
+
+    if decl.body is None:
+        raise NetworkError(f"net {decl.name!r} has no connect expression")
+    body = _build_expr(decl.body, scope)
+    return Network(decl.name, body, signature=decl.signature)
+
+
+def _box_factory(box_decl: A.BoxDecl, env: BoxEnvironment) -> Callable[[], Entity]:
+    impl = env.implementation(box_decl.name)
+    if impl is None:
+        raise NetworkError(
+            f"box {box_decl.name!r} has no implementation in the box environment"
+        )
+    if isinstance(impl, Box):
+        prototype = impl
+        return prototype.copy
+    if isinstance(impl, Entity) or isinstance(impl, NetworkDefinition):
+        # A declared *box* may in practice be implemented by a sub-network
+        # (the paper does the converse for the merger); allow it.
+        return _factory_for_impl(box_decl.name, impl, env)
+    if callable(impl):
+        cost = env.cost(box_decl.name)
+
+        def make() -> Entity:
+            return Box(box_decl.name, box_decl.signature, impl, cost=cost)
+
+        return make
+    raise NetworkError(f"cannot use {impl!r} as implementation of box {box_decl.name!r}")
+
+
+def _build_expr(expr: A.NetExpr, scope: _Scope) -> Entity:
+    if isinstance(expr, A.NameRef):
+        factory = scope.lookup(expr.name)
+        if factory is None:
+            raise NetworkError(f"unknown box or net name {expr.name!r}")
+        return factory()
+    if isinstance(expr, A.FilterExpr):
+        return expr.filter.copy()
+    if isinstance(expr, A.SyncExpr):
+        return expr.sync.copy()
+    if isinstance(expr, A.SerialExpr):
+        return Serial(_build_expr(expr.left, scope), _build_expr(expr.right, scope))
+    if isinstance(expr, A.ParallelExpr):
+        return Parallel(
+            _build_expr(expr.left, scope),
+            _build_expr(expr.right, scope),
+            deterministic=expr.deterministic,
+        )
+    if isinstance(expr, A.StarExpr):
+        return Star(
+            _build_expr(expr.operand, scope),
+            expr.exit_pattern,
+            deterministic=expr.deterministic,
+        )
+    if isinstance(expr, A.SplitExpr):
+        return IndexSplit(
+            _build_expr(expr.operand, scope),
+            expr.tag,
+            deterministic=expr.deterministic,
+            placed=expr.placed,
+        )
+    if isinstance(expr, A.PlacementExpr):
+        return StaticPlacement(_build_expr(expr.operand, scope), expr.node)
+    raise NetworkError(f"unknown network expression node {expr!r}")

@@ -1,0 +1,509 @@
+"""Recursive-descent parser for the S-Net surface syntax.
+
+The grammar covered is the subset used by the paper (and the S-Net Language
+Report constructs it relies on):
+
+.. code-block:: text
+
+    netdef      := 'net' IDENT [netsig] ['{' decls '}' 'connect' netexpr] [';']
+    decls       := (boxdecl | netdef)*
+    boxdecl     := 'box' IDENT '(' boxsig ')' ';'
+    boxsig      := '(' labels ')' '->' outvariants
+    outvariants := '(' labels ')' ('|' '(' labels ')')*
+    netexpr     := serexpr (('|'|'||') serexpr)*
+    serexpr     := postfix ('..' postfix)*
+    postfix     := primary (star | split | place)*
+    star        := ('*'|'**') pattern
+    split       := ('!'|'!!'|'!@') '<' IDENT '>'
+    place       := '@' INT
+    primary     := IDENT | filter | sync | '(' netexpr ')'
+    filter      := '[' [pattern ['->' template (';' template)*]] ']'
+    sync        := '[|' pattern (',' pattern)* '|]'
+    pattern     := '{' [pattern_items] '}'
+    template    := '{' [template_items] '}'
+
+Patterns mix structural items (labels) and boolean guard expressions; guard
+and tag expressions support integer arithmetic and comparisons over tags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.snet.boxes import BoxSignature
+from repro.snet.errors import ParseError
+from repro.snet.filters import Filter, FilterRule, OutputTemplate
+from repro.snet.lang import ast as A
+from repro.snet.lang.lexer import Token, TokenStream
+from repro.snet.patterns import BinOp, Const, Guard, GuardExpr, Pattern, TagRef
+from repro.snet.records import BTag, Field, Label, Tag
+from repro.snet.synchrocell import SyncroCell
+from repro.snet.types import RecordType, TypeSignature, Variant
+
+__all__ = [
+    "parse_record_type",
+    "parse_type_signature",
+    "parse_box_signature",
+    "parse_pattern",
+    "parse_guard",
+    "parse_filter",
+    "parse_synchrocell",
+    "parse_net_expr",
+    "parse_network",
+]
+
+
+# ---------------------------------------------------------------------------
+# labels and expressions
+# ---------------------------------------------------------------------------
+def _parse_tag_label(ts: TokenStream) -> Label:
+    """Parse ``<name>`` or ``<#name>`` after the opening ``<`` was consumed."""
+    binding = False
+    tok = ts.peek()
+    if tok.kind == "ident" and tok.text.startswith("#"):
+        binding = True
+        name = ts.next().text[1:]
+    else:
+        name = ts.expect_kind("ident").text
+    ts.expect_op(">")
+    return BTag(name) if binding else Tag(name)
+
+
+def _parse_label(ts: TokenStream) -> Label:
+    if ts.accept_op("<"):
+        return _parse_tag_label(ts)
+    name = ts.expect_kind("ident").text
+    return Field(name)
+
+
+def _parse_atom(ts: TokenStream) -> GuardExpr:
+    """Parse an expression atom: integer, tag reference or parenthesised expr."""
+    tok = ts.peek()
+    if tok.kind == "int":
+        ts.next()
+        return Const(int(tok.text))
+    if tok.is_op("-"):
+        ts.next()
+        inner = _parse_atom(ts)
+        return BinOp("-", Const(0), inner)
+    if tok.is_op("<"):
+        ts.next()
+        label = _parse_tag_label(ts)
+        return TagRef(label.name)
+    if tok.kind == "ident":
+        ts.next()
+        return TagRef(tok.text)
+    if tok.is_op("("):
+        ts.next()
+        expr = _parse_comparison(ts)
+        ts.expect_op(")")
+        return expr
+    raise ts.error("expected an integer, tag reference or '('")
+
+
+def _parse_term(ts: TokenStream) -> GuardExpr:
+    expr = _parse_atom(ts)
+    while ts.peek().is_op("*", "/", "%"):
+        op = ts.next().text
+        expr = BinOp(op, expr, _parse_atom(ts))
+    return expr
+
+
+def _parse_arith(ts: TokenStream) -> GuardExpr:
+    expr = _parse_term(ts)
+    while ts.peek().is_op("+", "-"):
+        op = ts.next().text
+        expr = BinOp(op, expr, _parse_term(ts))
+    return expr
+
+
+def _parse_comparison(ts: TokenStream) -> GuardExpr:
+    expr = _parse_arith(ts)
+    while True:
+        tok = ts.peek()
+        if tok.is_op("==", "!=", "<=", ">="):
+            op = ts.next().text
+            expr = BinOp(op, expr, _parse_arith(ts))
+            continue
+        # '<' here is a comparison only if it is NOT the start of a tag
+        # reference used as the next operand of a *different* construct; at
+        # operator position a '<' is always less-than.
+        if tok.is_op("<", ">"):
+            op = ts.next().text
+            expr = BinOp(op, expr, _parse_arith(ts))
+            continue
+        if tok.is_op("&&"):
+            ts.next()
+            expr = BinOp("&&", expr, _parse_comparison(ts))
+            continue
+        return expr
+
+
+def parse_guard(text: str) -> Guard:
+    """Parse a guard expression such as ``"<tasks> == <cnt>"``."""
+    ts = TokenStream.from_source(text)
+    expr = _parse_comparison(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after guard expression")
+    return Guard(expr, text=text.strip())
+
+
+# ---------------------------------------------------------------------------
+# variants, record types, signatures
+# ---------------------------------------------------------------------------
+def _parse_variant(ts: TokenStream) -> Variant:
+    ts.expect_op("{")
+    labels: List[Label] = []
+    if not ts.peek().is_op("}"):
+        labels.append(_parse_label(ts))
+        while ts.accept_op(","):
+            labels.append(_parse_label(ts))
+    ts.expect_op("}")
+    return Variant(labels)
+
+
+def _parse_record_type(ts: TokenStream) -> RecordType:
+    variants = [_parse_variant(ts)]
+    while ts.accept_op("|"):
+        variants.append(_parse_variant(ts))
+    return RecordType(variants)
+
+
+def parse_record_type(text: str) -> RecordType:
+    """Parse ``"{a,<b>} | {c}"`` into a :class:`RecordType`."""
+    ts = TokenStream.from_source(text)
+    rt = _parse_record_type(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after record type")
+    return rt
+
+
+def parse_type_signature(text: str) -> TypeSignature:
+    """Parse ``"{a} -> {b} | {c}"`` into a :class:`TypeSignature`."""
+    ts = TokenStream.from_source(text)
+    input_type = _parse_record_type(ts)
+    ts.expect_op("->")
+    output_type = _parse_record_type(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after type signature")
+    return TypeSignature(input_type, output_type)
+
+
+def _parse_label_tuple(ts: TokenStream) -> Tuple[Label, ...]:
+    ts.expect_op("(")
+    labels: List[Label] = []
+    if not ts.peek().is_op(")"):
+        labels.append(_parse_label(ts))
+        while ts.accept_op(","):
+            labels.append(_parse_label(ts))
+    ts.expect_op(")")
+    return tuple(labels)
+
+
+def _parse_box_signature(ts: TokenStream) -> BoxSignature:
+    inputs = _parse_label_tuple(ts)
+    ts.expect_op("->")
+    outputs = [_parse_label_tuple(ts)]
+    while ts.accept_op("|"):
+        outputs.append(_parse_label_tuple(ts))
+    return BoxSignature(inputs, outputs)
+
+
+def parse_box_signature(text: str) -> BoxSignature:
+    """Parse ``"(a,<b>) -> (c) | (c,d,<e>)"`` into a :class:`BoxSignature`."""
+    ts = TokenStream.from_source(text)
+    sig = _parse_box_signature(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after box signature")
+    return sig
+
+
+# ---------------------------------------------------------------------------
+# patterns
+# ---------------------------------------------------------------------------
+def _item_is_plain_label(ts: TokenStream) -> bool:
+    """Lookahead: is the next pattern item a plain label (not a guard expr)?"""
+    tok = ts.peek()
+    if tok.kind == "ident":
+        nxt = ts.peek(1)
+        return nxt.is_op(",", "}")
+    if tok.is_op("<"):
+        # <name> followed by , or } is a plain tag label
+        if ts.peek(1).kind == "ident" and ts.peek(2).is_op(">"):
+            return ts.peek(3).is_op(",", "}")
+    return False
+
+
+def _parse_pattern_body(ts: TokenStream) -> Pattern:
+    """Parse the inside of ``{ ... }`` (the ``{`` has been consumed)."""
+    labels: List[Label] = []
+    guards: List[GuardExpr] = []
+    if not ts.peek().is_op("}"):
+        while True:
+            if _item_is_plain_label(ts):
+                labels.append(_parse_label(ts))
+            else:
+                guard_expr = _parse_comparison(ts)
+                # A guard that is just a tag reference is really a structural
+                # requirement on the tag.
+                if isinstance(guard_expr, TagRef):
+                    labels.append(Tag(guard_expr.name))
+                else:
+                    guards.append(guard_expr)
+                    for name in _referenced_tags(guard_expr):
+                        labels.append(Tag(name))
+            if not ts.accept_op(","):
+                break
+    ts.expect_op("}")
+    guard: Optional[Guard] = None
+    if guards:
+        combined = guards[0]
+        for g in guards[1:]:
+            combined = BinOp("&&", combined, g)
+        guard = Guard(combined)
+    return Pattern(Variant(labels), guard)
+
+
+def _referenced_tags(expr: GuardExpr) -> List[str]:
+    if isinstance(expr, TagRef):
+        return [expr.name]
+    if isinstance(expr, BinOp):
+        return _referenced_tags(expr.left) + _referenced_tags(expr.right)
+    return []
+
+
+def _parse_pattern(ts: TokenStream) -> Pattern:
+    ts.expect_op("{")
+    return _parse_pattern_body(ts)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse ``"{pic}"`` or ``"{<tasks> == <cnt>}"`` into a :class:`Pattern`."""
+    ts = TokenStream.from_source(text)
+    pattern = _parse_pattern(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after pattern")
+    return pattern
+
+
+# ---------------------------------------------------------------------------
+# filters and synchrocells
+# ---------------------------------------------------------------------------
+def _parse_template(ts: TokenStream) -> OutputTemplate:
+    ts.expect_op("{")
+    keep: List[Label] = []
+    assigns: Dict[str, GuardExpr] = {}
+    rename: Dict[str, str] = {}
+    if not ts.peek().is_op("}"):
+        while True:
+            if ts.accept_op("<"):
+                binding = False
+                tok = ts.peek()
+                if tok.kind == "ident" and tok.text.startswith("#"):
+                    binding = True
+                    name = ts.next().text[1:]
+                else:
+                    name = ts.expect_kind("ident").text
+                if ts.accept_op(">"):
+                    keep.append(BTag(name) if binding else Tag(name))
+                else:
+                    op_tok = ts.expect_op("=", "+=", "-=", "*=", "/=", "%=")
+                    expr = _parse_arith(ts)
+                    if op_tok.text != "=":
+                        expr = BinOp(op_tok.text[0], TagRef(name), expr)
+                    assigns[name] = expr
+                    ts.expect_op(">")
+            else:
+                name = ts.expect_kind("ident").text
+                if ts.accept_op("="):
+                    old = ts.expect_kind("ident").text
+                    rename[name] = old
+                else:
+                    keep.append(Field(name))
+            if not ts.accept_op(","):
+                break
+    ts.expect_op("}")
+    return OutputTemplate(keep=tuple(keep), assign_tags=assigns, rename=rename)
+
+
+def _parse_filter(ts: TokenStream) -> Filter:
+    ts.expect_op("[")
+    if ts.accept_op("]"):
+        return Filter.identity()
+    pattern = _parse_pattern(ts)
+    templates: List[OutputTemplate] = []
+    if ts.accept_op("->"):
+        templates.append(_parse_template(ts))
+        while ts.accept_op(";"):
+            templates.append(_parse_template(ts))
+    else:
+        # a pattern-only filter keeps exactly the matched labels (plus
+        # flow-inherited excess): equivalent to a template naming them all.
+        templates.append(OutputTemplate(keep=tuple(pattern.variant.labels)))
+    ts.expect_op("]")
+    return Filter([FilterRule(pattern, templates)])
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse filter syntax such as ``"[{<cnt>} -> {<cnt+=1>}]"``."""
+    ts = TokenStream.from_source(text)
+    flt = _parse_filter(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after filter")
+    return flt
+
+
+def _parse_synchrocell(ts: TokenStream) -> SyncroCell:
+    ts.expect_op("[|")
+    patterns = [_parse_pattern(ts)]
+    while ts.accept_op(","):
+        patterns.append(_parse_pattern(ts))
+    ts.expect_op("|]")
+    return SyncroCell(patterns)
+
+
+def parse_synchrocell(text: str) -> SyncroCell:
+    """Parse ``"[| {pic}, {chunk} |]"`` into a :class:`SyncroCell`."""
+    ts = TokenStream.from_source(text)
+    sync = _parse_synchrocell(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after synchrocell")
+    return sync
+
+
+# ---------------------------------------------------------------------------
+# network expressions
+# ---------------------------------------------------------------------------
+def _parse_primary(ts: TokenStream) -> A.NetExpr:
+    tok = ts.peek()
+    if tok.is_op("[|"):
+        return A.SyncExpr(_parse_synchrocell(ts))
+    if tok.is_op("["):
+        return A.FilterExpr(_parse_filter(ts))
+    if tok.is_op("("):
+        ts.next()
+        expr = _parse_net_expr(ts)
+        ts.expect_op(")")
+        return expr
+    if tok.kind == "ident":
+        ts.next()
+        return A.NameRef(tok.text)
+    raise ts.error("expected a box/net name, filter, synchrocell or '('")
+
+
+def _parse_postfix(ts: TokenStream) -> A.NetExpr:
+    expr = _parse_primary(ts)
+    while True:
+        tok = ts.peek()
+        if tok.is_op("*", "**"):
+            ts.next()
+            pattern = _parse_pattern(ts)
+            expr = A.StarExpr(expr, pattern, deterministic=(tok.text == "**"))
+            continue
+        if tok.is_op("!", "!!", "!@"):
+            ts.next()
+            ts.expect_op("<")
+            tag = ts.expect_kind("ident").text
+            ts.expect_op(">")
+            expr = A.SplitExpr(
+                expr,
+                tag,
+                deterministic=(tok.text == "!!"),
+                placed=(tok.text == "!@"),
+            )
+            continue
+        if tok.is_op("@"):
+            ts.next()
+            node_tok = ts.expect_kind("int")
+            expr = A.PlacementExpr(expr, int(node_tok.text))
+            continue
+        return expr
+
+
+def _parse_serial(ts: TokenStream) -> A.NetExpr:
+    expr = _parse_postfix(ts)
+    while ts.accept_op(".."):
+        expr = A.SerialExpr(expr, _parse_postfix(ts))
+    return expr
+
+
+def _parse_net_expr(ts: TokenStream) -> A.NetExpr:
+    expr = _parse_serial(ts)
+    while True:
+        tok = ts.peek()
+        if tok.is_op("|", "||"):
+            ts.next()
+            expr = A.ParallelExpr(expr, _parse_serial(ts), deterministic=(tok.text == "||"))
+            continue
+        return expr
+
+
+def parse_net_expr(text: str) -> A.NetExpr:
+    """Parse a bare connect expression into an AST."""
+    ts = TokenStream.from_source(text)
+    expr = _parse_net_expr(ts)
+    ts.accept_op(";")
+    if not ts.at_end():
+        raise ts.error("trailing input after network expression")
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+def _parse_box_decl(ts: TokenStream) -> A.BoxDecl:
+    ts.expect_keyword("box")
+    name = ts.expect_kind("ident").text
+    ts.expect_op("(")
+    signature = _parse_box_signature(ts)
+    ts.expect_op(")")
+    ts.expect_op(";")
+    return A.BoxDecl(name, signature)
+
+
+def _parse_net_signature(ts: TokenStream) -> TypeSignature:
+    """Parse a net interface declaration: one or more mappings.
+
+    The paper writes ``net merger ( (chunk,<fst>) -> (pic), (chunk) -> (pic));``
+    — a comma-separated list of box-style mappings.  We fold them into a
+    single type signature by taking the union of inputs and outputs.
+    """
+    mappings = [_parse_box_signature(ts)]
+    while ts.accept_op(","):
+        mappings.append(_parse_box_signature(ts))
+    input_type = RecordType([Variant(m.inputs) for m in mappings])
+    output_variants: List[Variant] = []
+    for m in mappings:
+        output_variants.extend(Variant(v) for v in m.outputs)
+    return TypeSignature(input_type, RecordType(output_variants))
+
+
+def _parse_net_decl(ts: TokenStream) -> A.NetDecl:
+    ts.expect_keyword("net")
+    name = ts.expect_kind("ident").text
+    decl = A.NetDecl(name)
+    if ts.accept_op("("):
+        decl.signature = _parse_net_signature(ts)
+        ts.expect_op(")")
+    if ts.accept_op("{"):
+        while not ts.peek().is_op("}"):
+            if ts.peek().is_keyword("box"):
+                decl.boxes.append(_parse_box_decl(ts))
+            elif ts.peek().is_keyword("net"):
+                decl.nets.append(_parse_net_decl(ts))
+            else:
+                raise ts.error("expected 'box' or 'net' declaration")
+        ts.expect_op("}")
+        ts.expect_keyword("connect")
+        decl.body = _parse_net_expr(ts)
+    ts.accept_op(";")
+    return decl
+
+
+def parse_network(text: str) -> A.NetDecl:
+    """Parse a full ``net NAME { ... } connect ...`` definition."""
+    ts = TokenStream.from_source(text)
+    decl = _parse_net_decl(ts)
+    if not ts.at_end():
+        raise ts.error("trailing input after net definition")
+    return decl

@@ -1,0 +1,105 @@
+"""Placement annotations used by Distributed S-Net.
+
+Standard S-Net has no notion of computing resources; Distributed S-Net adds
+two *placement combinators* that map parts of the logical network onto
+abstract compute nodes:
+
+* static placement ``A @ num`` — run ``A`` on compute node ``num``;
+* indexed dynamic placement ``A !@ <tag>`` — instantiate a replica of ``A``
+  per value of ``<tag>`` and run each replica on the node identified by that
+  value (implemented by :class:`repro.snet.combinators.IndexSplit` with
+  ``placed=True``).
+
+Both are *conservative* extensions: the functional behaviour of the network
+is unchanged — placement only tells the distributed runtime where entities
+execute.  The sequential and threaded runtimes therefore treat
+:class:`StaticPlacement` as a transparent wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.snet.base import Entity
+from repro.snet.combinators import Combinator, IndexSplit, _end, _feed
+from repro.snet.errors import PlacementError
+from repro.snet.records import Record
+from repro.snet.types import TypeSignature
+
+__all__ = ["StaticPlacement", "placed_split", "placement_of", "assign_default_placement"]
+
+
+class StaticPlacement(Combinator):
+    """Static placement combinator ``A @ node``.
+
+    Functionally transparent: every record is passed straight to the wrapped
+    entity.  The distributed runtimes read :attr:`node` to decide where the
+    wrapped entity (and everything nested in it that carries no more specific
+    placement) executes.
+    """
+
+    KIND = "placement"
+
+    def __init__(self, operand: Entity, node: int, name: Optional[str] = None):
+        super().__init__(name)
+        if node < 0:
+            raise PlacementError(f"compute node ids must be non-negative, got {node}")
+        self.operand = operand
+        self.node = int(node)
+
+    @property
+    def signature(self) -> TypeSignature:
+        return self.operand.signature
+
+    def children(self) -> Iterable[Entity]:
+        return (self.operand,)
+
+    def accepts(self, rec: Record) -> bool:
+        return self.operand.accepts(rec)
+
+    def match_score(self, rec: Record) -> Optional[int]:
+        return self.operand.match_score(rec)
+
+    def feed(self, rec: Record) -> List[Record]:
+        return _feed(self.operand, rec)
+
+    def end(self) -> List[Record]:
+        return _end(self.operand)
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} @ {self.node})"
+
+
+def placed_split(operand: Entity, tag: str, deterministic: bool = False) -> IndexSplit:
+    """Construct the indexed placement combinator ``operand !@ <tag>``."""
+    return IndexSplit(operand, tag, deterministic=deterministic, placed=True)
+
+
+def placement_of(entity: Entity, default: int = 0) -> int:
+    """Return the compute node an entity is statically placed on.
+
+    Walks the entity looking for an enclosing/embedded :class:`StaticPlacement`;
+    falls back to ``default`` (the root/master node) when none is found.
+    """
+    if isinstance(entity, StaticPlacement):
+        return entity.node
+    for child in entity.children():
+        if isinstance(child, StaticPlacement):
+            return child.node
+    return default
+
+
+def assign_default_placement(entity: Entity, node: int = 0) -> None:
+    """Annotate every entity in a network with a ``placement`` attribute.
+
+    Entities below a :class:`StaticPlacement` inherit its node; entities below
+    a placed index split (``!@``) are marked as dynamically placed (the actual
+    node is only known per record at run time).  This is a convenience pass
+    used by the simulated distributed runtime.
+    """
+    setattr(entity, "placement", node)
+    if isinstance(entity, StaticPlacement):
+        node = entity.node
+        setattr(entity, "placement", node)
+    for child in entity.children():
+        assign_default_placement(child, node)

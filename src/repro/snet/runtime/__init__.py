@@ -1,0 +1,32 @@
+"""Thread-based S-Net runtime.
+
+The runtime turns an entity graph into a network of worker threads connected
+by bounded streams:
+
+* :mod:`repro.snet.runtime.stream` -- thread-safe SISO streams with
+  multi-writer reference counting,
+* :mod:`repro.snet.runtime.engine` -- graph compilation and execution
+  (:class:`ThreadedRuntime`),
+* :mod:`repro.snet.runtime.tracing` -- lightweight event tracing used by the
+  tests and the benchmark harness.
+
+The threaded runtime is the *correctness* runtime: it executes boxes for
+real (useful for small renders, the examples and the integration tests).
+Performance experiments use the simulated distributed runtime in
+:mod:`repro.dsnet` instead, because the CPython GIL would otherwise dominate
+any wall-clock parallel measurements.
+"""
+
+from repro.snet.runtime.stream import Stream, StreamClosed, StreamWriter
+from repro.snet.runtime.engine import ThreadedRuntime, run_threaded
+from repro.snet.runtime.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Stream",
+    "StreamWriter",
+    "StreamClosed",
+    "ThreadedRuntime",
+    "run_threaded",
+    "TraceEvent",
+    "Tracer",
+]

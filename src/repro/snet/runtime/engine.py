@@ -1,0 +1,303 @@
+"""Threaded execution engine.
+
+The engine compiles an entity graph into a network of worker threads
+connected by :class:`~repro.snet.runtime.stream.Stream` objects:
+
+* every primitive entity (box, filter, synchrocell) becomes one worker that
+  repeatedly takes a record from its input stream, applies the entity and
+  writes the results to its output stream;
+* serial composition allocates an intermediate stream;
+* parallel composition becomes a dispatcher worker that routes records by
+  best type match; both branches write into the same output stream, which
+  gives the nondeterministic in-arrival-order merge of the paper;
+* serial replication (star) spawns one *router* per unrolling level; each
+  router taps the stream in front of "its" replica and extracts records that
+  match the exit pattern, instantiating the next replica lazily;
+* parallel replication (index split) becomes a dispatcher that lazily
+  instantiates one replica pipeline per observed tag value.
+
+Workers created dynamically (star levels, split instances) are spawned as
+threads immediately; all threads are joined when the run finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.snet.base import Entity, PrimitiveEntity
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.errors import RuntimeError_
+from repro.snet.network import Network
+from repro.snet.placement import StaticPlacement
+from repro.snet.records import Record
+from repro.snet.runtime.stream import Stream, StreamWriter
+from repro.snet.runtime.tracing import NullTracer, Tracer
+
+__all__ = ["ThreadedRuntime", "run_threaded"]
+
+
+class ThreadedRuntime:
+    """Execute an S-Net network with one thread per runtime component.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`Tracer` receiving runtime events.
+    stream_capacity:
+        Bound of every internal stream (provides back-pressure/throttling).
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None, stream_capacity: int = 256):
+        self.tracer = tracer or NullTracer()
+        self.stream_capacity = stream_capacity
+        self._threads: List[threading.Thread] = []
+        self._pending: List[Callable[[], None]] = []
+        self._started = False
+        self._lock = threading.Lock()
+        self.errors: List[BaseException] = []
+
+    # -- thread management -------------------------------------------------
+    def _spawn(self, fn: Callable[[], None], name: str) -> None:
+        def guarded() -> None:
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - collected for reporting
+                with self._lock:
+                    self.errors.append(exc)
+                self.tracer.record(name, "worker-error", error=repr(exc))
+
+        with self._lock:
+            if not self._started:
+                self._pending.append(lambda: self._start_thread(guarded, name))
+                return
+        self._start_thread(guarded, name)
+
+    def _start_thread(self, fn: Callable[[], None], name: str) -> None:
+        thread = threading.Thread(target=fn, name=name, daemon=True)
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+
+    def _new_stream(self, name: str) -> Stream:
+        return Stream(name=name, capacity=self.stream_capacity)
+
+    # -- compilation ----------------------------------------------------------
+    def compile(self, entity: Entity, in_stream: Stream, out_writer: StreamWriter) -> None:
+        """Compile ``entity`` reading ``in_stream`` and owning ``out_writer``."""
+        if isinstance(entity, PrimitiveEntity):
+            self._compile_primitive(entity, in_stream, out_writer)
+        elif isinstance(entity, Serial):
+            self._compile_serial(entity, in_stream, out_writer)
+        elif isinstance(entity, Parallel):
+            self._compile_parallel(entity, in_stream, out_writer)
+        elif isinstance(entity, Star):
+            self._compile_star(entity, in_stream, out_writer)
+        elif isinstance(entity, IndexSplit):
+            self._compile_split(entity, in_stream, out_writer)
+        elif isinstance(entity, (Network, StaticPlacement)):
+            inner = entity.body if isinstance(entity, Network) else entity.operand
+            self.compile(inner, in_stream, out_writer)
+        else:
+            raise RuntimeError_(f"cannot compile entity {entity!r}")
+
+    def _compile_primitive(
+        self, entity: PrimitiveEntity, in_stream: Stream, out_writer: StreamWriter
+    ) -> None:
+        tracer = self.tracer
+
+        def worker() -> None:
+            try:
+                while True:
+                    rec = in_stream.get()
+                    if rec is None:
+                        break
+                    tracer.record(entity.name, "consume", record=repr(rec))
+                    for produced in entity.process(rec):
+                        tracer.record(entity.name, "produce", record=repr(produced))
+                        out_writer.put(produced)
+                for produced in entity.flush():
+                    tracer.record(entity.name, "produce", record=repr(produced))
+                    out_writer.put(produced)
+            finally:
+                out_writer.close()
+
+        self._spawn(worker, f"worker-{entity.name}-{entity.entity_id}")
+
+    def _compile_serial(
+        self, entity: Serial, in_stream: Stream, out_writer: StreamWriter
+    ) -> None:
+        mid = self._new_stream(f"{entity.name}-mid")
+        self.compile(entity.left, in_stream, mid.open_writer())
+        self.compile(entity.right, mid, out_writer)
+
+    def _compile_parallel(
+        self, entity: Parallel, in_stream: Stream, out_writer: StreamWriter
+    ) -> None:
+        branch_streams: List[Stream] = []
+        branch_writers: List[StreamWriter] = []
+        for branch in entity.branches:
+            branch_in = self._new_stream(f"{entity.name}-{branch.name}-in")
+            branch_streams.append(branch_in)
+            branch_writers.append(branch_in.open_writer())
+            self.compile(branch, branch_in, out_writer.dup())
+
+        tracer = self.tracer
+
+        def dispatcher() -> None:
+            try:
+                while True:
+                    rec = in_stream.get()
+                    if rec is None:
+                        break
+                    branch = entity.route(rec)
+                    index = list(entity.branches).index(branch)
+                    tracer.record(entity.name, "route", branch=branch.name)
+                    branch_writers[index].put(rec)
+            finally:
+                for writer in branch_writers:
+                    writer.close()
+                out_writer.close()
+
+        self._spawn(dispatcher, f"dispatch-{entity.name}-{entity.entity_id}")
+
+    def _compile_star(
+        self, entity: Star, in_stream: Stream, out_writer: StreamWriter
+    ) -> None:
+        tracer = self.tracer
+        runtime = self
+
+        def make_router(level: int, level_in: Stream, writer: StreamWriter) -> Callable[[], None]:
+            def router() -> None:
+                instance_writer: Optional[StreamWriter] = None
+                try:
+                    while True:
+                        rec = level_in.get()
+                        if rec is None:
+                            break
+                        if entity.exit_pattern.matches(rec):
+                            tracer.record(entity.name, "exit", level=level)
+                            writer.put(rec)
+                            continue
+                        if instance_writer is None:
+                            if level >= entity.max_depth:
+                                raise RuntimeError_(
+                                    f"star {entity.name} exceeded max depth {entity.max_depth}"
+                                )
+                            tracer.record(entity.name, "unroll", level=level)
+                            inst_in = runtime._new_stream(f"{entity.name}-L{level}-in")
+                            inst_out = runtime._new_stream(f"{entity.name}-L{level}-out")
+                            instance_writer = inst_in.open_writer()
+                            runtime.compile(
+                                entity.operand.copy(), inst_in, inst_out.open_writer()
+                            )
+                            runtime._spawn(
+                                make_router(level + 1, inst_out, writer.dup()),
+                                f"star-{entity.name}-L{level + 1}",
+                            )
+                        instance_writer.put(rec)
+                finally:
+                    if instance_writer is not None:
+                        instance_writer.close()
+                    writer.close()
+
+            return router
+
+        self._spawn(make_router(0, in_stream, out_writer), f"star-{entity.name}-L0")
+
+    def _compile_split(
+        self, entity: IndexSplit, in_stream: Stream, out_writer: StreamWriter
+    ) -> None:
+        tracer = self.tracer
+        runtime = self
+
+        def dispatcher() -> None:
+            instance_writers: Dict[int, StreamWriter] = {}
+            try:
+                while True:
+                    rec = in_stream.get()
+                    if rec is None:
+                        break
+                    if not rec.has_tag(entity.tag):
+                        raise RuntimeError_(
+                            f"index split {entity.name} requires tag <{entity.tag}> "
+                            f"on every record, got {rec!r}"
+                        )
+                    value = rec.tag(entity.tag)
+                    if value not in instance_writers:
+                        tracer.record(entity.name, "instantiate", index=value)
+                        inst_in = runtime._new_stream(f"{entity.name}-{value}-in")
+                        instance_writers[value] = inst_in.open_writer()
+                        runtime.compile(entity.operand.copy(), inst_in, out_writer.dup())
+                    instance_writers[value].put(rec)
+            finally:
+                for writer in instance_writers.values():
+                    writer.close()
+                out_writer.close()
+
+        self._spawn(dispatcher, f"split-{entity.name}-{entity.entity_id}")
+
+    # -- running -------------------------------------------------------------
+    def run(
+        self,
+        network: Entity,
+        inputs: Sequence[Record],
+        fresh: bool = True,
+        timeout: Optional[float] = 60.0,
+    ) -> List[Record]:
+        """Execute ``network`` on a finite input stream and return all outputs.
+
+        The input records are fed from a dedicated feeder thread while the
+        calling thread drains the global output stream, so bounded streams
+        cannot deadlock the harness.
+        """
+        target = network.copy() if fresh else network
+        in_stream = self._new_stream("network-in")
+        out_stream = self._new_stream("network-out")
+        self.compile(target, in_stream, out_stream.open_writer())
+
+        input_writer = in_stream.open_writer()
+
+        def feeder() -> None:
+            try:
+                for rec in inputs:
+                    input_writer.put(rec)
+            finally:
+                input_writer.close()
+
+        self._spawn(feeder, "feeder")
+
+        # start all registered workers
+        with self._lock:
+            self._started = True
+            pending = list(self._pending)
+            self._pending.clear()
+        for start in pending:
+            start()
+
+        outputs: List[Record] = []
+        while True:
+            rec = out_stream.get(timeout=timeout)
+            if rec is None:
+                break
+            outputs.append(rec)
+
+        for thread in list(self._threads):
+            thread.join(timeout=timeout)
+        if self.errors:
+            raise RuntimeError_(
+                f"{len(self.errors)} worker(s) failed: {self.errors[0]!r}"
+            ) from self.errors[0]
+        return outputs
+
+
+def run_threaded(
+    network: Entity,
+    inputs: Sequence[Record],
+    tracer: Optional[Tracer] = None,
+    stream_capacity: int = 256,
+    timeout: Optional[float] = 60.0,
+) -> List[Record]:
+    """Convenience wrapper: run ``network`` on ``inputs`` with a fresh runtime."""
+    runtime = ThreadedRuntime(tracer=tracer, stream_capacity=stream_capacity)
+    return runtime.run(network, inputs, timeout=timeout)

@@ -1,0 +1,232 @@
+"""Tests for the cluster model: nodes, network, filesystem, topology, metrics."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, paper_cluster
+from repro.cluster.machine import Node
+from repro.cluster.network import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, EthernetNetwork
+from repro.cluster.filesystem import SharedFileSystem
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.sim import SimulationError, Simulator
+
+
+class TestNode:
+    def test_compute_takes_work_over_speed(self):
+        sim = Simulator()
+        node = Node(sim, 0, cpus=1, speed=2.0)
+
+        def proc():
+            yield from node.compute(10.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(5.0)
+
+    def test_two_cpus_parallel(self):
+        sim = Simulator()
+        node = Node(sim, 0, cpus=2)
+        done = []
+
+        def proc():
+            yield from node.compute(3.0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        assert done == [3.0, 3.0]
+
+    def test_third_job_queues_on_dual_cpu(self):
+        sim = Simulator()
+        node = Node(sim, 0, cpus=2)
+        done = []
+
+        def proc():
+            yield from node.compute(3.0)
+            done.append(sim.now)
+
+        for _ in range(3):
+            sim.process(proc())
+        sim.run()
+        assert sorted(done) == [3.0, 3.0, 6.0]
+
+    def test_invalid_construction(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Node(sim, 0, cpus=0)
+        with pytest.raises(SimulationError):
+            Node(sim, 0, speed=0)
+
+    def test_completed_work_tracked(self):
+        sim = Simulator()
+        node = Node(sim, 0)
+        sim.run_process(node.compute(2.5))
+        assert node.completed_work == pytest.approx(2.5)
+
+
+class TestNetwork:
+    def test_transfer_time_formula(self):
+        sim = Simulator()
+        net = EthernetNetwork(sim, 2)
+        expected = DEFAULT_LATENCY + 1_000_000 / DEFAULT_BANDWIDTH
+        assert net.transfer_time(1_000_000) == pytest.approx(expected)
+
+    def test_local_transfer_is_cheap(self):
+        sim = Simulator()
+        net = EthernetNetwork(sim, 2)
+
+        def proc():
+            yield from net.transfer(0, 0, 10_000_000)
+            return sim.now
+
+        assert sim.run_process(proc()) < 1e-3
+
+    def test_remote_transfer_takes_network_time(self):
+        sim = Simulator()
+        net = EthernetNetwork(sim, 2)
+
+        def proc():
+            yield from net.transfer(0, 1, 12_500_000)  # 1 second at 100 Mbit
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(1.0, rel=0.01)
+
+    def test_link_contention_serialises_sends(self):
+        sim = Simulator()
+        net = EthernetNetwork(sim, 3)
+        done = []
+
+        def sender(dst):
+            yield from net.transfer(0, dst, 12_500_000)
+            done.append(sim.now)
+
+        sim.process(sender(1))
+        sim.process(sender(2))
+        sim.run()
+        assert max(done) == pytest.approx(2.0, rel=0.01)
+
+    def test_different_senders_do_not_contend(self):
+        sim = Simulator()
+        net = EthernetNetwork(sim, 4)
+        done = []
+
+        def sender(src, dst):
+            yield from net.transfer(src, dst, 12_500_000)
+            done.append(sim.now)
+
+        sim.process(sender(0, 2))
+        sim.process(sender(1, 3))
+        sim.run()
+        assert max(done) == pytest.approx(1.0, rel=0.01)
+
+    def test_out_of_range_endpoints(self):
+        sim = Simulator()
+        net = EthernetNetwork(sim, 2)
+        with pytest.raises(SimulationError):
+            sim.run_process(net.transfer(0, 5, 100))
+
+    def test_statistics(self):
+        sim = Simulator()
+        net = EthernetNetwork(sim, 2)
+
+        def proc():
+            yield from net.transfer(0, 1, 1000)
+            yield from net.transfer(0, 0, 500)
+
+        sim.run_process(proc())
+        assert net.total_bytes == 1000  # local transfers excluded
+        assert net.message_count == 2
+        assert net.bytes_sent_by(0) == 1000
+
+
+class TestFileSystem:
+    def test_read_write_costs_time(self):
+        sim = Simulator()
+        fs = SharedFileSystem(sim)
+
+        def proc():
+            yield from fs.read(8_000_000)
+            yield from fs.write(8_000_000)
+            return sim.now
+
+        elapsed = sim.run_process(proc())
+        assert elapsed > 1.0
+        assert fs.bytes_read == 8_000_000
+        assert fs.bytes_written == 8_000_000
+
+    def test_server_serialises_requests(self):
+        sim = Simulator()
+        fs = SharedFileSystem(sim)
+        done = []
+
+        def reader():
+            yield from fs.read(8_000_000)
+            done.append(sim.now)
+
+        sim.process(reader())
+        sim.process(reader())
+        sim.run()
+        assert max(done) > 1.5 * min(done)
+
+
+class TestClusterTopology:
+    def test_paper_cluster_defaults(self):
+        cluster = paper_cluster()
+        assert cluster.num_nodes == 8
+        assert all(node.num_cpus == 2 for node in cluster.nodes)
+
+    def test_invalid_spec(self):
+        with pytest.raises(SimulationError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(SimulationError):
+            ClusterSpec(cpus_per_node=0)
+
+    def test_node_lookup_bounds(self):
+        cluster = paper_cluster(num_nodes=2)
+        with pytest.raises(SimulationError):
+            cluster.node(5)
+
+    def test_compute_on_and_send(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def proc():
+            yield from cluster.compute_on(1, 2.0)
+            yield from cluster.send(1, 0, 1000)
+            return cluster.sim.now
+
+        elapsed = cluster.sim.run_process(proc())
+        assert elapsed > 2.0
+
+    def test_collect_node_metrics(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def proc():
+            yield from cluster.compute_on(0, 4.0)
+
+        cluster.sim.run_process(proc())
+        cluster.collect_node_metrics()
+        assert len(cluster.metrics.samples) == 2
+        busy_node = cluster.metrics.samples[0]
+        assert busy_node.completed_work == pytest.approx(4.0)
+
+
+class TestMetricsCollector:
+    def test_counters_and_timings(self):
+        metrics = MetricsCollector()
+        metrics.add("records")
+        metrics.add("records", 2)
+        metrics.set_timing("makespan", 12.5)
+        assert metrics.counters["records"] == 3
+        assert metrics.timings["makespan"] == 12.5
+
+    def test_load_imbalance(self):
+        metrics = MetricsCollector()
+        metrics.record_node(0, 0.9, 30.0)
+        metrics.record_node(1, 0.3, 10.0)
+        assert metrics.load_imbalance() == pytest.approx(1.5)
+        assert metrics.mean_utilisation() == pytest.approx(0.6)
+
+    def test_empty_collector(self):
+        metrics = MetricsCollector()
+        assert metrics.mean_utilisation() == 0.0
+        assert metrics.load_imbalance() == 0.0
+        assert metrics.as_dict()["counters"] == {}

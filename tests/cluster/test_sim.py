@@ -1,0 +1,286 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.cluster.sim import (
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(5.0)
+            yield sim.timeout(2.5)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(7.5)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_timeout_value(self):
+        sim = Simulator()
+
+        def proc():
+            value = yield sim.timeout(1.0, value="hello")
+            return value
+
+        assert sim.run_process(proc()) == "hello"
+
+    def test_parallel_processes_interleave(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            order.append(name)
+
+        sim.process(proc("slow", 10))
+        sim.process(proc("fast", 1))
+        sim.run()
+        assert order == ["fast", "slow"]
+        assert sim.now == 10
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100)
+
+        sim.process(proc())
+        assert sim.run(until=10) == 10
+
+
+class TestProcesses:
+    def test_process_is_event(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(3)
+            return 42
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        assert sim.run_process(parent()) == 43
+
+    def test_all_of(self):
+        sim = Simulator()
+
+        def child(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def parent():
+            results = yield sim.all_of(
+                [sim.process(child(3, "a")), sim.process(child(1, "b"))]
+            )
+            return results
+
+        assert sim.run_process(parent()) == ["a", "b"]
+
+    def test_yield_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_exception_propagates_via_run_process(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            sim.run_process(bad())
+
+    def test_interrupt(self):
+        sim = Simulator()
+        caught = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                caught.append((interrupt.cause, sim.now))
+            return "done"
+
+        def interrupter(target):
+            yield sim.timeout(5)
+            target.interrupt("wake up")
+
+        target = sim.process(sleeper())
+        sim.process(interrupter(target))
+        sim.run()
+        # the sleeper was woken at t=5; the abandoned timeout still drains the
+        # event queue at t=100 (same behaviour as SimPy), but no process runs.
+        assert caught == [("wake up", 5.0)]
+        assert target.triggered and target.value == "done"
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = sim.store()
+
+        def proc():
+            yield store.put("x")
+            item = yield store.get()
+            return item
+
+        assert sim.run_process(proc()) == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = sim.store()
+        times = {}
+
+        def consumer():
+            item = yield store.get()
+            times["got"] = sim.now
+            return item
+
+        def producer():
+            yield sim.timeout(7)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times["got"] == 7
+
+    def test_bounded_store_blocks_putter(self):
+        sim = Simulator()
+        store = sim.store(capacity=1)
+        times = {}
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)  # blocks until consumer takes item 1
+            times["second_put"] = sim.now
+
+        def consumer():
+            yield sim.timeout(5)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times["second_put"] == 5
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = sim.store()
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                received.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        cpu = sim.resource(1)
+        finish_times = []
+
+        def job(duration):
+            yield cpu.request()
+            yield sim.timeout(duration)
+            cpu.release()
+            finish_times.append(sim.now)
+
+        sim.process(job(3))
+        sim.process(job(3))
+        sim.run()
+        assert finish_times == [3, 6]
+
+    def test_two_cpus_run_in_parallel(self):
+        sim = Simulator()
+        cpu = sim.resource(2)
+        finish_times = []
+
+        def job(duration):
+            yield cpu.request()
+            yield sim.timeout(duration)
+            cpu.release()
+            finish_times.append(sim.now)
+
+        for _ in range(2):
+            sim.process(job(4))
+        sim.run()
+        assert finish_times == [4, 4]
+
+    def test_release_of_idle_resource_raises(self):
+        sim = Simulator()
+        cpu = sim.resource(1)
+        with pytest.raises(SimulationError):
+            cpu.release()
+
+    def test_utilisation(self):
+        sim = Simulator()
+        cpu = sim.resource(1)
+
+        def job():
+            yield cpu.request()
+            yield sim.timeout(5)
+            cpu.release()
+            yield sim.timeout(5)
+
+        sim.run_process(job())
+        assert cpu.utilisation() == pytest.approx(0.5)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        cpu = sim.resource(1)
+
+        def hog():
+            yield cpu.request()
+            yield sim.timeout(10)
+            cpu.release()
+
+        def waiter():
+            yield sim.timeout(1)
+            yield cpu.request()
+            cpu.release()
+
+        sim.process(hog())
+        sim.process(waiter())
+        sim.run(until=5)
+        assert cpu.queue_length == 1
+
+    def test_deadlock_detection_in_run_process(self):
+        sim = Simulator()
+        store = sim.store()
+
+        def stuck():
+            yield store.get()  # nothing ever puts
+
+        with pytest.raises(SimulationError):
+            sim.run_process(stuck())

@@ -1,0 +1,194 @@
+"""Tests for the simulated distributed S-Net runtime."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.dsnet import DSNetConfig, SimulatedDSNetRuntime
+from repro.snet.boxes import Box
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.filters import Filter
+from repro.snet.network import run_network
+from repro.snet.patterns import Guard, Pattern, TagRef
+from repro.snet.placement import StaticPlacement, placed_split
+from repro.snet.records import Record
+from repro.snet.synchrocell import SyncroCell
+
+
+def work_box(name="work", label_in="a", label_out="b", seconds=1.0):
+    return Box(
+        name,
+        f"({label_in}) -> ({label_out})",
+        lambda value: {label_out: value + 1},
+        cost=lambda rec: seconds,
+    )
+
+
+class TestDSNetConfig:
+    def test_hop_cost_is_payload_independent(self):
+        # local hops pass field data by reference: only the constant applies
+        config = DSNetConfig(record_overhead=0.001, marshal_bandwidth=1e6)
+        assert config.hop_cost(1_000_000) == pytest.approx(0.001)
+        assert config.hop_cost(8) == pytest.approx(0.001)
+
+    def test_marshal_time_applies_to_node_crossings(self):
+        config = DSNetConfig(marshal_bandwidth=1e6)
+        assert config.marshal_time(1_000_000) == pytest.approx(1.0)
+
+    def test_zero_overhead(self):
+        config = DSNetConfig.zero_overhead()
+        assert config.hop_cost(10_000_000) == 0.0
+        assert config.marshal_time(10_000_000) == 0.0
+        assert config.box_overhead == 0.0
+
+    def test_scaled(self):
+        config = DSNetConfig(record_overhead=0.002).scaled(2.0)
+        assert config.record_overhead == pytest.approx(0.004)
+
+    def test_calibrated_overheads_are_sub_millisecond_per_record(self):
+        calibrated = DSNetConfig.calibrated()
+        assert calibrated.record_overhead < 0.001
+        assert calibrated.marshal_bandwidth >= 10e6
+
+
+class TestSimulatedExecution:
+    def test_single_box_costs_its_work(self):
+        cluster = paper_cluster(num_nodes=1)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        result = runtime.run(work_box(seconds=5.0), [Record({"a": 1})])
+        assert len(result.outputs) == 1
+        assert result.outputs[0].field("b") == 2
+        assert result.makespan == pytest.approx(5.0, abs=0.1)
+        assert result.box_invocations == 1
+
+    def test_pipeline_serialises_on_one_node(self):
+        cluster = paper_cluster(num_nodes=1, cpus_per_node=1)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        net = Serial(work_box("w1", "a", "b", 2.0), work_box("w2", "b", "c", 3.0))
+        result = runtime.run(net, [Record({"a": 1})])
+        assert result.makespan == pytest.approx(5.0, abs=0.1)
+
+    def test_pipeline_overlaps_across_records(self):
+        # two records through a 2-stage pipeline on a 2-CPU node overlap
+        cluster = paper_cluster(num_nodes=1, cpus_per_node=2)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        net = Serial(work_box("w1", "a", "b", 2.0), work_box("w2", "b", "c", 2.0))
+        result = runtime.run(net, [Record({"a": 1}), Record({"a": 2})])
+        assert len(result.outputs) == 2
+        assert result.makespan == pytest.approx(6.0, abs=0.2)
+
+    def test_static_placement_moves_work_to_other_node(self):
+        cluster = paper_cluster(num_nodes=2)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        net = StaticPlacement(work_box(seconds=4.0), 1)
+        result = runtime.run(net, [Record({"a": 1})])
+        assert cluster.nodes[1].completed_work == pytest.approx(4.0)
+        assert cluster.nodes[0].completed_work == pytest.approx(0.0)
+        assert result.records_transferred >= 1  # input crossed to node 1
+
+    def test_placed_split_distributes_over_nodes(self):
+        cluster = paper_cluster(num_nodes=4)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        solver = Box(
+            "solve",
+            "(sect, <node>) -> (chunk)",
+            lambda sect, node: {"chunk": sect},
+            cost=lambda rec: 3.0,
+        )
+        net = placed_split(solver, "node")
+        records = [Record({"sect": i, "<node>": i}) for i in range(4)]
+        result = runtime.run(net, records)
+        assert len(result.outputs) == 4
+        # work executed in parallel on 4 different nodes
+        assert result.makespan == pytest.approx(3.0, abs=0.3)
+        assert all(node.completed_work == pytest.approx(3.0) for node in cluster.nodes)
+
+    def test_placed_split_wraps_node_ids(self):
+        cluster = paper_cluster(num_nodes=2)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        solver = Box(
+            "solve",
+            "(sect, <node>) -> (chunk)",
+            lambda sect, node: {"chunk": sect},
+            cost=lambda rec: 1.0,
+        )
+        net = placed_split(solver, "node")
+        records = [Record({"sect": i, "<node>": i}) for i in range(4)]
+        result = runtime.run(net, records)
+        assert len(result.outputs) == 4
+        # abstract nodes 0..3 fold onto the two physical nodes
+        assert cluster.nodes[0].completed_work == pytest.approx(2.0)
+        assert cluster.nodes[1].completed_work == pytest.approx(2.0)
+
+    def test_unplaced_split_stays_on_parent_node(self):
+        cluster = paper_cluster(num_nodes=4)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        solver = Box(
+            "solve",
+            "(sect, <cpu>) -> (chunk)",
+            lambda sect, cpu: {"chunk": sect},
+            cost=lambda rec: 2.0,
+        )
+        net = IndexSplit(solver, "cpu")
+        records = [Record({"sect": i, "<cpu>": i % 2}) for i in range(2)]
+        result = runtime.run(net, records)
+        # both instances run on the master node, using its two CPUs
+        assert cluster.nodes[0].completed_work == pytest.approx(4.0)
+        assert result.makespan == pytest.approx(2.0, abs=0.3)
+
+    def test_network_transfer_costs_appear(self):
+        cluster = paper_cluster(num_nodes=2)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        import numpy as np
+
+        big_payload = np.zeros(1_250_000)  # 10 Mbit -> 0.1 s on the wire
+        net = StaticPlacement(work_box(seconds=0.0), 1)
+        result = runtime.run(net, [Record({"a": 0, "payload": big_payload})])
+        assert result.network_bytes >= 10_000_000
+        assert result.makespan > 0.08
+
+    def test_runtime_overhead_increases_makespan(self):
+        def run_with(config):
+            cluster = paper_cluster(num_nodes=1)
+            runtime = SimulatedDSNetRuntime(cluster, config)
+            net = Serial(work_box("w1", "a", "b", 0.0), work_box("w2", "b", "c", 0.0))
+            return runtime.run(net, [Record({"a": i}) for i in range(10)]).makespan
+
+        assert run_with(DSNetConfig.calibrated()) > run_with(DSNetConfig.zero_overhead())
+
+    def test_star_and_sync_work_in_simulation(self):
+        cluster = paper_cluster(num_nodes=1)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        bump = Box(
+            "bump", "(<n>) -> (<n>)", lambda n: {"<n>": n + 1}, cost=lambda rec: 0.5
+        )
+        net = Star(bump, Pattern(["<n>"], Guard(TagRef("n") >= 3)))
+        result = runtime.run(net, [Record({"<n>": 0})])
+        assert result.outputs[0].tag("n") == 3
+        assert result.makespan >= 1.5
+
+    def test_outputs_match_sequential_interpreter(self):
+        # the simulated runtime must compute the same record multiset as the
+        # deterministic reference interpreter
+        cluster = paper_cluster(num_nodes=3)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.calibrated())
+        solver = Box(
+            "solve",
+            "(sect, <node>) -> (chunk, <node>)",
+            lambda sect, node: {"chunk": sect * 10, "<node>": node},
+            cost=lambda rec: 0.1,
+        )
+        net = Serial(placed_split(solver, "node"), Filter.identity())
+        inputs = [Record({"sect": i, "<node>": i % 3}) for i in range(9)]
+        simulated = runtime.run(net, inputs)
+        reference = run_network(net, inputs)
+        assert sorted(r.field("chunk") for r in simulated.outputs) == sorted(
+            r.field("chunk") for r in reference
+        )
+
+    def test_node_utilisations_reported(self):
+        cluster = paper_cluster(num_nodes=2)
+        runtime = SimulatedDSNetRuntime(cluster, DSNetConfig.zero_overhead())
+        result = runtime.run(StaticPlacement(work_box(seconds=2.0), 1), [Record({"a": 1})])
+        utils = result.node_utilisations()
+        assert len(utils) == 2
+        assert utils[1] > utils[0]

@@ -1,0 +1,274 @@
+"""Tests for the simulated MPI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.cluster.sim import SimulationError
+from repro.mpisim import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    block_placement,
+    payload_bytes,
+    round_robin_placement,
+    run_mpi,
+)
+
+
+class TestPayloadBytes:
+    def test_numpy_arrays(self):
+        assert payload_bytes(np.zeros(100, dtype=np.float64)) == 800
+
+    def test_scalars_and_strings(self):
+        assert payload_bytes(3) == 8
+        assert payload_bytes(3.5) == 8
+        assert payload_bytes(True) == 1
+        assert payload_bytes("hello") == 5
+        assert payload_bytes(None) == 8
+
+    def test_containers_sum_elements(self):
+        assert payload_bytes([np.zeros(10), np.zeros(10)]) > 160
+        assert payload_bytes({"a": np.zeros(10)}) > 80
+
+    def test_record_payload(self):
+        from repro.snet.records import Record
+
+        rec = Record({"data": np.zeros(1000)})
+        assert payload_bytes(rec) >= 8000
+
+
+class TestPlacement:
+    def test_round_robin(self):
+        assert round_robin_placement(5, 2) == [0, 1, 0, 1, 0]
+
+    def test_block(self):
+        assert block_placement(4, 2) == [0, 0, 1, 1]
+
+    def test_block_uneven(self):
+        placement = block_placement(5, 2)
+        assert len(placement) == 5
+        assert max(placement) == 1
+
+    def test_invalid_nodes(self):
+        with pytest.raises(SimulationError):
+            round_robin_placement(4, 0)
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return "sent"
+            data = yield from comm.recv(source=0, tag=11)
+            return data
+
+        job = run_mpi(cluster, 2, program)
+        assert job.results[0] == "sent"
+        assert job.results[1] == {"a": 7, "b": 3.14}
+        assert job.makespan > 0
+
+    def test_isend_irecv(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(10), dest=1, tag=5)
+                yield from req.wait()
+                return None
+            req = comm.irecv(source=0, tag=5)
+            data = yield from req.wait()
+            return int(data.sum())
+
+        job = run_mpi(cluster, 2, program)
+        assert job.results[1] == 45
+
+    def test_any_source_any_tag(self):
+        cluster = paper_cluster(num_nodes=4)
+
+        def program(comm):
+            if comm.rank == 0:
+                received = []
+                for _ in range(comm.size - 1):
+                    msg = yield from comm.recv_message(source=ANY_SOURCE, tag=ANY_TAG)
+                    received.append(msg.source)
+                return sorted(received)
+            yield from comm.compute(0.001 * comm.rank)
+            yield from comm.send(comm.rank, dest=0, tag=comm.rank)
+            return None
+
+        job = run_mpi(cluster, 4, program)
+        assert job.results[0] == [1, 2, 3]
+
+    def test_tag_matching_is_selective(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send("first", dest=1, tag=1)
+                yield from comm.send("second", dest=1, tag=2)
+                return None
+            second = yield from comm.recv(source=0, tag=2)
+            first = yield from comm.recv(source=0, tag=1)
+            return (first, second)
+
+        job = run_mpi(cluster, 2, program)
+        assert job.results[1] == ("first", "second")
+
+    def test_send_to_invalid_rank(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            yield from comm.send(1, dest=99)
+
+        with pytest.raises(SimulationError):
+            run_mpi(cluster, 2, program)
+
+    def test_deadlock_detected(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            # both ranks wait for a message that never comes
+            yield from comm.recv(source=ANY_SOURCE)
+
+        with pytest.raises(SimulationError):
+            run_mpi(cluster, 2, program)
+
+    def test_large_message_takes_longer(self):
+        def program_factory(nbytes):
+            def program(comm):
+                if comm.rank == 0:
+                    yield from comm.send(np.zeros(nbytes // 8), dest=1)
+                else:
+                    yield from comm.recv(source=0)
+
+            return program
+
+        small_job = run_mpi(paper_cluster(num_nodes=2), 2, program_factory(1_000))
+        big_job = run_mpi(paper_cluster(num_nodes=2), 2, program_factory(10_000_000))
+        assert big_job.makespan > small_job.makespan * 10
+
+
+class TestCollectives:
+    def test_bcast(self):
+        cluster = paper_cluster(num_nodes=4)
+
+        def program(comm):
+            data = {"key": [1, 2, 3]} if comm.rank == 0 else None
+            data = yield from comm.bcast(data, root=0)
+            return data["key"]
+
+        job = run_mpi(cluster, 4, program)
+        assert all(result == [1, 2, 3] for result in job.results)
+
+    def test_scatter_gather(self):
+        cluster = paper_cluster(num_nodes=4)
+
+        def program(comm):
+            values = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+            mine = yield from comm.scatter(values, root=0)
+            gathered = yield from comm.gather(mine * 10, root=0)
+            return gathered
+
+        job = run_mpi(cluster, 4, program)
+        assert job.results[0] == [10, 40, 90, 160]
+        assert job.results[1] is None
+
+    def test_scatter_requires_value_per_rank(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            values = [1] if comm.rank == 0 else None
+            yield from comm.scatter(values, root=0)
+
+        with pytest.raises(SimulationError):
+            run_mpi(cluster, 2, program)
+
+    def test_reduce_and_allreduce(self):
+        cluster = paper_cluster(num_nodes=4)
+
+        def program(comm):
+            total = yield from comm.allreduce(comm.rank + 1)
+            return total
+
+        job = run_mpi(cluster, 4, program)
+        assert all(result == 10 for result in job.results)
+
+    def test_allgather(self):
+        cluster = paper_cluster(num_nodes=3)
+
+        def program(comm):
+            values = yield from comm.allgather(comm.rank * 2)
+            return values
+
+        job = run_mpi(cluster, 3, program)
+        assert all(result == [0, 2, 4] for result in job.results)
+
+    def test_barrier_synchronises(self):
+        cluster = paper_cluster(num_nodes=4)
+
+        def program(comm):
+            yield from comm.compute(0.5 * comm.rank)
+            yield from comm.barrier()
+            return comm.sim.now
+
+        job = run_mpi(cluster, 4, program)
+        slowest = max(job.results)
+        assert all(result >= 1.5 for result in job.results) or slowest >= 1.5
+
+
+class TestLauncher:
+    def test_placement_validation(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            yield comm.sim.timeout(0)
+
+        with pytest.raises(SimulationError):
+            run_mpi(cluster, 2, program, placement=[0])
+        with pytest.raises(SimulationError):
+            run_mpi(cluster, 2, program, placement=[0, 7])
+
+    def test_compute_runs_on_assigned_node(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            yield from comm.compute(1.0)
+            return comm.node_id
+
+        job = run_mpi(cluster, 4, program, placement=[0, 0, 1, 1])
+        assert job.results == [0, 0, 1, 1]
+        cluster_work = [node.completed_work for node in cluster.nodes]
+        assert cluster_work == [2.0, 2.0]
+
+    def test_per_rank_stats(self):
+        cluster = paper_cluster(num_nodes=2)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send("x", dest=1)
+            else:
+                yield from comm.recv(source=0)
+
+        job = run_mpi(cluster, 2, program)
+        assert job.per_rank_stats[0]["sent"] == 1
+        assert job.per_rank_stats[1]["received"] == 1
+        assert job.total_messages == 1
+
+    def test_message_overhead_parameter(self):
+        def program(comm):
+            if comm.rank == 0:
+                for _ in range(10):
+                    yield from comm.send("x", dest=1)
+            else:
+                for _ in range(10):
+                    yield from comm.recv(source=0)
+
+        fast = run_mpi(paper_cluster(num_nodes=2), 2, program)
+        slow = run_mpi(
+            paper_cluster(num_nodes=2), 2, program, overhead_per_message=0.05
+        )
+        assert slow.makespan > fast.makespan + 0.4

@@ -1,0 +1,137 @@
+"""Tests for the Goldsmith-Salmon BVH, including the brute-force oracle check."""
+
+import numpy as np
+import pytest
+
+from repro.raytracer.bvh import BVH, BruteForceIndex
+from repro.raytracer.geometry import Plane, Sphere
+from repro.raytracer.ray import Ray
+from repro.raytracer.scene import random_scene
+from repro.raytracer.vec import vec3
+
+
+def grid_spheres(n=4, spacing=2.0, radius=0.4):
+    spheres = []
+    for i in range(n):
+        for j in range(n):
+            spheres.append(Sphere(vec3(i * spacing, j * spacing, -5.0), radius))
+    return spheres
+
+
+class TestConstruction:
+    def test_empty_bvh(self):
+        bvh = BVH()
+        assert bvh.size == 0
+        assert bvh.depth() == 0
+        assert bvh.intersect(Ray(vec3(0, 0, 0), vec3(0, 0, -1))) == (None, None)
+        assert bvh.check_invariants()
+
+    def test_single_primitive(self):
+        bvh = BVH([Sphere(vec3(0, 0, -5), 1.0)])
+        assert bvh.size == 1
+        assert bvh.depth() == 1
+        assert bvh.check_invariants()
+
+    def test_incremental_insertion_keeps_invariants(self):
+        bvh = BVH()
+        for sphere in grid_spheres():
+            bvh.insert(sphere)
+            assert bvh.check_invariants()
+        assert bvh.size == 16
+        assert len(bvh.leaves()) == 16
+
+    def test_root_box_contains_all_primitives(self):
+        spheres = grid_spheres()
+        bvh = BVH(spheres)
+        for sphere in spheres:
+            assert bvh.root.box.contains_box(sphere.bounding_box())
+
+    def test_unbounded_primitive_rejected(self):
+        bvh = BVH()
+        with pytest.raises(ValueError):
+            bvh.insert(Plane(vec3(0, 0, 0), vec3(0, 1, 0)))
+
+    def test_tree_is_reasonably_balanced_on_grid(self):
+        # Goldsmith-Salmon insertion on a regular grid should stay close to
+        # logarithmic depth, far below the degenerate linear chain.
+        spheres = grid_spheres(n=6)  # 36 primitives
+        bvh = BVH(spheres)
+        assert bvh.depth() <= 16
+
+    def test_surface_area_cost_beats_chain_insertion(self):
+        # the branch-and-bound insertion should produce a tree whose total
+        # internal surface area is no worse than inserting along a chain
+        spheres = grid_spheres(n=5)
+        bvh = BVH(spheres)
+        chain_area = sum(
+            Sphere(vec3(0, 0, -5), 1.0).bounding_box().surface_area()
+            for _ in spheres
+        )
+        assert bvh.total_surface_area() > 0
+        assert bvh.depth() < len(spheres)
+
+
+class TestQueries:
+    def test_intersect_finds_closest(self):
+        near = Sphere(vec3(0, 0, -3), 0.5)
+        far = Sphere(vec3(0, 0, -8), 0.5)
+        bvh = BVH([far, near])
+        primitive, t = bvh.intersect(Ray(vec3(0, 0, 0), vec3(0, 0, -1)))
+        assert primitive is near
+        assert t == pytest.approx(2.5)
+
+    def test_any_hit(self):
+        bvh = BVH([Sphere(vec3(0, 0, -3), 0.5)])
+        assert bvh.any_hit(Ray(vec3(0, 0, 0), vec3(0, 0, -1)))
+        assert not bvh.any_hit(Ray(vec3(0, 0, 0), vec3(0, 1, 0)))
+
+    def test_any_hit_respects_max_distance(self):
+        bvh = BVH([Sphere(vec3(0, 0, -10), 0.5)])
+        ray = Ray(vec3(0, 0, 0), vec3(0, 0, -1))
+        assert not bvh.any_hit(ray, t_max=5.0)
+        assert bvh.any_hit(ray, t_max=20.0)
+
+    def test_matches_brute_force_oracle(self):
+        scene = random_scene(num_spheres=40, clustering=0.3, seed=7)
+        spheres = scene.bounded_objects
+        bvh = BVH(spheres)
+        brute = BruteForceIndex(spheres)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            origin = vec3(*(rng.random(3) * 6 - 3))
+            direction = vec3(*(rng.random(3) * 2 - 1))
+            if np.allclose(direction, 0):
+                continue
+            ray = Ray(origin, direction)
+            bvh_prim, bvh_t = bvh.intersect(ray)
+            brute_prim, brute_t = brute.intersect(ray)
+            if brute_prim is None:
+                assert bvh_prim is None
+            else:
+                assert bvh_prim is brute_prim
+                assert bvh_t == pytest.approx(brute_t)
+
+    def test_bvh_visits_fewer_primitives_than_brute_force(self):
+        spheres = grid_spheres(n=6)
+        bvh = BVH(spheres)
+        brute = BruteForceIndex(spheres)
+        rays = [
+            Ray(vec3(x, y, 0), vec3(0, 0, -1))
+            for x in np.linspace(-1, 11, 10)
+            for y in np.linspace(-1, 11, 10)
+        ]
+        for ray in rays:
+            bvh.intersect(ray)
+            brute.intersect(ray)
+        assert bvh.stats.primitive_tests < brute.stats.primitive_tests
+
+
+class TestBruteForce:
+    def test_insert_and_size(self):
+        brute = BruteForceIndex()
+        brute.insert(Sphere(vec3(0, 0, -5), 1.0))
+        assert brute.size == 1
+
+    def test_miss_returns_none(self):
+        brute = BruteForceIndex([Sphere(vec3(0, 0, -5), 1.0)])
+        assert brute.intersect(Ray(vec3(0, 0, 0), vec3(0, 1, 0))) == (None, None)

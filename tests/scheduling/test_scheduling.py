@@ -1,0 +1,107 @@
+"""Tests for block and factoring section schedulers."""
+
+import pytest
+
+from repro.scheduling import BlockScheduler, FactoringScheduler, Section, validate_sections
+
+
+class TestSection:
+    def test_rows(self):
+        assert Section(0, 0, 93).rows == 93
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            Section(0, 10, 10)
+        with pytest.raises(ValueError):
+            Section(0, -1, 5)
+
+    def test_payload_size_is_small(self):
+        assert Section(0, 0, 100).payload_size() < 100
+
+
+class TestValidateSections:
+    def test_valid_tiling(self):
+        validate_sections([Section(0, 0, 10), Section(1, 10, 20)], 20)
+
+    def test_gap_detected(self):
+        with pytest.raises(ValueError):
+            validate_sections([Section(0, 0, 10), Section(1, 12, 20)], 20)
+
+    def test_wrong_end_detected(self):
+        with pytest.raises(ValueError):
+            validate_sections([Section(0, 0, 10)], 20)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            validate_sections([], 10)
+
+
+class TestBlockScheduler:
+    def test_even_split(self):
+        sections = BlockScheduler(6).sections(3000)
+        assert len(sections) == 6
+        assert all(s.rows == 500 for s in sections)
+        validate_sections(sections, 3000)
+
+    def test_uneven_split_differs_by_at_most_one(self):
+        sections = BlockScheduler(7).sections(3000)
+        sizes = {s.rows for s in sections}
+        assert max(sizes) - min(sizes) <= 1
+        validate_sections(sections, 3000)
+
+    def test_all_paper_task_counts_tile_the_image(self):
+        for tasks in (8, 16, 32, 48, 64, 72):
+            validate_sections(BlockScheduler(tasks).sections(3000), 3000)
+
+    def test_too_many_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            BlockScheduler(100).sections(50)
+
+    def test_invalid_task_count(self):
+        with pytest.raises(ValueError):
+            BlockScheduler(0)
+
+
+class TestFactoringScheduler:
+    def test_paper_example_48_sections(self):
+        # "split the scene into two batches with the first batch containing
+        #  24 sections of size 93 and the second batch the remaining 24
+        #  sections of size 32"
+        scheduler = FactoringScheduler(num_tasks=48, num_batches=2, decay=3.0)
+        sizes = scheduler.batch_sizes(3000)
+        assert sizes == [93, 32]
+        sections = scheduler.sections(3000)
+        assert len(sections) == 48
+        assert [s.rows for s in sections[:24]] == [93] * 24
+        assert [s.rows for s in sections[24:47]] == [32] * 23
+        validate_sections(sections, 3000)
+
+    def test_sections_decrease_between_batches(self):
+        for tasks in (8, 16, 32, 48, 64, 72):
+            scheduler = FactoringScheduler(num_tasks=tasks)
+            sizes = scheduler.batch_sizes(3000)
+            assert sizes[0] > sizes[-1]
+            validate_sections(scheduler.sections(3000), 3000)
+
+    def test_num_tasks_must_divide_into_batches(self):
+        with pytest.raises(ValueError):
+            FactoringScheduler(num_tasks=7, num_batches=2)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            FactoringScheduler(num_tasks=8, decay=1.0)
+
+    def test_first_sections_are_larger_than_block(self):
+        block = BlockScheduler(48).sections(3000)
+        factoring = FactoringScheduler(48).sections(3000)
+        assert factoring[0].rows > block[0].rows
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            FactoringScheduler(num_tasks=48).sections(40)
+
+    def test_single_batch_behaves_like_block(self):
+        scheduler = FactoringScheduler(num_tasks=8, num_batches=1, decay=2.0)
+        sections = scheduler.sections(3000)
+        assert len(sections) == 8
+        validate_sections(sections, 3000)

@@ -1,0 +1,177 @@
+"""Unit tests for boxes: signatures, execution, flow inheritance."""
+
+import pytest
+
+from repro.snet.boxes import Box, BoxSignature, box
+from repro.snet.errors import BoxError
+from repro.snet.records import Record
+
+
+class TestBoxSignature:
+    def test_parse_paper_signature(self):
+        sig = BoxSignature.parse("(a, <b>) -> (c) | (c, d, <e>)")
+        assert [l.pretty() for l in sig.inputs] == ["a", "<b>"]
+        assert len(sig.outputs) == 2
+
+    def test_type_signature_drops_ordering(self):
+        sig = BoxSignature.parse("(a, <b>) -> (c)")
+        ts = sig.type_signature()
+        assert ts.accepts(Record({"<b>": 1, "a": 2}))
+
+    def test_empty_output(self):
+        sig = BoxSignature.parse("(pic) -> ()")
+        assert sig.outputs == ((),)
+
+    def test_repr(self):
+        sig = BoxSignature.parse("(a) -> (b)")
+        assert "(a) -> (b)" in repr(sig)
+
+
+class TestBoxExecution:
+    def test_box_receives_values_in_signature_order(self):
+        received = []
+
+        def fn(a, b, n):
+            received.append((a, b, n))
+            return {"c": a + b + n}
+
+        bx = Box("fn", "(a, b, <n>) -> (c)", fn)
+        out = bx.process(Record({"<n>": 3, "b": 2, "a": 1}))
+        assert received == [(1, 2, 3)]
+        assert out[0].field("c") == 6
+
+    def test_box_decorator(self):
+        @box("(a, <n>) -> (b)")
+        def double(a, n):
+            return {"b": a * n}
+
+        assert double.name == "double"
+        result = double.process(Record({"a": 2, "<n>": 3}))
+        assert result[0].field("b") == 6
+
+    def test_box_may_emit_multiple_records(self):
+        @box("(xs) -> (x)")
+        def explode(xs):
+            return [{"x": v} for v in xs]
+
+        outs = explode.process(Record({"xs": [1, 2, 3]}))
+        assert [o.field("x") for o in outs] == [1, 2, 3]
+
+    def test_box_out_callback(self):
+        @box("(xs) -> (x)")
+        def emit(xs, out):
+            for v in xs:
+                out({"x": v})
+
+        outs = emit.process(Record({"xs": [4, 5]}))
+        assert [o.field("x") for o in outs] == [4, 5]
+
+    def test_box_may_emit_nothing(self):
+        @box("(pic) -> ()")
+        def sink(pic):
+            return None
+
+        assert sink.process(Record({"pic": 1})) == []
+
+    def test_record_not_matching_input_type_raises(self):
+        @box("(a) -> (b)")
+        def f(a):
+            return {"b": a}
+
+        with pytest.raises(BoxError):
+            f.process(Record({"z": 1}))
+
+    def test_output_not_matching_declared_variants_raises(self):
+        @box("(a) -> (b)")
+        def bad(a):
+            return {"zzz": a}
+
+        with pytest.raises(BoxError):
+            bad.process(Record({"a": 1}))
+
+    def test_non_record_output_raises(self):
+        @box("(a) -> (b)")
+        def bad(a):
+            return 42
+
+        with pytest.raises(BoxError):
+            bad.process(Record({"a": 1}))
+
+    def test_tags_are_passed_as_ints(self):
+        @box("(<n>) -> (<m>)")
+        def inc(n):
+            assert isinstance(n, int)
+            return {"<m>": n + 1}
+
+        out = inc.process(Record({"<n>": 41}))
+        assert out[0].tag("m") == 42
+
+
+class TestFlowInheritance:
+    def test_unmatched_labels_are_inherited(self):
+        @box("(sect) -> (chunk)")
+        def solve(sect):
+            return {"chunk": sect * 2}
+
+        rec = Record({"sect": 10, "scene": "SCENE", "<fst>": 1, "<tasks>": 8})
+        out = solve.process(rec)[0]
+        assert out.field("chunk") == 20
+        assert out.field("scene") == "SCENE"
+        assert out.tag("fst") == 1
+        assert out.tag("tasks") == 8
+
+    def test_consumed_labels_are_not_inherited(self):
+        @box("(sect) -> (chunk)")
+        def solve(sect):
+            return {"chunk": sect}
+
+        out = solve.process(Record({"sect": 1, "x": 2}))[0]
+        assert not out.has_field("sect")
+        assert out.field("x") == 2
+
+    def test_output_overrides_inherited_label(self):
+        @box("(a) -> (b)")
+        def f(a):
+            return {"b": a + 1, "keepme": "new"}
+
+        out = f.process(Record({"a": 1, "keepme": "old"}))[0]
+        assert out.field("keepme") == "new"
+
+    def test_inheritance_applies_to_every_output(self):
+        @box("(xs) -> (x)")
+        def explode(xs):
+            return [{"x": v} for v in xs]
+
+        outs = explode.process(Record({"xs": [1, 2], "<node>": 5}))
+        assert all(o.tag("node") == 5 for o in outs)
+
+    def test_chain_of_oblivious_boxes_preserves_labels(self):
+        # "a chain of boxes operating on a message can process a certain
+        #  subset of it each, while being oblivious of the rest"
+        @box("(a) -> (a2)")
+        def first(a):
+            return {"a2": a + 1}
+
+        @box("(b) -> (b2)")
+        def second(b):
+            return {"b2": b * 2}
+
+        rec = Record({"a": 1, "b": 10, "untouched": "X"})
+        mid = first.process(rec)[0]
+        out = second.process(mid)[0]
+        assert out.field("a2") == 2
+        assert out.field("b2") == 20
+        assert out.field("untouched") == "X"
+
+
+class TestBoxCost:
+    def test_estimated_cost_defaults_to_zero(self):
+        @box("(a) -> (b)")
+        def f(a):
+            return {"b": a}
+
+        assert f.estimated_cost(Record({"a": 1})) == 0.0
+
+    def test_estimated_cost_uses_cost_model(self):
+        bx = Box("f", "(a) -> (b)", lambda a: {"b": a}, cost=lambda r: r.field("a") * 2.0)
+        assert bx.estimated_cost(Record({"a": 3})) == 6.0

@@ -1,0 +1,133 @@
+"""Unit tests for filter entities."""
+
+import pytest
+
+from repro.snet.errors import FilterError
+from repro.snet.filters import Filter, FilterRule, OutputTemplate
+from repro.snet.patterns import Const, Pattern, TagRef
+from repro.snet.records import Record
+
+
+class TestIdentityFilter:
+    def test_identity_passes_records_unchanged(self):
+        flt = Filter.identity()
+        rec = Record({"a": 1, "<t>": 2})
+        assert flt.process(rec) == [rec]
+
+    def test_identity_accepts_everything(self):
+        flt = Filter.identity()
+        assert flt.accepts(Record())
+        assert flt.accepts(Record({"x": 1}))
+
+    def test_identity_match_score_is_weak(self):
+        # the identity filter matches everything but ignores all labels,
+        # so a specific branch always wins the routing in parallel composition
+        flt = Filter.identity()
+        assert flt.match_score(Record({"a": 1, "b": 2})) == 2
+
+
+class TestSimpleFilters:
+    def test_add_counter_tag(self):
+        # [ {} -> {<cnt=1>} ]   (from the merger network, Fig. 3)
+        flt = Filter.simple(Pattern(), assign_tags={"cnt": 1})
+        out = flt.process(Record({"pic": "P"}))[0]
+        assert out.tag("cnt") == 1
+        assert out.field("pic") == "P"
+
+    def test_increment_counter_tag(self):
+        # [ {<cnt>} -> {<cnt+=1>} ]
+        flt = Filter.simple(
+            Pattern(["<cnt>"]), assign_tags={"cnt": TagRef("cnt") + 1}
+        )
+        out = flt.process(Record({"<cnt>": 3, "pic": "P"}))[0]
+        assert out.tag("cnt") == 4
+        assert out.field("pic") == "P"
+
+    def test_rename_field(self):
+        flt = Filter.simple(Pattern(["old"]), rename={"new": "old"})
+        out = flt.process(Record({"old": 7}))[0]
+        assert out.field("new") == 7
+
+    def test_drop_rest(self):
+        flt = Filter.simple(Pattern(["a"]), keep=["a"], drop_rest=True)
+        out = flt.process(Record({"a": 1, "b": 2}))[0]
+        assert out.has_field("a")
+        assert not out.has_field("b")
+
+    def test_no_matching_rule_raises(self):
+        flt = Filter.simple(Pattern(["a"]), keep=["a"])
+        with pytest.raises(FilterError):
+            flt.process(Record({"z": 1}))
+
+
+class TestSplitterFilters:
+    def test_fig4_chunk_node_split(self):
+        # [ {chunk, <node>} -> {chunk}; {<node>} ]
+        flt = Filter.splitter(["chunk", "<node>"], [["chunk"], ["<node>"]])
+        outs = flt.process(Record({"chunk": "C", "<node>": 2, "<tasks>": 8}))
+        assert len(outs) == 2
+        chunk_rec, node_rec = outs
+        assert chunk_rec.field("chunk") == "C"
+        assert not chunk_rec.has_tag("node")
+        assert node_rec.tag("node") == 2
+        assert not node_rec.has_field("chunk")
+        # labels outside the pattern are flow-inherited onto both outputs
+        assert chunk_rec.tag("tasks") == 8
+        assert node_rec.tag("tasks") == 8
+
+    def test_multiple_outputs_per_record(self):
+        flt = Filter.splitter(["a", "b"], [["a"], ["b"], ["a", "b"]])
+        outs = flt.process(Record({"a": 1, "b": 2}))
+        assert len(outs) == 3
+
+
+class TestFilterRules:
+    def test_rule_requires_output(self):
+        with pytest.raises(FilterError):
+            FilterRule(Pattern(), [])
+
+    def test_first_matching_rule_fires(self):
+        rule1 = FilterRule(Pattern(["a"]), [OutputTemplate(keep=("a",))])
+        rule2 = FilterRule(Pattern(["b"]), [OutputTemplate(keep=("b",))])
+        flt = Filter([rule1, rule2])
+        out = flt.process(Record({"a": 1, "b": 2}))[0]
+        assert out.has_field("a")
+
+    def test_signature_reflects_rules(self):
+        flt = Filter.simple(Pattern(["a"]), assign_tags={"n": Const(1)})
+        sig = flt.signature
+        assert sig.accepts(Record({"a": 1}))
+        assert not sig.accepts(Record({"b": 1}))
+
+    def test_match_score_of_rule_filter(self):
+        flt = Filter.simple(Pattern(["a"]), keep=["a"])
+        assert flt.match_score(Record({"a": 1, "b": 2})) == 1
+        assert flt.match_score(Record({"c": 1})) is None
+
+
+class TestParsedFilters:
+    def test_parse_identity(self):
+        flt = Filter.parse("[]")
+        rec = Record({"x": 1})
+        assert flt.process(rec) == [rec]
+
+    def test_parse_counter_init(self):
+        flt = Filter.parse("[ {} -> {<cnt=1>} ]")
+        out = flt.process(Record({"pic": "P"}))[0]
+        assert out.tag("cnt") == 1
+
+    def test_parse_counter_increment(self):
+        flt = Filter.parse("[ {<cnt>} -> {<cnt+=1>} ]")
+        out = flt.process(Record({"<cnt>": 9}))[0]
+        assert out.tag("cnt") == 10
+
+    def test_parse_fig4_splitter(self):
+        flt = Filter.parse("[ {chunk, <node>} -> {chunk}; {<node>} ]")
+        outs = flt.process(Record({"chunk": "C", "<node>": 1}))
+        assert len(outs) == 2
+
+    def test_parse_pattern_only_filter(self):
+        flt = Filter.parse("[ {a} ]")
+        out = flt.process(Record({"a": 5, "b": 6}))[0]
+        assert out.field("a") == 5
+        assert out.field("b") == 6  # flow inheritance keeps b

@@ -1,0 +1,264 @@
+"""Unit tests for the textual S-Net language front-end (lexer, parser, builder)."""
+
+import pytest
+
+from repro.snet.boxes import Box
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.errors import NetworkError, ParseError
+from repro.snet.filters import Filter
+from repro.snet.lang import ast as A
+from repro.snet.lang.builder import BoxEnvironment, build_net_expr, build_network
+from repro.snet.lang.lexer import TokenStream, tokenize
+from repro.snet.lang.parser import (
+    parse_box_signature,
+    parse_net_expr,
+    parse_network,
+    parse_pattern,
+    parse_record_type,
+    parse_type_signature,
+)
+from repro.snet.lang.typecheck import check_network
+from repro.snet.network import run_network
+from repro.snet.placement import StaticPlacement
+from repro.snet.records import Record
+from repro.snet.synchrocell import SyncroCell
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("net foo { box bar ((a) -> (b)); } connect bar;")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] == "keyword"
+        assert kinds[-1] == "eof"
+
+    def test_multichar_operators(self):
+        toks = [t.text for t in tokenize("a .. b !@ <n> [| |] ->") if t.kind == "op"]
+        assert ".." in toks and "!@" in toks and "[|" in toks and "|]" in toks and "->" in toks
+
+    def test_comments_are_skipped(self):
+        toks = tokenize("a // comment\nb /* block\ncomment */ c")
+        idents = [t.text for t in toks if t.kind == "ident"]
+        assert idents == ["a", "b", "c"]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never closed")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        b_tok = [t for t in toks if t.text == "b"][0]
+        assert b_tok.line == 2
+        assert b_tok.column == 3
+
+    def test_token_stream_expect_errors(self):
+        ts = TokenStream.from_source("abc")
+        with pytest.raises(ParseError):
+            ts.expect_op("{")
+
+
+class TestTypeParsing:
+    def test_record_type(self):
+        rt = parse_record_type("{scene, <nodes>, <tasks>}")
+        assert rt.accepts(Record({"scene": 1, "<nodes>": 2, "<tasks>": 3}))
+
+    def test_type_signature(self):
+        sig = parse_type_signature("{a,<b>} -> {c} | {c,d,<e>}")
+        assert len(sig.output_type) == 2
+
+    def test_box_signature_from_fig2(self):
+        sig = parse_box_signature(
+            "(scene, <nodes>, <tasks>) -> (scene, sect, <node>, <tasks>, <fst>)"
+            " | (scene, sect, <node>, <tasks>)"
+        )
+        assert len(sig.inputs) == 3
+        assert len(sig.outputs) == 2
+
+    def test_pattern_with_guard(self):
+        p = parse_pattern("{<tasks> == <cnt>}")
+        assert p.matches(Record({"<tasks>": 5, "<cnt>": 5}))
+        assert not p.matches(Record({"<tasks>": 5, "<cnt>": 4}))
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_record_type("{a} junk")
+
+
+class TestNetExprParsing:
+    def test_serial_and_split(self):
+        expr = parse_net_expr("splitter .. solver!@<node> .. merger .. genImg")
+        assert isinstance(expr, A.SerialExpr)
+
+    def test_parallel_with_bypass(self):
+        expr = parse_net_expr("( init .. [ {} -> {<cnt=1>} ] ) | []")
+        assert isinstance(expr, A.ParallelExpr)
+        assert isinstance(expr.right, A.FilterExpr)
+
+    def test_star_with_guard_pattern(self):
+        expr = parse_net_expr("( merge | [] )*{<tasks> == <cnt>}")
+        assert isinstance(expr, A.StarExpr)
+
+    def test_static_placement(self):
+        expr = parse_net_expr("solver@3")
+        assert isinstance(expr, A.PlacementExpr)
+        assert expr.node == 3
+
+    def test_synchrocell_in_expression(self):
+        expr = parse_net_expr("[| {pic}, {chunk} |] .. merge")
+        assert isinstance(expr, A.SerialExpr)
+        assert isinstance(expr.left, A.SyncExpr)
+
+    def test_deterministic_variants(self):
+        expr = parse_net_expr("a || b")
+        assert isinstance(expr, A.ParallelExpr) and expr.deterministic
+        expr = parse_net_expr("a**{stop}")
+        assert isinstance(expr, A.StarExpr) and expr.deterministic
+        expr = parse_net_expr("a!!<t>")
+        assert isinstance(expr, A.SplitExpr) and expr.deterministic
+
+    def test_precedence_postfix_tighter_than_serial(self):
+        expr = parse_net_expr("a .. b!<t>")
+        assert isinstance(expr, A.SerialExpr)
+        assert isinstance(expr.right, A.SplitExpr)
+
+    def test_precedence_serial_tighter_than_parallel(self):
+        expr = parse_net_expr("a .. b | c")
+        assert isinstance(expr, A.ParallelExpr)
+        assert isinstance(expr.left, A.SerialExpr)
+
+
+class TestNetDefinitionParsing:
+    FIG2_SOURCE = """
+    net raytracing_stat
+    {
+        box splitter( (scene, <nodes>, <tasks>)
+            -> (scene, sect, <node>, <tasks>, <fst>)
+             | (scene, sect, <node>, <tasks> ));
+        box solver ( (scene, sect) -> (chunk));
+        net merger ( (chunk, <fst>) -> (pic),
+                     (chunk) -> (pic));
+        box genImg ( (pic) -> ());
+    } connect
+        splitter .. solver!@<node> .. merger .. genImg
+    """
+
+    def test_parse_fig2(self):
+        decl = parse_network(self.FIG2_SOURCE)
+        assert decl.name == "raytracing_stat"
+        assert [b.name for b in decl.boxes] == ["splitter", "solver", "genImg"]
+        assert [n.name for n in decl.nets] == ["merger"]
+        assert decl.nets[0].signature is not None
+        assert isinstance(decl.body, A.SerialExpr)
+
+    def test_nested_net_with_body(self):
+        source = """
+        net outer {
+            box a ((x) -> (y));
+            net inner {
+                box b ((y) -> (z));
+            } connect b;
+        } connect a .. inner;
+        """
+        decl = parse_network(source)
+        assert decl.nets[0].body is not None
+
+    def test_missing_connect_keyword_raises(self):
+        with pytest.raises(ParseError):
+            parse_network("net broken { box a ((x) -> (y)); } a;")
+
+
+class TestBuilder:
+    def test_build_simple_pipeline(self):
+        source = """
+        net pipeline {
+            box inc ((<n>) -> (<n>));
+            box dbl ((<n>) -> (<n>));
+        } connect inc .. dbl;
+        """
+        env = {"inc": lambda n: {"<n>": n + 1}, "dbl": lambda n: {"<n>": n * 2}}
+        netdef = build_network(source, env)
+        out = run_network(netdef.network, [Record({"<n>": 3})])
+        assert out[0].tag("n") == 8
+
+    def test_unknown_box_name_raises(self):
+        source = "net broken { box a ((x) -> (y)); } connect a .. unknown;"
+        with pytest.raises(NetworkError):
+            build_network(source, {"a": lambda x: {"y": x}})
+
+    def test_missing_implementation_raises(self):
+        source = "net broken { box a ((x) -> (y)); } connect a;"
+        with pytest.raises(NetworkError):
+            build_network(source, {})
+
+    def test_build_with_prebuilt_box(self):
+        prebuilt = Box("neg", "(x) -> (y)", lambda x: {"y": -x})
+        netdef = build_network(
+            "net n { box neg ((x) -> (y)); } connect neg;", {"neg": prebuilt}
+        )
+        out = run_network(netdef.network, [Record({"x": 5})])
+        assert out[0].field("y") == -5
+
+    def test_build_net_expr_with_entities(self):
+        env = BoxEnvironment(
+            {
+                "first": Box("first", "(a) -> (b)", lambda a: {"b": a + 1}),
+                "second": Box("second", "(b) -> (c)", lambda b: {"c": b * 10}),
+            }
+        )
+        entity = build_net_expr("first .. second", env)
+        out = run_network(entity, [Record({"a": 1})])
+        assert out[0].field("c") == 20
+
+    def test_build_net_expr_rejects_bare_callables(self):
+        with pytest.raises(NetworkError):
+            build_net_expr("f", {"f": lambda x: x})
+
+    def test_placement_expression_builds_wrapper(self):
+        env = BoxEnvironment({"b": Box("b", "(a) -> (c)", lambda a: {"c": a})})
+        entity = build_net_expr("b@2", env)
+        assert isinstance(entity, StaticPlacement)
+        assert entity.node == 2
+
+    def test_nested_net_resolution(self):
+        source = """
+        net outer {
+            box pre ((x) -> (y));
+            net inner {
+                box post ((y) -> (z));
+            } connect post;
+        } connect pre .. inner;
+        """
+        env = {"pre": lambda x: {"y": x + 1}, "post": lambda y: {"z": y * 2}}
+        netdef = build_network(source, env)
+        out = run_network(netdef.network, [Record({"x": 1})])
+        assert out[0].field("z") == 4
+
+
+class TestTypecheck:
+    def test_check_reports_signature(self):
+        env = {"a": lambda x: {"y": x}, "b": lambda y: {"z": y}}
+        netdef = build_network(
+            "net n { box a ((x) -> (y)); box b ((y) -> (z)); } connect a .. b;", env
+        )
+        report = check_network(netdef.network)
+        assert report.ok
+        assert report.signature.accepts(Record({"x": 1}))
+
+    def test_disconnected_pipeline_warns(self):
+        env = {"a": lambda x: {"y": x}, "b": lambda q: {"z": q}}
+        netdef = build_network(
+            "net n { box a ((x) -> (y)); box b ((q) -> (z)); } connect a .. b;", env
+        )
+        report = check_network(netdef.network)
+        assert report.warnings  # y does not obviously satisfy {q}
+
+    def test_ambiguous_parallel_warns(self):
+        env = {"a": lambda x: {"y": x}, "b": lambda x: {"z": x}}
+        netdef = build_network(
+            "net n { box a ((x) -> (y)); box b ((x) -> (z)); } connect a | b;", env
+        )
+        report = check_network(netdef.network)
+        assert any("nondeterministic" in w for w in report.warnings)

@@ -1,0 +1,99 @@
+"""Unit tests for type patterns and guard expressions."""
+
+import pytest
+
+from repro.snet.errors import TypeError_
+from repro.snet.patterns import BinOp, Const, Guard, Pattern, TagRef
+from repro.snet.records import Record
+from repro.snet.types import Variant
+
+
+class TestGuardExpressions:
+    def test_tag_ref_evaluates_tag(self):
+        assert TagRef("n").evaluate(Record({"<n>": 7})) == 7
+
+    def test_const(self):
+        assert Const(5).evaluate(Record()) == 5
+
+    def test_arithmetic(self):
+        rec = Record({"<a>": 10, "<b>": 3})
+        assert (TagRef("a") + TagRef("b")).evaluate(rec) == 13
+        assert (TagRef("a") - 1).evaluate(rec) == 9
+        assert (TagRef("a") * 2).evaluate(rec) == 20
+        assert (TagRef("a") // TagRef("b")).evaluate(rec) == 3
+        assert (TagRef("a") % TagRef("b")).evaluate(rec) == 1
+
+    def test_comparisons_return_int(self):
+        rec = Record({"<a>": 5, "<b>": 5})
+        assert (TagRef("a") == TagRef("b")).evaluate(rec) == 1
+        assert (TagRef("a") != TagRef("b")).evaluate(rec) == 0
+        assert (TagRef("a") < 10).evaluate(rec) == 1
+        assert (TagRef("a") >= 6).evaluate(rec) == 0
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(TypeError_):
+            BinOp("**", Const(1), Const(2))
+
+    def test_nested_expression(self):
+        rec = Record({"<x>": 4})
+        expr = BinOp("==", BinOp("+", TagRef("x"), Const(1)), Const(5))
+        assert expr.evaluate(rec) == 1
+
+
+class TestGuard:
+    def test_guard_from_expression(self):
+        g = Guard(TagRef("tasks") == TagRef("cnt"))
+        assert g(Record({"<tasks>": 4, "<cnt>": 4}))
+        assert not g(Record({"<tasks>": 4, "<cnt>": 3}))
+
+    def test_guard_missing_tag_is_false_not_error(self):
+        g = Guard(TagRef("tasks") == TagRef("cnt"))
+        assert not g(Record({"<tasks>": 4}))
+
+    def test_guard_from_callable(self):
+        g = Guard(func=lambda r: r.has_field("pic"))
+        assert g(Record({"pic": object()}))
+        assert not g(Record({"chunk": object()}))
+
+    def test_guard_requires_expr_or_func(self):
+        with pytest.raises(TypeError_):
+            Guard()
+
+    def test_guard_parse(self):
+        g = Guard.parse("<tasks> == <cnt>")
+        assert g(Record({"<tasks>": 2, "<cnt>": 2}))
+        assert not g(Record({"<tasks>": 2, "<cnt>": 1}))
+
+
+class TestPattern:
+    def test_structural_match(self):
+        p = Pattern(["pic"])
+        assert p.matches(Record({"pic": 1, "extra": 2}))
+        assert not p.matches(Record({"chunk": 1}))
+
+    def test_empty_pattern_matches_everything(self):
+        p = Pattern()
+        assert p.matches(Record())
+        assert p.matches(Record({"a": 1}))
+
+    def test_pattern_with_guard(self):
+        p = Pattern(["<tasks>", "<cnt>"], Guard(TagRef("tasks") == TagRef("cnt")))
+        assert p.matches(Record({"<tasks>": 3, "<cnt>": 3, "pic": 0}))
+        assert not p.matches(Record({"<tasks>": 3, "<cnt>": 2, "pic": 0}))
+
+    def test_match_score(self):
+        p = Pattern(["a"])
+        assert p.match_score(Record({"a": 1})) == 0
+        assert p.match_score(Record({"a": 1, "b": 2})) == 1
+        assert p.match_score(Record({"b": 2})) is None
+
+    def test_pattern_accepts_variant_instance(self):
+        p = Pattern(Variant(["a"]))
+        assert p.variant == Variant(["a"])
+
+    def test_parse(self):
+        p = Pattern.parse("{<tasks> == <cnt>}")
+        assert p.matches(Record({"<tasks>": 1, "<cnt>": 1}))
+        assert not p.matches(Record({"<tasks>": 1, "<cnt>": 2}))
+        # the structural part requires both tags to be present
+        assert not p.matches(Record({"pic": 1}))

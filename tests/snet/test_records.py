@@ -1,0 +1,152 @@
+"""Unit tests for the record model (fields, tags, immutability, inheritance)."""
+
+import pytest
+
+from repro.snet.errors import RecordError
+from repro.snet.records import BTag, Field, Record, Tag, as_label, record
+
+
+class TestLabels:
+    def test_field_and_tag_are_distinct_labels(self):
+        assert Field("a") != Tag("a")
+        assert len({Field("a"), Tag("a")}) == 2
+
+    def test_as_label_parses_surface_syntax(self):
+        assert as_label("a") == Field("a")
+        assert as_label("<a>") == Tag("a")
+        assert as_label("<#a>") == BTag("a")
+
+    def test_as_label_passes_through_labels(self):
+        lbl = Tag("node")
+        assert as_label(lbl) is lbl
+
+    def test_empty_label_name_rejected(self):
+        with pytest.raises(RecordError):
+            Field("")
+
+    def test_label_pretty_forms(self):
+        assert Field("x").pretty() == "x"
+        assert Tag("x").pretty() == "<x>"
+        assert BTag("x").pretty() == "<#x>"
+
+    def test_as_label_rejects_non_string(self):
+        with pytest.raises(RecordError):
+            as_label(42)
+
+
+class TestRecordConstruction:
+    def test_empty_record(self):
+        rec = Record()
+        assert len(rec) == 0
+        assert list(rec.labels()) == []
+
+    def test_fields_and_tags(self):
+        rec = Record({"scene": "SCENE", "<node>": 3})
+        assert rec.field("scene") == "SCENE"
+        assert rec.tag("node") == 3
+        assert rec.has_field("scene")
+        assert rec.has_tag("node")
+        assert not rec.has_field("node")
+        assert not rec.has_tag("scene")
+
+    def test_tag_value_must_be_int(self):
+        with pytest.raises(RecordError):
+            Record({"<n>": "three"})
+        with pytest.raises(RecordError):
+            Record({"<n>": True})
+
+    def test_missing_field_raises(self):
+        rec = Record({"a": 1})
+        with pytest.raises(RecordError):
+            rec.field("b")
+        with pytest.raises(RecordError):
+            rec.tag("a")
+
+    def test_record_helper(self):
+        rec = record(a=1, b=2)
+        assert rec.field("a") == 1
+        assert rec.field("b") == 2
+
+    def test_contains_with_surface_syntax(self):
+        rec = Record({"a": 1, "<t>": 2})
+        assert "a" in rec
+        assert "<t>" in rec
+        assert "<a>" not in rec
+        assert 3.14 not in rec
+
+    def test_get_with_default(self):
+        rec = Record({"a": 1})
+        assert rec.get("a") == 1
+        assert rec.get("zzz", "dflt") == "dflt"
+
+
+class TestRecordImmutability:
+    def test_setattr_forbidden(self):
+        rec = Record({"a": 1})
+        with pytest.raises(AttributeError):
+            rec.x = 1
+
+    def test_with_entries_returns_new_record(self):
+        rec = Record({"a": 1})
+        rec2 = rec.with_field("b", 2)
+        assert "b" not in rec
+        assert rec2.field("b") == 2
+        assert rec2.field("a") == 1
+
+    def test_with_tag(self):
+        rec = Record({"a": 1}).with_tag("n", 5)
+        assert rec.tag("n") == 5
+
+    def test_uids_are_unique(self):
+        a, b = Record({"a": 1}), Record({"a": 1})
+        assert a.uid != b.uid
+        assert a == b  # structural equality ignores uid
+
+
+class TestRecordOperations:
+    def test_without(self):
+        rec = Record({"a": 1, "b": 2, "<t>": 3})
+        stripped = rec.without(["a", "<t>"])
+        assert sorted(l.name for l in stripped.labels()) == ["b"]
+
+    def test_project(self):
+        rec = Record({"a": 1, "b": 2, "<t>": 3})
+        proj = rec.project(["a", "<t>"])
+        assert proj.field("a") == 1
+        assert proj.tag("t") == 3
+        assert not proj.has_field("b")
+
+    def test_merge_override(self):
+        a = Record({"x": 1, "y": 2})
+        b = Record({"y": 20, "z": 30})
+        assert a.merge(b).field("y") == 20
+        assert a.merge(b, override=False).field("y") == 2
+
+    def test_excess_over_is_flow_inheritance_payload(self):
+        rec = Record({"scene": "S", "sect": "X", "<fst>": 1, "<tasks>": 8})
+        excess = rec.excess_over(["scene", "sect"])
+        assert excess.has_tag("fst")
+        assert excess.has_tag("tasks")
+        assert not excess.has_field("scene")
+
+    def test_fields_and_tags_accessors(self):
+        rec = Record({"a": 1, "b": 2, "<t>": 3, "<#bt>": 4})
+        assert {f.name for f in rec.fields()} == {"a", "b"}
+        assert {t.name for t in rec.tags()} == {"t", "bt"}
+        assert rec.tag("bt") == 4
+
+    def test_payload_size_accounts_for_arrays(self):
+        import numpy as np
+
+        small = Record({"a": 1})
+        big = Record({"a": np.zeros(1000, dtype=np.float64)})
+        assert big.payload_size() > small.payload_size()
+        assert big.payload_size() >= 8000
+
+    def test_repr_is_stable_and_readable(self):
+        rec = Record({"pic": 1, "<cnt>": 2})
+        assert repr(rec) == "{pic, <cnt>=2}"
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(RecordError):
+            Record({Field("a"): 1, "a": 2})

@@ -1,0 +1,213 @@
+"""Tests for the thread-based runtime (streams + engine + tracing)."""
+
+import threading
+
+import pytest
+
+from repro.snet.boxes import box
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.errors import RuntimeError_
+from repro.snet.filters import Filter
+from repro.snet.network import Network, run_network
+from repro.snet.patterns import Guard, Pattern, TagRef
+from repro.snet.records import Record
+from repro.snet.runtime import Stream, StreamClosed, ThreadedRuntime, Tracer, run_threaded
+from repro.snet.synchrocell import SyncroCell
+
+
+class TestStream:
+    def test_put_get_fifo(self):
+        s = Stream()
+        w = s.open_writer()
+        w.put(Record({"a": 1}))
+        w.put(Record({"a": 2}))
+        assert s.get().field("a") == 1
+        assert s.get().field("a") == 2
+
+    def test_eos_after_all_writers_close(self):
+        s = Stream()
+        w1, w2 = s.open_writer(), s.open_writer()
+        w1.put(Record({"a": 1}))
+        w1.close()
+        assert not s.closed
+        w2.close()
+        assert s.get().field("a") == 1
+        assert s.get() is None
+        assert s.closed
+
+    def test_write_after_close_raises(self):
+        s = Stream()
+        w = s.open_writer()
+        w.close()
+        with pytest.raises(StreamClosed):
+            w.put(Record())
+
+    def test_double_close_is_idempotent(self):
+        s = Stream()
+        w = s.open_writer()
+        w.close()
+        w.close()
+        assert s.closed
+
+    def test_capacity_provides_backpressure(self):
+        s = Stream(capacity=2)
+        w = s.open_writer()
+        w.put(Record({"i": 1}))
+        w.put(Record({"i": 2}))
+        blocked = threading.Event()
+        passed = threading.Event()
+
+        def producer():
+            blocked.set()
+            w.put(Record({"i": 3}))  # blocks until a get
+            passed.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        blocked.wait(1)
+        assert not passed.wait(0.1)
+        s.get()
+        assert passed.wait(1)
+        t.join(1)
+
+    def test_get_timeout_raises(self):
+        s = Stream()
+        s.open_writer()  # writer exists but never writes
+        with pytest.raises(RuntimeError_):
+            s.get(timeout=0.05)
+
+    def test_drain(self):
+        s = Stream()
+        w = s.open_writer()
+        for i in range(5):
+            w.put(Record({"<i>": i}))
+        w.close()
+        assert len(s.drain()) == 5
+
+    def test_try_get(self):
+        s = Stream()
+        w = s.open_writer()
+        assert s.try_get() is None
+        w.put(Record({"a": 1}))
+        assert s.try_get() is not None
+
+    def test_counters(self):
+        s = Stream()
+        w = s.open_writer()
+        w.put(Record())
+        assert s.total_records == 1
+        assert len(s) == 1
+
+
+def make_inc(label_in="a", label_out="b"):
+    @box(f"({label_in}) -> ({label_out})", name=f"inc_{label_in}_{label_out}")
+    def inc(value):
+        return {label_out: value + 1}
+
+    return inc
+
+
+class TestThreadedRuntime:
+    def test_single_box(self):
+        outs = run_threaded(make_inc(), [Record({"a": 1}), Record({"a": 5})])
+        assert sorted(r.field("b") for r in outs) == [2, 6]
+
+    def test_pipeline(self):
+        net = Serial(make_inc("a", "b"), make_inc("b", "c"))
+        outs = run_threaded(net, [Record({"a": 0})])
+        assert outs[0].field("c") == 2
+
+    def test_parallel_routing(self):
+        net = Parallel(make_inc("a", "x"), make_inc("b", "y"))
+        outs = run_threaded(net, [Record({"a": 1}), Record({"b": 2}), Record({"a": 3})])
+        assert len(outs) == 3
+        assert sum(1 for r in outs if r.has_field("x")) == 2
+
+    def test_star_unrolls(self):
+        @box("(<n>) -> (<n>)")
+        def bump(n):
+            return {"<n>": n + 1}
+
+        net = Star(bump, Pattern(["<n>"], Guard(TagRef("n") >= 4)))
+        outs = run_threaded(net, [Record({"<n>": 0}), Record({"<n>": 2})])
+        assert sorted(r.tag("n") for r in outs) == [4, 4]
+
+    def test_index_split_instances(self):
+        @box("(sect, <node>) -> (chunk, <node>)")
+        def solve(sect, node):
+            return {"chunk": sect * 10, "<node>": node}
+
+        net = IndexSplit(solve, "node")
+        recs = [Record({"sect": i, "<node>": i % 3}) for i in range(9)]
+        outs = run_threaded(net, recs)
+        assert len(outs) == 9
+        assert {r.tag("node") for r in outs} == {0, 1, 2}
+
+    def test_synchrocell_in_runtime(self):
+        net = Serial(SyncroCell([["pic"], ["chunk"]]), Filter.identity())
+        outs = run_threaded(net, [Record({"pic": "P"}), Record({"chunk": "C"})])
+        assert len(outs) == 1
+        assert outs[0].field("pic") == "P"
+        assert outs[0].field("chunk") == "C"
+
+    def test_matches_sequential_semantics(self):
+        @box("(xs) -> (x)")
+        def explode(xs):
+            return [{"x": v} for v in xs]
+
+        @box("(x) -> (y)")
+        def square(x):
+            return {"y": x * x}
+
+        net = Serial(explode, square)
+        inputs = [Record({"xs": [1, 2, 3]}), Record({"xs": [4]})]
+        sequential = run_network(net, inputs)
+        threaded = run_threaded(net, inputs)
+        assert sorted(r.field("y") for r in threaded) == sorted(
+            r.field("y") for r in sequential
+        )
+
+    def test_network_wrapper_and_tracer(self):
+        tracer = Tracer()
+        net = Network("wrapped", Serial(make_inc("a", "b"), make_inc("b", "c")))
+        outs = run_threaded(net, [Record({"a": 1})], tracer=tracer)
+        assert outs[0].field("c") == 3
+        assert tracer.count("consume") >= 2
+        assert tracer.count("produce") >= 2
+
+    def test_box_error_propagates(self):
+        @box("(a) -> (b)")
+        def boom(a):
+            raise ValueError("box exploded")
+
+        with pytest.raises(RuntimeError_):
+            run_threaded(boom, [Record({"a": 1})], timeout=5.0)
+
+    def test_runtime_with_many_records(self):
+        net = Serial(make_inc("a", "b"), make_inc("b", "c"))
+        outs = run_threaded(net, [Record({"a": i}) for i in range(200)])
+        assert len(outs) == 200
+        assert sorted(r.field("c") for r in outs) == [i + 2 for i in range(200)]
+
+    def test_fresh_run_does_not_mutate_network(self):
+        sync = SyncroCell([["a"], ["b"]])
+        runtime = ThreadedRuntime()
+        runtime.run(sync, [Record({"a": 1}), Record({"b": 2})])
+        assert sync.pending == {}
+
+
+class TestTracer:
+    def test_summary_and_filtering(self):
+        tracer = Tracer()
+        tracer.record("box1", "consume")
+        tracer.record("box1", "produce")
+        tracer.record("box2", "consume")
+        assert tracer.summary() == {"consume": 2, "produce": 1}
+        assert len(tracer.for_entity("box1")) == 2
+        assert tracer.entities() == ["box1", "box2"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("x", "e")
+        tracer.clear()
+        assert tracer.events == []

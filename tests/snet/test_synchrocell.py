@@ -1,0 +1,117 @@
+"""Unit tests for synchrocells."""
+
+import pytest
+
+from repro.snet.errors import SynchroError
+from repro.snet.records import Record
+from repro.snet.synchrocell import SyncroCell
+
+
+class TestSyncBasics:
+    def test_requires_at_least_one_pattern(self):
+        with pytest.raises(SynchroError):
+            SyncroCell([])
+
+    def test_holds_until_all_patterns_matched(self):
+        sync = SyncroCell([["pic"], ["chunk"]])
+        assert sync.process(Record({"pic": "P"})) == []
+        out = sync.process(Record({"chunk": "C"}))
+        assert len(out) == 1
+        merged = out[0]
+        assert merged.field("pic") == "P"
+        assert merged.field("chunk") == "C"
+
+    def test_order_of_arrival_does_not_matter(self):
+        sync = SyncroCell([["pic"], ["chunk"]])
+        assert sync.process(Record({"chunk": "C"})) == []
+        out = sync.process(Record({"pic": "P"}))
+        assert out[0].field("pic") == "P"
+        assert out[0].field("chunk") == "C"
+
+    def test_fired_cell_becomes_identity(self):
+        sync = SyncroCell([["pic"], ["chunk"]])
+        sync.process(Record({"pic": "P"}))
+        sync.process(Record({"chunk": "C"}))
+        assert sync.fired
+        rec = Record({"chunk": "LATE"})
+        assert sync.process(rec) == [rec]
+
+    def test_second_record_for_occupied_slot_passes_through(self):
+        sync = SyncroCell([["pic"], ["chunk"]])
+        sync.process(Record({"pic": "P1"}))
+        passthrough = sync.process(Record({"pic": "P2"}))
+        assert passthrough == [Record({"pic": "P2"})]
+        # cell still waiting for a chunk
+        assert not sync.fired
+
+    def test_non_matching_record_raises(self):
+        sync = SyncroCell([["pic"], ["chunk"]])
+        with pytest.raises(SynchroError):
+            sync.process(Record({"other": 1}))
+
+    def test_three_way_synchronisation(self):
+        sync = SyncroCell([["a"], ["b"], ["c"]])
+        assert sync.process(Record({"a": 1})) == []
+        assert sync.process(Record({"b": 2})) == []
+        out = sync.process(Record({"c": 3}))[0]
+        assert out.field("a") == 1 and out.field("b") == 2 and out.field("c") == 3
+
+    def test_single_pattern_cell_fires_immediately(self):
+        sync = SyncroCell([["a"]])
+        out = sync.process(Record({"a": 1}))
+        assert len(out) == 1
+
+
+class TestSyncSemantics:
+    def test_merge_keeps_tags_of_all_records(self):
+        sync = SyncroCell([["sect"], ["<node>"]])
+        sync.process(Record({"sect": "S", "<tasks>": 8}))
+        out = sync.process(Record({"<node>": 3}))[0]
+        assert out.field("sect") == "S"
+        assert out.tag("node") == 3
+        assert out.tag("tasks") == 8
+
+    def test_earlier_record_wins_on_conflicting_labels(self):
+        sync = SyncroCell([["a"], ["b"]])
+        sync.process(Record({"a": 1, "shared": "first"}))
+        out = sync.process(Record({"b": 2, "shared": "second"}))[0]
+        assert out.field("shared") == "first"
+
+    def test_accepts_and_match_score(self):
+        sync = SyncroCell([["pic"], ["chunk"]])
+        assert sync.accepts(Record({"pic": 1}))
+        assert sync.accepts(Record({"chunk": 1}))
+        assert not sync.accepts(Record({"z": 1}))
+        assert sync.match_score(Record({"pic": 1, "x": 2})) == 1
+
+    def test_signature_output_is_union_of_patterns(self):
+        sync = SyncroCell([["pic"], ["chunk"]])
+        out_type = sync.signature.output_type
+        assert out_type.accepts(Record({"pic": 1, "chunk": 2}))
+
+    def test_reset_clears_state(self):
+        sync = SyncroCell([["a"], ["b"]])
+        sync.process(Record({"a": 1}))
+        sync.reset()
+        assert sync.pending == {}
+        assert not sync.fired
+
+    def test_copy_does_not_share_state(self):
+        sync = SyncroCell([["a"], ["b"]])
+        sync.process(Record({"a": 1}))
+        clone = sync.copy()
+        assert clone.pending == {}
+        # original still holds its record
+        assert len(sync.pending) == 1
+
+    def test_flush_discards_partial_matches(self):
+        sync = SyncroCell([["a"], ["b"]])
+        sync.process(Record({"a": 1}))
+        assert sync.flush() == []
+
+    def test_parse(self):
+        sync = SyncroCell.parse("[| {pic}, {chunk} |]")
+        assert len(sync.patterns) == 2
+        sync.process(Record({"pic": "P"}))
+        out = sync.process(Record({"chunk": "C"}))
+        assert out[0].field("pic") == "P"

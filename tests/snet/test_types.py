@@ -1,0 +1,151 @@
+"""Unit tests for the structural record type system and subtyping."""
+
+import pytest
+
+from repro.snet.errors import TypeError_
+from repro.snet.records import Record
+from repro.snet.types import RecordType, TypeSignature, Variant
+
+
+class TestVariant:
+    def test_subtyping_is_inverse_set_inclusion(self):
+        ab = Variant(["a", "b"])
+        abc = Variant(["a", "b", "c"])
+        assert abc.is_subtype_of(ab)
+        assert not ab.is_subtype_of(abc)
+
+    def test_every_variant_subtype_of_empty(self):
+        assert Variant(["a"]).is_subtype_of(Variant())
+        assert Variant().is_subtype_of(Variant())
+
+    def test_paper_example_a_c_b_matches_a_b(self):
+        # "a component expecting {a, b} can also accept {a, c, b}"
+        expecting = Variant(["a", "b"])
+        rec = Record({"a": 1, "c": 2, "b": 3})
+        assert expecting.accepts(rec)
+
+    def test_accepts_requires_all_labels(self):
+        v = Variant(["a", "<t>"])
+        assert v.accepts(Record({"a": 1, "<t>": 2}))
+        assert not v.accepts(Record({"a": 1}))
+        assert not v.accepts(Record({"<t>": 2}))
+
+    def test_tag_pattern_satisfied_by_binding_tag(self):
+        v = Variant(["<t>"])
+        assert v.accepts(Record({"<#t>": 1}))
+
+    def test_field_and_tag_do_not_mix(self):
+        v = Variant(["a"])
+        assert not v.accepts(Record({"<a>": 1}))
+
+    def test_match_score_counts_ignored_labels(self):
+        v = Variant(["a"])
+        assert v.match_score(Record({"a": 1})) == 0
+        assert v.match_score(Record({"a": 1, "b": 2})) == 1
+        assert v.match_score(Record({"b": 2})) is None
+
+    def test_union(self):
+        u = Variant(["a"]).union(Variant(["<t>"]))
+        assert u == Variant(["a", "<t>"])
+
+    def test_field_and_tag_name_sets(self):
+        v = Variant(["a", "b", "<t>"])
+        assert v.field_names() == {"a", "b"}
+        assert v.tag_names() == {"t"}
+
+    def test_repr(self):
+        assert repr(Variant()) == "{}"
+        assert repr(Variant(["b", "a"])) == "{a, b}"
+
+
+class TestRecordType:
+    def test_multivariant_subtyping(self):
+        x = RecordType([["a", "b"], ["c", "d"]])
+        y = RecordType([["a"], ["c"]])
+        assert x.is_subtype_of(y)
+        assert not y.is_subtype_of(x)
+
+    def test_empty_record_type_is_universal(self):
+        rt = RecordType()
+        assert rt.accepts(Record())
+        assert rt.accepts(Record({"anything": 1}))
+
+    def test_accepts_any_variant(self):
+        rt = RecordType([["a"], ["<t>"]])
+        assert rt.accepts(Record({"a": 1}))
+        assert rt.accepts(Record({"<t>": 1}))
+        assert not rt.accepts(Record({"b": 1}))
+
+    def test_best_variant_prefers_fewest_ignored(self):
+        rt = RecordType([["a"], ["a", "b"]])
+        best = rt.best_variant(Record({"a": 1, "b": 2}))
+        assert best == Variant(["a", "b"])
+
+    def test_match_score_none_when_no_variant_matches(self):
+        rt = RecordType([["a"]])
+        assert rt.match_score(Record({"b": 1})) is None
+
+    def test_deduplication_of_variants(self):
+        rt = RecordType([["a"], ["a"]])
+        assert len(rt) == 1
+
+    def test_union(self):
+        u = RecordType([["a"]]).union(RecordType([["b"]]))
+        assert len(u) == 2
+
+    def test_parse_roundtrip(self):
+        rt = RecordType.parse("{a, <b>} | {c}")
+        assert len(rt) == 2
+        assert rt.accepts(Record({"a": 1, "<b>": 2}))
+        assert rt.accepts(Record({"c": 3}))
+
+    def test_single_constructor(self):
+        rt = RecordType.single("a", "<b>")
+        assert rt.accepts(Record({"a": 1, "<b>": 0}))
+
+
+class TestTypeSignature:
+    def test_box_foo_signature_from_paper(self):
+        # box foo ((a,<b>) -> (c) | (c,d,<e>))
+        sig = TypeSignature.parse("{a,<b>} -> {c} | {c,d,<e>}")
+        assert sig.accepts(Record({"a": 1, "<b>": 2}))
+        assert sig.accepts(Record({"a": 1, "<b>": 2, "extra": 9}))
+        assert not sig.accepts(Record({"a": 1}))
+        assert len(sig.output_type) == 2
+
+    def test_signature_subtyping_contravariant_input(self):
+        wide = TypeSignature.parse("{a} -> {x}")
+        narrow = TypeSignature.parse("{a,b} -> {x}")
+        # 'wide' accepts more inputs, so it can be used where 'narrow' is expected
+        assert wide.is_subtype_of(narrow)
+        assert not narrow.is_subtype_of(wide)
+
+    def test_signature_subtyping_covariant_output(self):
+        few = TypeSignature.parse("{a} -> {x,y}")
+        many = TypeSignature.parse("{a} -> {x}")
+        # 'few' produces records with more labels -> subtype of output {x}
+        assert few.is_subtype_of(many)
+
+    def test_compose_serial(self):
+        a = TypeSignature.parse("{a} -> {b}")
+        b = TypeSignature.parse("{b} -> {c}")
+        comp = a.compose_serial(b)
+        assert comp.input_type == RecordType([["a"]])
+        assert comp.output_type == RecordType([["c"]])
+
+    def test_compose_parallel(self):
+        a = TypeSignature.parse("{a} -> {x}")
+        b = TypeSignature.parse("{b} -> {y}")
+        comp = a.compose_parallel(b)
+        assert comp.accepts(Record({"a": 1}))
+        assert comp.accepts(Record({"b": 1}))
+
+    def test_string_input_requires_parse(self):
+        with pytest.raises(TypeError_):
+            TypeSignature("{a}", "{b}")
+
+    def test_equality_and_hash(self):
+        a = TypeSignature.parse("{a} -> {b}")
+        b = TypeSignature.parse("{a} -> {b}")
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.raytracer.bvh import BVH, BruteForceIndex
+from repro.raytracer.geometry import Sphere
+from repro.raytracer.ray import Ray
+from repro.raytracer.vec import vec3
+from repro.scheduling import BlockScheduler, FactoringScheduler, validate_sections
+from repro.snet.records import Field, Record, Tag
+from repro.snet.types import RecordType, Variant
+from repro.mpisim.datatypes import payload_bytes
+
+# -- strategies ---------------------------------------------------------------
+
+label_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+@st.composite
+def variants(draw):
+    fields = draw(st.sets(label_names, max_size=5))
+    tags = draw(st.sets(label_names, max_size=3))
+    return Variant([Field(n) for n in fields] + [Tag(n) for n in tags])
+
+
+@st.composite
+def records(draw):
+    fields = draw(st.dictionaries(label_names, st.integers(), max_size=5))
+    tags = draw(st.dictionaries(label_names, st.integers(-1000, 1000), max_size=3))
+    entries = {Field(n): v for n, v in fields.items()}
+    entries.update({Tag(n): v for n, v in tags.items()})
+    return Record(entries)
+
+
+# -- subtyping laws --------------------------------------------------------------
+class TestSubtypingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(variants())
+    def test_subtyping_is_reflexive(self, v):
+        assert v.is_subtype_of(v)
+
+    @settings(max_examples=60, deadline=None)
+    @given(variants(), variants())
+    def test_adding_labels_creates_subtype(self, a, b):
+        combined = a.union(b)
+        assert combined.is_subtype_of(a)
+        assert combined.is_subtype_of(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(variants(), variants(), variants())
+    def test_subtyping_is_transitive(self, a, b, c):
+        if a.is_subtype_of(b) and b.is_subtype_of(c):
+            assert a.is_subtype_of(c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(variants())
+    def test_every_variant_is_subtype_of_empty(self, v):
+        assert v.is_subtype_of(Variant())
+
+    @settings(max_examples=60, deadline=None)
+    @given(records(), variants())
+    def test_match_score_counts_ignored_labels(self, rec, v):
+        score = v.match_score(rec)
+        if score is not None:
+            assert 0 <= score <= len(rec)
+            assert v.accepts(rec)
+
+    @settings(max_examples=60, deadline=None)
+    @given(records())
+    def test_record_always_matches_its_own_variant(self, rec):
+        own = Variant(rec.labels())
+        assert own.accepts(rec)
+        assert own.match_score(rec) == 0
+
+
+# -- record / flow-inheritance laws ----------------------------------------------
+class TestRecordProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(records(), records())
+    def test_merge_override_prefers_right_operand(self, a, b):
+        merged = a.merge(b, override=True)
+        for label in b.labels():
+            assert merged[label] == b[label]
+        assert set(merged.labels()) == set(a.labels()) | set(b.labels())
+
+    @settings(max_examples=60, deadline=None)
+    @given(records())
+    def test_excess_plus_projection_reconstructs_record(self, rec):
+        labels = list(rec.labels())
+        consumed = labels[: len(labels) // 2]
+        excess = rec.excess_over(consumed)
+        projected = rec.project(consumed)
+        assert excess.merge(projected) == rec
+
+    @settings(max_examples=60, deadline=None)
+    @given(records())
+    def test_payload_size_is_positive(self, rec):
+        assert rec.payload_size() > 0
+        assert payload_bytes(rec) > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(records(), records())
+    def test_structural_equality_ignores_uid(self, a, b):
+        duplicate = Record({l: a[l] for l in a.labels()})
+        assert duplicate == a
+        assert duplicate.uid != a.uid
+
+
+# -- scheduler invariants --------------------------------------------------------
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 64), st.integers(64, 4000))
+    def test_block_sections_tile_image(self, tasks, height):
+        sections = BlockScheduler(tasks).sections(height)
+        validate_sections(sections, height)
+        assert len(sections) == tasks
+        assert sum(s.rows for s in sections) == height
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 16).map(lambda k: 2 * k),  # even task counts
+        st.integers(500, 4000),
+        st.floats(1.5, 5.0),
+    )
+    def test_factoring_sections_tile_image(self, tasks, height, decay):
+        scheduler = FactoringScheduler(num_tasks=tasks, num_batches=2, decay=decay)
+        sections = scheduler.sections(height)
+        validate_sections(sections, height)
+        assert len(sections) == tasks
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 16).map(lambda k: 2 * k), st.integers(1000, 4000))
+    def test_factoring_first_batch_not_smaller_than_last(self, tasks, height):
+        sizes = FactoringScheduler(num_tasks=tasks).batch_sizes(height)
+        assert sizes[0] >= sizes[-1] >= 1
+
+
+# -- BVH invariants -------------------------------------------------------------
+sphere_lists = st.lists(
+    st.tuples(
+        st.floats(-5, 5), st.floats(-5, 5), st.floats(-10, -1), st.floats(0.05, 1.0)
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestBVHProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(sphere_lists)
+    def test_insertion_preserves_invariants(self, raw):
+        spheres = [Sphere(vec3(x, y, z), r) for x, y, z, r in raw]
+        bvh = BVH(spheres)
+        assert bvh.size == len(spheres)
+        assert bvh.check_invariants()
+        assert len(bvh.leaves()) == len(spheres)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sphere_lists, st.floats(-0.9, 0.9), st.floats(-0.9, 0.9))
+    def test_bvh_agrees_with_brute_force(self, raw, dx, dy):
+        spheres = [Sphere(vec3(x, y, z), r) for x, y, z, r in raw]
+        bvh = BVH(spheres)
+        brute = BruteForceIndex(spheres)
+        ray = Ray(vec3(0, 0, 5), vec3(dx, dy, -1.0))
+        bvh_hit, bvh_t = bvh.intersect(ray)
+        brute_hit, brute_t = brute.intersect(ray)
+        assert (bvh_hit is None) == (brute_hit is None)
+        if brute_t is not None:
+            assert bvh_t == pytest.approx(brute_t)
