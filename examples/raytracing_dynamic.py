@@ -3,48 +3,54 @@
 Shows the paper's headline methodology claim: switching from static to
 dynamic scheduling changes *only* the coordination layer — the solver segment
 of Fig. 4 replaces ``solver!@<node>`` — while the box code and the rest of
-the network stay untouched, and the rendered image is identical.
+the network stay untouched, and the rendered image is identical.  Both
+variants run on the same runtime backend, selectable by name, so the
+comparison also demonstrates that the choice of execution strategy is
+orthogonal to the coordination structure.
 
-Run with:  python examples/raytracing_dynamic.py
+Run with:  python examples/raytracing_dynamic.py [runtime]
+
+where ``runtime`` is ``threaded`` (default) or ``process``.
 """
 
-from repro.apps import (
-    RealRenderBackend,
-    build_dynamic_network,
-    build_static_network,
-    dynamic_input_records,
-    extract_image,
-    initial_record,
-)
+import sys
+
+from repro.apps import run_raytracing_farm
 from repro.raytracer import Camera, random_scene, render
 from repro.raytracer.image import image_rms_difference
 from repro.scheduling import FactoringScheduler
-from repro.snet.network import run_network
 
 
-def main() -> None:
+def main(runtime: str = "threaded") -> None:
     scene = random_scene(num_spheres=30, clustering=0.7, seed=13)
     camera = Camera(width=64, height=64)
     reference = render(scene, camera)
 
     # static variant: every section is pre-assigned to a node
-    static_backend = RealRenderBackend(scene, camera)
-    static_net = build_static_network(static_backend)
-    run_network(static_net, [initial_record(scene, nodes=4, tasks=8)])
-    static_image = extract_image(static_backend)
+    static = run_raytracing_farm(
+        "static", runtime=runtime, width=64, height=64, nodes=4, tasks=8, scene=scene
+    )
 
     # dynamic variant: 8 sections, only 4 initial tokens; sections queue for
     # a node token released by each finished section (Fig. 4)
-    dynamic_backend = RealRenderBackend(scene, camera)
-    dynamic_net = build_dynamic_network(dynamic_backend, FactoringScheduler(num_tasks=8))
-    run_network(dynamic_net, dynamic_input_records(scene, nodes=4, tasks=8, tokens=4))
-    dynamic_image = extract_image(dynamic_backend)
+    dynamic = run_raytracing_farm(
+        "dynamic",
+        runtime=runtime,
+        width=64,
+        height=64,
+        nodes=4,
+        tasks=8,
+        tokens=4,
+        scene=scene,
+        scheduler=FactoringScheduler(num_tasks=8),
+    )
 
-    print("static  vs sequential :", image_rms_difference(static_image, reference))
-    print("dynamic vs sequential :", image_rms_difference(dynamic_image, reference))
-    print("static  vs dynamic    :", image_rms_difference(static_image, dynamic_image))
+    print(f"runtime backend       : {runtime}")
+    print("static  vs sequential :", image_rms_difference(static.image, reference))
+    print("dynamic vs sequential :", image_rms_difference(dynamic.image, reference))
+    print("static  vs dynamic    :", image_rms_difference(static.image, dynamic.image))
     print("-> the coordination change did not alter the computed image")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "threaded")

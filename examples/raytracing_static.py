@@ -1,27 +1,27 @@
 """The paper's static fork-join ray tracer (Fig. 2), rendering a real image.
 
 Builds the ``splitter .. solver!@<node> .. merger .. genImg`` network over
-the real render backend, runs it on the threaded runtime, verifies the result
-against a sequential render and writes the picture to ``raytraced.ppm``.
+the real render backend, runs it on a selectable runtime backend, verifies
+the result against a sequential render and writes the picture to
+``raytraced.ppm``.
 
-Run with:  python examples/raytracing_static.py [width] [height]
+Run with:  python examples/raytracing_static.py [width] [height] [runtime]
+
+where ``runtime`` is ``threaded`` (default) or ``process``; the process
+backend executes the solver boxes on a forked worker pool and is the one
+that shows real wall-clock speedup on a multi-core host.
 """
 
 import sys
 import time
 
-from repro.apps import (
-    RealRenderBackend,
-    build_static_network,
-    extract_image,
-    initial_record,
-)
+from repro.apps import run_raytracing_farm
 from repro.raytracer import Camera, random_scene, render, to_ppm
 from repro.raytracer.image import image_rms_difference
-from repro.snet.runtime import Tracer, run_threaded
+from repro.snet.runtime import ProcessRuntime, Tracer
 
 
-def main(width: int = 96, height: int = 96) -> None:
+def main(width: int = 96, height: int = 96, runtime: str = "threaded") -> None:
     scene = random_scene(num_spheres=40, clustering=0.5, seed=7)
     camera = Camera(width=width, height=height)
 
@@ -31,28 +31,41 @@ def main(width: int = 96, height: int = 96) -> None:
     sequential_time = time.perf_counter() - t0
 
     # the S-Net coordinated version: 4 abstract nodes, 8 sections
-    backend = RealRenderBackend(scene, camera)
-    network = build_static_network(backend)
     tracer = Tracer()
-    t0 = time.perf_counter()
-    run_threaded(network, [initial_record(scene, nodes=4, tasks=8)], tracer=tracer, timeout=300.0)
-    coordinated_time = time.perf_counter() - t0
+    run = run_raytracing_farm(
+        "static",
+        runtime=runtime,
+        width=width,
+        height=height,
+        nodes=4,
+        tasks=8,
+        scene=scene,
+        runtime_options={"tracer": tracer},
+        timeout=300.0,
+    )
 
-    image = extract_image(backend)
-    difference = image_rms_difference(image, reference)
+    difference = image_rms_difference(run.image, reference)
+    if runtime == "process" and not ProcessRuntime.fork_available():
+        process_note = "process runtime WITHOUT fork support: degraded to threads"
+    else:
+        process_note = "process runtime; solver boxes run on a forked worker pool"
+    note = {
+        "threaded": "threaded runtime; the GIL prevents real speed-ups in pure Python",
+        "process": process_note,
+    }.get(runtime, runtime)
     print(f"sequential render : {sequential_time:6.2f} s")
-    print(f"S-Net coordinated : {coordinated_time:6.2f} s "
-          "(threaded runtime; the GIL prevents real speed-ups in pure Python)")
+    print(f"S-Net coordinated : {run.seconds:6.2f} s ({note})")
     print(f"pixel difference  : {difference:.2e} (must be 0: same algorithm, same image)")
     print(f"records traced    : {tracer.count('consume')} consumed, "
           f"{tracer.count('produce')} produced")
 
     with open("raytraced.ppm", "wb") as handle:
-        handle.write(to_ppm(image))
+        handle.write(to_ppm(run.image))
     print("wrote raytraced.ppm")
 
 
 if __name__ == "__main__":
     width = int(sys.argv[1]) if len(sys.argv) > 1 else 96
     height = int(sys.argv[2]) if len(sys.argv) > 2 else 96
-    main(width, height)
+    runtime = sys.argv[3] if len(sys.argv) > 3 else "threaded"
+    main(width, height, runtime)

@@ -13,6 +13,8 @@
   tracer the paper compares against.
 * :mod:`repro.apps.workloads` -- input-record construction and result
   extraction helpers.
+* :mod:`repro.apps.runner` -- run any farm variant on a named runtime
+  backend (``threaded`` / ``process``) via the runtime registry.
 """
 
 from repro.apps.backends import ModelRenderBackend, RealRenderBackend, RenderBackend
@@ -27,6 +29,7 @@ from repro.apps.networks import (
     build_static_network,
 )
 from repro.apps.mpi_baseline import mpi_raytracer_program, run_mpi_raytracer
+from repro.apps.runner import FARM_VARIANTS, FarmRun, run_raytracing_farm
 from repro.apps.workloads import initial_record, dynamic_input_records, extract_image
 
 __all__ = [
@@ -43,6 +46,9 @@ __all__ = [
     "FIG4_SOLVER_SOURCE",
     "mpi_raytracer_program",
     "run_mpi_raytracer",
+    "FarmRun",
+    "FARM_VARIANTS",
+    "run_raytracing_farm",
     "initial_record",
     "dynamic_input_records",
     "extract_image",

@@ -87,6 +87,7 @@ class RayTracingBoxes:
             " | (scene, sect, <node>, <tasks>)",
             splitter,
             cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
+            parallel_safe=False,  # control logic; not worth shipping the scene out
         )
 
     def static_2cpu_splitter(self) -> Box:
@@ -119,6 +120,7 @@ class RayTracingBoxes:
             " | (scene, sect, <node>, <cpu>, <tasks>)",
             splitter,
             cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
+            parallel_safe=False,
         )
 
     def dynamic_splitter(self) -> Box:
@@ -169,6 +171,7 @@ class RayTracingBoxes:
             " | (scene, sect, <tasks>)",
             splitter,
             cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
+            parallel_safe=False,
         )
 
     # -- solver ---------------------------------------------------------------
@@ -199,6 +202,9 @@ class RayTracingBoxes:
             "(chunk, <fst>) -> (pic)",
             init,
             cost=lambda rec: backend.picture_copy_cost(),
+            # merger boxes stay in-process: round-tripping the accumulator
+            # picture through the pool would cost more than the merge itself
+            parallel_safe=False,
         )
 
     def merge_box(self) -> Box:
@@ -214,6 +220,7 @@ class RayTracingBoxes:
             merge,
             cost=lambda rec: backend.picture_copy_cost()
             + backend.chunk_copy_cost(rec.field("chunk")),
+            parallel_safe=False,
         )
 
     def genimg_box(self) -> Box:
@@ -229,6 +236,9 @@ class RayTracingBoxes:
             "(pic) -> ()",
             genimg,
             cost=lambda rec: backend.image_write_cost(),
+            # the caller observes genImg through backend.saved_images, so it
+            # must execute in the coordinating process
+            parallel_safe=False,
         )
 
     # -- environment for the textual front-end -----------------------------------

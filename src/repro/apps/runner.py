@@ -1,0 +1,112 @@
+"""Run a ray-tracing farm variant on a named runtime backend.
+
+This is the single entry point the examples, benchmarks and ad-hoc scripts
+use to execute the paper's networks without caring which runtime executes
+them::
+
+    from repro.apps.runner import run_raytracing_farm
+
+    run = run_raytracing_farm("dynamic", runtime="process", width=64,
+                              height=64, runtime_options={"workers": 4})
+    print(run.seconds, run.image.shape)
+
+Only the *executing* backends make sense here (``threaded``, ``process``):
+the farm renders real pixels through a :class:`RealRenderBackend` (or any
+backend you pass in) and the resulting image is read back from the backend
+object after ``genImg`` fired.  For the simulated/virtual-time experiments
+use :mod:`repro.bench.experiments`, which drives the ``dsnet`` backend with
+the model render backend instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.apps.backends import RealRenderBackend, RenderBackend
+from repro.apps.networks import (
+    build_dynamic_network,
+    build_static_2cpu_network,
+    build_static_network,
+)
+from repro.apps.workloads import dynamic_input_records, extract_image, initial_record
+from repro.raytracer.camera import Camera
+from repro.raytracer.scene import Scene, random_scene
+from repro.scheduling.base import Scheduler
+from repro.snet.records import Record
+from repro.snet.runtime import run_on
+
+__all__ = ["FarmRun", "run_raytracing_farm", "FARM_VARIANTS"]
+
+#: variant name -> network builder
+FARM_VARIANTS = {
+    "static": build_static_network,
+    "static_2cpu": build_static_2cpu_network,
+    "dynamic": build_dynamic_network,
+}
+
+
+@dataclass
+class FarmRun:
+    """Outcome of one farm execution."""
+
+    variant: str
+    runtime: str
+    image: Any
+    outputs: List[Record]
+    seconds: float
+    backend: RenderBackend = field(repr=False)
+
+
+def run_raytracing_farm(
+    variant: str = "static",
+    runtime: str = "threaded",
+    *,
+    width: int = 64,
+    height: int = 64,
+    nodes: int = 4,
+    tasks: int = 8,
+    tokens: Optional[int] = None,
+    scene: Optional[Scene] = None,
+    num_spheres: int = 30,
+    seed: int = 7,
+    scheduler: Optional[Scheduler] = None,
+    backend: Optional[RenderBackend] = None,
+    runtime_options: Optional[Dict[str, Any]] = None,
+    timeout: float = 300.0,
+) -> FarmRun:
+    """Build one of the paper's farm variants and run it to completion.
+
+    Parameters mirror the paper's experiment knobs: ``nodes`` compute nodes,
+    ``tasks`` image sections, and (dynamic variant only) ``tokens`` initial
+    node tokens, defaulting to ``nodes``.
+    """
+    if variant not in FARM_VARIANTS:
+        raise ValueError(
+            f"unknown farm variant {variant!r}; available: "
+            + ", ".join(sorted(FARM_VARIANTS))
+        )
+    if scene is None:
+        scene = random_scene(num_spheres=num_spheres, clustering=0.5, seed=seed)
+    if backend is None:
+        backend = RealRenderBackend(scene, Camera(width=width, height=height))
+    network = FARM_VARIANTS[variant](backend, scheduler)
+    if variant == "dynamic":
+        inputs = dynamic_input_records(
+            scene, nodes=nodes, tasks=tasks, tokens=tokens if tokens is not None else nodes
+        )
+    else:
+        inputs = [initial_record(scene, nodes=nodes, tasks=tasks)]
+
+    start = time.perf_counter()
+    outputs = run_on(runtime, network, inputs, timeout=timeout, **(runtime_options or {}))
+    seconds = time.perf_counter() - start
+    return FarmRun(
+        variant=variant,
+        runtime=runtime,
+        image=extract_image(backend),
+        outputs=outputs,
+        seconds=seconds,
+        backend=backend,
+    )

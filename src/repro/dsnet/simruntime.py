@@ -241,6 +241,9 @@ class SimulatedDSNetRuntime:
             branch_ports.append(_Port(branch_in.open_writer(), branch_node))
             self.compile(branch, branch_in, out_port.dup(), branch_node)
 
+        # resolve route()'s branch to its port by identity, not a list search
+        port_of = {id(b): p for b, p in zip(entity.branches, branch_ports)}
+
         def dispatcher() -> Generator:
             try:
                 while True:
@@ -249,8 +252,7 @@ class SimulatedDSNetRuntime:
                         break
                     yield from self._service_delay(node, self.config.routing_overhead)
                     branch = entity.route(rec)
-                    index = list(entity.branches).index(branch)
-                    yield from self._emit(rec, node, branch_ports[index])
+                    yield from self._emit(rec, node, port_of[id(branch)])
             finally:
                 for port in branch_ports:
                     port.writer.close()

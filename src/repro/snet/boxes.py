@@ -98,6 +98,14 @@ class Box(PrimitiveEntity):
         Optional callable ``cost(record) -> float`` estimating the (simulated)
         execution time of the box on a given record; consumed by the
         discrete-event runtime.  Ignored by the threaded runtime.
+    parallel_safe:
+        Whether the box function may execute in a *different process* than the
+        coordination layer (the process runtime offloads such boxes to its
+        worker pool).  S-Net boxes are pure functions over their input record,
+        so this defaults to ``True``; set it to ``False`` for boxes whose
+        effect the caller observes through shared state (e.g. ``genImg``
+        collecting images on the backend object) or whose arguments/results
+        are not worth marshalling across a process boundary.
     """
 
     KIND = "box"
@@ -108,6 +116,7 @@ class Box(PrimitiveEntity):
         signature: Union[BoxSignature, str],
         func: Callable[..., Union[Iterable[BoxOutput], BoxOutput]],
         cost: Optional[Callable[[Record], float]] = None,
+        parallel_safe: bool = True,
     ):
         super().__init__(name)
         if isinstance(signature, str):
@@ -115,6 +124,7 @@ class Box(PrimitiveEntity):
         self.box_signature = signature
         self.func = func
         self.cost = cost
+        self.parallel_safe = parallel_safe
         self._type_signature = signature.type_signature()
         self._wants_out = _accepts_out_kwarg(func)
 
@@ -216,6 +226,7 @@ def box(
     signature: Union[BoxSignature, str],
     name: Optional[str] = None,
     cost: Optional[Callable[[Record], float]] = None,
+    parallel_safe: bool = True,
 ) -> Callable[[Callable[..., Any]], Box]:
     """Decorator turning a Python function into an S-Net :class:`Box`.
 
@@ -229,6 +240,8 @@ def box(
     """
 
     def decorate(func: Callable[..., Any]) -> Box:
-        return Box(name or func.__name__, signature, func, cost=cost)
+        return Box(
+            name or func.__name__, signature, func, cost=cost, parallel_safe=parallel_safe
+        )
 
     return decorate

@@ -1,24 +1,55 @@
-"""Thread-based S-Net runtime.
+"""S-Net runtime backends: one entity graph, three execution strategies.
 
-The runtime turns an entity graph into a network of worker threads connected
-by bounded streams:
+Networks are *built* once (combinators over boxes, filters and synchrocells)
+and *executed* by interchangeable backends selected by name through
+:func:`get_runtime` / :func:`run_on`:
 
-* :mod:`repro.snet.runtime.stream` -- thread-safe SISO streams with
+``threaded`` — the correctness backend
+    :class:`ThreadedRuntime` compiles the graph into worker threads connected
+    by bounded :class:`Stream` objects (one worker per primitive entity,
+    dispatchers for the dynamic combinators).  Boxes execute for real, in
+    process, which makes it the reference for observable semantics — but the
+    CPython GIL serialises CPU-bound box code, so it cannot demonstrate
+    wall-clock speedup.
+
+``process`` — the wall-clock parallel backend
+    :class:`ProcessRuntime` reuses the threaded compilation scheme but
+    offloads invocations of ``parallel_safe`` boxes to a forked
+    ``multiprocessing`` pool in chunked record batches.  CPU-bound boxes (the
+    ray-tracing solver) run outside the GIL, so a multi-core host shows the
+    real speedup the paper measures.  Semantics are pinned to the threaded
+    backend by the cross-backend conformance suite
+    (``tests/snet/test_runtime_conformance.py``).
+
+``simulated`` (alias ``dsnet``) — the performance-model backend
+    :class:`~repro.dsnet.simruntime.SimulatedDSNetRuntime` executes the graph
+    as discrete-event processes on a modelled cluster (CPUs, Ethernet, shared
+    file system) and reports virtual-time makespans; it reproduces the
+    paper's figures without needing the original 8-node testbed.
+
+Modules:
+
+* :mod:`repro.snet.runtime.stream` — bounded thread-safe streams with
   multi-writer reference counting,
-* :mod:`repro.snet.runtime.engine` -- graph compilation and execution
-  (:class:`ThreadedRuntime`),
-* :mod:`repro.snet.runtime.tracing` -- lightweight event tracing used by the
-  tests and the benchmark harness.
-
-The threaded runtime is the *correctness* runtime: it executes boxes for
-real (useful for small renders, the examples and the integration tests).
-Performance experiments use the simulated distributed runtime in
-:mod:`repro.dsnet` instead, because the CPython GIL would otherwise dominate
-any wall-clock parallel measurements.
+* :mod:`repro.snet.runtime.engine` — :class:`ThreadedRuntime`,
+* :mod:`repro.snet.runtime.process_engine` — :class:`ProcessRuntime`,
+* :mod:`repro.snet.runtime.registry` — backend registration/selection,
+* :mod:`repro.snet.runtime.tracing` — event tracing for tests and benchmarks.
 """
 
 from repro.snet.runtime.stream import Stream, StreamClosed, StreamWriter
-from repro.snet.runtime.engine import ThreadedRuntime, run_threaded
+from repro.snet.runtime.engine import ThreadedRuntime, drain_stream, run_threaded
+from repro.snet.runtime.process_engine import (
+    BoxWorkerError,
+    ProcessRuntime,
+    run_process,
+)
+from repro.snet.runtime.registry import (
+    available_backends,
+    get_runtime,
+    register_backend,
+    run_on,
+)
 from repro.snet.runtime.tracing import TraceEvent, Tracer
 
 __all__ = [
@@ -26,7 +57,15 @@ __all__ = [
     "StreamWriter",
     "StreamClosed",
     "ThreadedRuntime",
+    "ProcessRuntime",
+    "BoxWorkerError",
     "run_threaded",
+    "run_process",
+    "drain_stream",
+    "register_backend",
+    "available_backends",
+    "get_runtime",
+    "run_on",
     "TraceEvent",
     "Tracer",
 ]

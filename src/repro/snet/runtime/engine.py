@@ -23,7 +23,8 @@ threads immediately; all threads are joined when the run finishes.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.snet.base import Entity, PrimitiveEntity
 from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
@@ -34,7 +35,47 @@ from repro.snet.records import Record
 from repro.snet.runtime.stream import Stream, StreamWriter
 from repro.snet.runtime.tracing import NullTracer, Tracer
 
-__all__ = ["ThreadedRuntime", "run_threaded"]
+__all__ = ["ThreadedRuntime", "run_threaded", "drain_stream", "worker_scope"]
+
+
+def drain_stream(stream: Stream) -> None:
+    """Consume and discard everything remaining on ``stream`` until EOS.
+
+    Workers call this when they die on an error: abandoning the input stream
+    would leave upstream producers blocked on back-pressure forever, so the
+    whole run would only fail once the harness timeout fires.  Draining lets
+    every upstream worker finish normally and the run fail promptly with the
+    collected exception.
+    """
+    while stream.get() is not None:
+        pass
+
+
+@contextmanager
+def worker_scope(
+    in_stream: Stream, writers: Callable[[], Iterable[StreamWriter]]
+) -> Iterator[None]:
+    """Shutdown contract shared by every runtime worker.
+
+    On normal exit the worker's output writers are closed.  On error they are
+    closed *first* (so downstream sees EOS immediately), then the input
+    stream is drained (see :func:`drain_stream`), then the error propagates
+    to the runtime's collector.  ``writers`` is a callable because dynamic
+    dispatchers (star, index split) open writers while running.
+    """
+
+    def close_all() -> None:
+        for writer in writers():
+            writer.close()
+
+    try:
+        yield
+    except BaseException:
+        close_all()
+        drain_stream(in_stream)
+        raise
+    finally:
+        close_all()
 
 
 class ThreadedRuntime:
@@ -107,7 +148,7 @@ class ThreadedRuntime:
         tracer = self.tracer
 
         def worker() -> None:
-            try:
+            with worker_scope(in_stream, lambda: (out_writer,)):
                 while True:
                     rec = in_stream.get()
                     if rec is None:
@@ -119,8 +160,6 @@ class ThreadedRuntime:
                 for produced in entity.flush():
                     tracer.record(entity.name, "produce", record=repr(produced))
                     out_writer.put(produced)
-            finally:
-                out_writer.close()
 
         self._spawn(worker, f"worker-{entity.name}-{entity.entity_id}")
 
@@ -143,21 +182,19 @@ class ThreadedRuntime:
             self.compile(branch, branch_in, out_writer.dup())
 
         tracer = self.tracer
+        # route() returns one of entity.branches; resolve it to a writer by
+        # identity instead of an O(branches) list search per record
+        writer_of = {id(b): w for b, w in zip(entity.branches, branch_writers)}
 
         def dispatcher() -> None:
-            try:
+            with worker_scope(in_stream, lambda: (*branch_writers, out_writer)):
                 while True:
                     rec = in_stream.get()
                     if rec is None:
                         break
                     branch = entity.route(rec)
-                    index = list(entity.branches).index(branch)
                     tracer.record(entity.name, "route", branch=branch.name)
-                    branch_writers[index].put(rec)
-            finally:
-                for writer in branch_writers:
-                    writer.close()
-                out_writer.close()
+                    writer_of[id(branch)].put(rec)
 
         self._spawn(dispatcher, f"dispatch-{entity.name}-{entity.entity_id}")
 
@@ -170,7 +207,13 @@ class ThreadedRuntime:
         def make_router(level: int, level_in: Stream, writer: StreamWriter) -> Callable[[], None]:
             def router() -> None:
                 instance_writer: Optional[StreamWriter] = None
-                try:
+
+                def open_writers():
+                    if instance_writer is not None:
+                        return (instance_writer, writer)
+                    return (writer,)
+
+                with worker_scope(level_in, open_writers):
                     while True:
                         rec = level_in.get()
                         if rec is None:
@@ -196,10 +239,6 @@ class ThreadedRuntime:
                                 f"star-{entity.name}-L{level + 1}",
                             )
                         instance_writer.put(rec)
-                finally:
-                    if instance_writer is not None:
-                        instance_writer.close()
-                    writer.close()
 
             return router
 
@@ -213,7 +252,9 @@ class ThreadedRuntime:
 
         def dispatcher() -> None:
             instance_writers: Dict[int, StreamWriter] = {}
-            try:
+            with worker_scope(
+                in_stream, lambda: (*instance_writers.values(), out_writer)
+            ):
                 while True:
                     rec = in_stream.get()
                     if rec is None:
@@ -230,10 +271,6 @@ class ThreadedRuntime:
                         instance_writers[value] = inst_in.open_writer()
                         runtime.compile(entity.operand.copy(), inst_in, out_writer.dup())
                     instance_writers[value].put(rec)
-            finally:
-                for writer in instance_writers.values():
-                    writer.close()
-                out_writer.close()
 
         self._spawn(dispatcher, f"split-{entity.name}-{entity.entity_id}")
 
@@ -277,13 +314,24 @@ class ThreadedRuntime:
 
         outputs: List[Record] = []
         while True:
-            rec = out_stream.get(timeout=timeout)
+            try:
+                rec = out_stream.get(timeout=timeout)
+            except RuntimeError_:
+                # drain timed out: a collected worker error explains the stall
+                # better than the generic timeout does
+                if self.errors:
+                    break
+                raise
             if rec is None:
                 break
             outputs.append(rec)
 
+        # with a collected error, joining stuck threads for the full timeout
+        # each would delay the report by N_threads x timeout; they are daemons,
+        # so give them only a token grace period
+        join_timeout = 1.0 if self.errors else timeout
         for thread in list(self._threads):
-            thread.join(timeout=timeout)
+            thread.join(timeout=join_timeout)
         if self.errors:
             raise RuntimeError_(
                 f"{len(self.errors)} worker(s) failed: {self.errors[0]!r}"

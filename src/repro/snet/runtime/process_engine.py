@@ -1,0 +1,305 @@
+"""Process-parallel execution engine.
+
+:class:`ProcessRuntime` compiles the same entity graph as
+:class:`~repro.snet.runtime.engine.ThreadedRuntime` — identical stream
+topology, identical dispatchers for the dynamic combinators — but executes
+the *box invocations* on a ``multiprocessing`` worker pool, so CPU-bound box
+code runs outside the GIL and a multi-core host delivers real wall-clock
+speedup (the paper's headline measurement, which the threaded runtime can
+only simulate).
+
+Design notes
+------------
+
+* **Fork-shared box registry.**  Box functions are typically closures over a
+  backend object (see :class:`repro.apps.boxes.RayTracingBoxes`) and are not
+  picklable.  Before the pool is forked, the runtime registers every
+  ``parallel_safe`` box of the network in a module-level registry; the forked
+  workers inherit it, so only *records* ever cross the process boundary
+  (:class:`~repro.snet.records.Record` pickles structurally).  Dynamically
+  instantiated replicas (star levels, index-split instances) are deep copies
+  whose ``func`` attribute is the *same* function object as the registered
+  template — pure boxes behave identically, so replicas resolve to the
+  template's registry key.
+* **Chunked batches.**  Each box pump submits records in small batches
+  (``chunk_size``) to amortise pool dispatch and pickling overhead.  Batching
+  is *greedy*: a pump never blocks waiting for a batch to fill, otherwise a
+  feedback network (e.g. the token loop of the dynamic ray-tracing farm)
+  could starve itself.
+* **No result withholding.**  Completed batches are written downstream as
+  soon as they are ready, even while the pump waits for more input.  This is
+  essential for cyclic dataflow: in the dynamic farm a solver *result*
+  releases the node token that admits the solver's next *input*.
+* **Back-pressure.**  At most ``max_inflight`` batches are outstanding per
+  box; the pump stops consuming its input stream beyond that, and the bounded
+  streams propagate the pressure upstream exactly as in the threaded engine.
+* **Error surfacing.**  An exception raised by a box in a pool worker is
+  re-raised (as :class:`BoxWorkerError`, carrying the remote traceback) in
+  the pump thread, collected by the runtime and reported by
+  :meth:`ThreadedRuntime.run`; the pump drains its input first so upstream
+  workers shut down cleanly instead of hanging until the harness timeout.
+
+Stateful primitives (synchrocells), filters, dispatchers and boxes marked
+``parallel_safe=False`` execute in-process, exactly as on the threaded
+runtime.  On platforms without the ``fork`` start method the runtime degrades
+to threaded execution (same semantics, no extra processes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import traceback
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.snet.base import Entity, PrimitiveEntity
+from repro.snet.boxes import Box
+from repro.snet.errors import RuntimeError_
+from repro.snet.records import Record
+from repro.snet.runtime.engine import ThreadedRuntime, worker_scope
+from repro.snet.runtime.stream import Stream, StreamWriter
+from repro.snet.runtime.tracing import Tracer
+
+__all__ = ["ProcessRuntime", "BoxWorkerError", "run_process"]
+
+
+class BoxWorkerError(RuntimeError_):
+    """A box raised inside a pool worker (message embeds the remote traceback)."""
+
+
+#: template boxes visible to forked pool workers, keyed by registration id.
+#: Populated in the parent *before* the pool forks; fork-inherited children
+#: therefore see every key registered for the current run.
+_BOX_REGISTRY: Dict[int, Box] = {}
+_registry_keys = itertools.count(1)
+
+
+def _invoke_box_batch(key: int, records: List[Record]) -> List[Record]:
+    """Pool-worker entry point: run one box over a batch of records."""
+    template = _BOX_REGISTRY.get(key)
+    if template is None:  # pragma: no cover - only reachable without fork
+        raise BoxWorkerError(
+            f"box registry key {key} missing in worker process; the process "
+            "runtime requires the 'fork' start method"
+        )
+    try:
+        produced: List[Record] = []
+        for rec in records:
+            produced.extend(template.process(rec))
+        return produced
+    except BaseException as exc:
+        # user exceptions are not guaranteed to pickle; re-raise a plain-string
+        # error carrying the remote traceback instead
+        raise BoxWorkerError(
+            f"box {template.name!r} failed in worker process: "
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        ) from None
+
+
+class ProcessRuntime(ThreadedRuntime):
+    """Execute an S-Net network with box invocations on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Size of the worker pool (default: ``os.cpu_count()``).
+    chunk_size:
+        Maximum records per pool submission (greedy batching, see module
+        docstring).
+    max_inflight:
+        Maximum outstanding batches per box pump (default ``2 * workers``).
+    tracer / stream_capacity:
+        As for :class:`ThreadedRuntime`.
+    """
+
+    #: seconds a pump waits on either its input stream or its oldest pending
+    #: result before re-checking the other
+    _POLL_INTERVAL = 0.02
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        stream_capacity: int = 256,
+        chunk_size: int = 4,
+        max_inflight: Optional[int] = None,
+    ):
+        super().__init__(tracer=tracer, stream_capacity=stream_capacity)
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise RuntimeError_("the process runtime needs at least one worker")
+        if chunk_size < 1:
+            raise RuntimeError_("chunk_size must be at least 1")
+        self.chunk_size = chunk_size
+        self.max_inflight = max_inflight or 2 * self.workers
+        self._pool = None
+        # _template_key(box) -> registry key; the key must survive Entity.copy
+        # (which deep-copies everything but function objects) AND distinguish
+        # boxes that share one function under different names/signatures
+        self._box_keys: Dict[tuple, int] = {}
+        self._registered: List[int] = []
+        self._result_timeout: Optional[float] = None
+
+    # -- pool / registry lifecycle -------------------------------------------
+    @staticmethod
+    def fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @staticmethod
+    def _template_key(ent: Box) -> tuple:
+        return (id(ent.func), ent.name, repr(ent.box_signature))
+
+    def _register_boxes(self, network: Entity) -> None:
+        for ent in network.iter_entities():
+            if not isinstance(ent, Box) or not getattr(ent, "parallel_safe", False):
+                continue
+            template = self._template_key(ent)
+            if template in self._box_keys:
+                continue
+            key = next(_registry_keys)
+            _BOX_REGISTRY[key] = ent
+            self._box_keys[template] = key
+            self._registered.append(key)
+
+    def _unregister_boxes(self) -> None:
+        for key in self._registered:
+            _BOX_REGISTRY.pop(key, None)
+        self._registered.clear()
+        self._box_keys.clear()
+
+    # -- compilation ----------------------------------------------------------
+    def _compile_primitive(
+        self, entity: PrimitiveEntity, in_stream: Stream, out_writer: StreamWriter
+    ) -> None:
+        key = None
+        if self._pool is not None and isinstance(entity, Box) and entity.parallel_safe:
+            key = self._box_keys.get(self._template_key(entity))
+        if key is None:
+            # filters, synchrocells, non-offloadable boxes: threaded semantics
+            super()._compile_primitive(entity, in_stream, out_writer)
+            return
+        self._spawn(
+            self._make_pump(entity, key, in_stream, out_writer),
+            f"pool-{entity.name}-{entity.entity_id}",
+        )
+
+    def _make_pump(
+        self, entity: Box, key: int, in_stream: Stream, out_writer: StreamWriter
+    ):
+        pool = self._pool
+        tracer = self.tracer
+        chunk_size = self.chunk_size
+        max_inflight = self.max_inflight
+        poll = self._POLL_INTERVAL
+        result_timeout = self._result_timeout
+
+        def collect(async_result) -> List[Record]:
+            """Bounded wait on a pool result.
+
+            A worker killed abruptly (segfault, OOM killer) never completes
+            its AsyncResult; an unbounded ``get()`` would then hang the pump
+            and mask the cause behind the generic stream timeout.
+            """
+            try:
+                return async_result.get(result_timeout)
+            except multiprocessing.TimeoutError:
+                raise BoxWorkerError(
+                    f"box {entity.name!r}: the worker pool returned no result "
+                    f"within {result_timeout}s; a worker process may have died"
+                ) from None
+
+        def emit(batch_result: List[Record]) -> None:
+            for produced in batch_result:
+                tracer.record(entity.name, "produce", record=repr(produced))
+                out_writer.put(produced)
+
+        def pump() -> None:
+            inflight: Deque = deque()
+            with worker_scope(in_stream, lambda: (out_writer,)):
+                at_eos = False
+                while not at_eos:
+                    # 1. forward whatever has completed, oldest first
+                    while inflight and inflight[0].ready():
+                        emit(collect(inflight.popleft()))
+                    # 2. respect the in-flight bound before taking more input
+                    if len(inflight) >= max_inflight:
+                        inflight[0].wait(poll)
+                        continue
+                    # 3. take one record (bounded wait so completed batches
+                    #    keep flowing even while the input stream is idle —
+                    #    feedback networks need those outputs to make input)
+                    try:
+                        rec = in_stream.get(timeout=poll if inflight else None)
+                    except RuntimeError_:
+                        continue  # poll expired; loop back to step 1
+                    if rec is None:
+                        at_eos = True
+                        break
+                    # 4. greedily batch whatever else is immediately available
+                    batch = [rec]
+                    while len(batch) < chunk_size:
+                        extra = in_stream.try_get()
+                        if extra is None:
+                            break
+                        batch.append(extra)
+                    for item in batch:
+                        tracer.record(entity.name, "consume", record=repr(item))
+                    inflight.append(pool.apply_async(_invoke_box_batch, (key, batch)))
+                while inflight:
+                    emit(collect(inflight.popleft()))
+                for produced in entity.flush():  # boxes are stateless: usually []
+                    emit([produced])
+
+        return pump
+
+    # -- running -------------------------------------------------------------
+    def run(
+        self,
+        network: Entity,
+        inputs: Sequence[Record],
+        fresh: bool = True,
+        timeout: Optional[float] = 60.0,
+    ) -> List[Record]:
+        target = network.copy() if fresh else network
+        pool = None
+        # pool results share the run's patience budget: a batch that takes
+        # longer than the whole run is allowed to would time the run out anyway
+        self._result_timeout = timeout
+        try:
+            if self.fork_available():
+                self._register_boxes(target)
+                if self._box_keys:
+                    # the pool MUST fork after registration and before any
+                    # worker thread starts, so children inherit the registry
+                    # from a quiescent parent
+                    ctx = multiprocessing.get_context("fork")
+                    pool = ctx.Pool(processes=self.workers)
+            self._pool = pool
+            return super().run(target, inputs, fresh=False, timeout=timeout)
+        finally:
+            self._pool = None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            self._unregister_boxes()
+
+
+def run_process(
+    network: Entity,
+    inputs: Sequence[Record],
+    workers: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    stream_capacity: int = 256,
+    chunk_size: int = 4,
+    timeout: Optional[float] = 60.0,
+) -> List[Record]:
+    """Convenience wrapper: run ``network`` on a fresh process runtime."""
+    runtime = ProcessRuntime(
+        workers=workers,
+        tracer=tracer,
+        stream_capacity=stream_capacity,
+        chunk_size=chunk_size,
+    )
+    return runtime.run(network, inputs, timeout=timeout)

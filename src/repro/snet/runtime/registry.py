@@ -1,0 +1,128 @@
+"""Named runtime backends and the selection API.
+
+Everything that *executes* an S-Net entity graph sits behind a tiny registry
+so applications, examples and benchmarks pick an execution strategy by name::
+
+    from repro.snet.runtime import get_runtime, run_on
+
+    runtime = get_runtime("process", workers=4)
+    outputs = runtime.run(network, inputs)
+
+    # or, for the common run-to-completion case:
+    outputs = run_on("threaded", network, inputs)
+
+Three backends ship with the repository:
+
+``threaded``
+    :class:`~repro.snet.runtime.engine.ThreadedRuntime` — one thread per
+    runtime component.  The *correctness* backend: real box execution, no
+    extra processes, but GIL-bound (no wall-clock speedup for CPU-bound
+    boxes).
+``process``
+    :class:`~repro.snet.runtime.process_engine.ProcessRuntime` — same
+    compilation scheme, box invocations offloaded to a forked worker pool.
+    The *wall-clock parallel* backend.
+``simulated`` (alias ``dsnet``)
+    :class:`~repro.dsnet.simruntime.SimulatedDSNetRuntime` — discrete-event
+    simulation of Distributed S-Net on a modelled cluster.  The *performance
+    model* backend used for the paper's figure reproductions; its ``run``
+    returns a :class:`~repro.dsnet.simruntime.SimRunResult` (``run_on``
+    normalises that to the output records).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.snet.base import Entity
+from repro.snet.errors import RuntimeError_
+from repro.snet.records import Record
+
+__all__ = ["register_backend", "available_backends", "get_runtime", "run_on"]
+
+_FACTORIES: Dict[str, Callable[..., Any]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[..., Any], replace: bool = False
+) -> None:
+    """Register ``factory`` (kwargs -> runtime instance) under ``name``."""
+    key = name.strip().lower()
+    if not key:
+        raise RuntimeError_("runtime backend names must be non-empty")
+    if key in _FACTORIES and not replace:
+        raise RuntimeError_(f"runtime backend {key!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered runtime backends, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_runtime(name: str, **options: Any) -> Any:
+    """Instantiate the runtime backend registered under ``name``.
+
+    ``options`` are passed to the backend factory (e.g. ``workers=4`` for the
+    process backend, ``stream_capacity=...`` for both executing backends, or
+    ``cluster=...`` for the simulated one).
+    """
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise RuntimeError_(
+            f"unknown runtime backend {name!r}; available: "
+            + ", ".join(available_backends())
+        )
+    return _FACTORIES[key](**options)
+
+
+def run_on(
+    name: str,
+    network: Entity,
+    inputs: Sequence[Record],
+    timeout: Optional[float] = 60.0,
+    **options: Any,
+) -> List[Record]:
+    """Run ``network`` to completion on the named backend; return the outputs.
+
+    Normalises over backend result types: the simulated backend's
+    ``SimRunResult`` is unwrapped to its output records.
+    """
+    runtime = get_runtime(name, **options)
+    if "timeout" in inspect.signature(runtime.run).parameters:
+        result = runtime.run(network, inputs, timeout=timeout)
+    else:
+        # the simulated runtime advances virtual time; no wall-clock timeout
+        result = runtime.run(network, inputs)
+    outputs = getattr(result, "outputs", result)
+    return list(outputs)
+
+
+# -- built-in backends --------------------------------------------------------
+def _threaded_factory(**options: Any):
+    from repro.snet.runtime.engine import ThreadedRuntime
+
+    return ThreadedRuntime(**options)
+
+
+def _process_factory(**options: Any):
+    from repro.snet.runtime.process_engine import ProcessRuntime
+
+    return ProcessRuntime(**options)
+
+
+def _simulated_factory(cluster: Any = None, **options: Any):
+    # imported lazily: repro.dsnet itself depends on repro.snet
+    from repro.cluster.topology import paper_cluster
+    from repro.dsnet.simruntime import SimulatedDSNetRuntime
+
+    if cluster is None:
+        cluster = paper_cluster()
+    return SimulatedDSNetRuntime(cluster, **options)
+
+
+register_backend("threaded", _threaded_factory)
+register_backend("process", _process_factory)
+register_backend("simulated", _simulated_factory)
+register_backend("dsnet", _simulated_factory, replace=False)

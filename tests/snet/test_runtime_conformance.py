@@ -1,0 +1,310 @@
+"""Cross-backend conformance: every executing runtime, identical semantics.
+
+One set of semantic tests parametrised over the ``threaded`` and ``process``
+backends.  S-Net output ordering is nondeterministic (parallel branches merge
+in arrival order), so conformance is defined on *multisets* of output
+records: for every network and input stream, each backend must produce the
+same records the same number of times — and, where a sequential reference
+exists, the same multiset as the sequential interpreter.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.snet.base import PrimitiveEntity
+from repro.snet.boxes import Box, box
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.errors import RuntimeError_
+from repro.snet.filters import Filter
+from repro.snet.network import Network, run_network
+from repro.snet.patterns import Guard, Pattern, TagRef
+from repro.snet.records import Record
+from repro.snet.runtime import (
+    ProcessRuntime,
+    ThreadedRuntime,
+    available_backends,
+    get_runtime,
+    run_on,
+)
+from repro.snet.synchrocell import SyncroCell
+
+BACKENDS = ["threaded", "process"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def multiset(records):
+    """Order-insensitive canonical form of a record stream."""
+    return Counter(repr(r) for r in records)
+
+
+def run_backend(name, network, inputs, timeout=30.0, **options):
+    if name == "process":
+        options.setdefault("workers", 2)
+    return run_on(name, network, inputs, timeout=timeout, **options)
+
+
+def make_inc(label_in="a", label_out="b"):
+    @box(f"({label_in}) -> ({label_out})", name=f"inc_{label_in}_{label_out}")
+    def inc(value):
+        return {label_out: value + 1}
+
+    return inc
+
+
+class TestRegistry:
+    def test_backends_registered(self):
+        assert {"threaded", "process", "simulated", "dsnet"} <= set(available_backends())
+
+    def test_get_runtime_types(self):
+        assert isinstance(get_runtime("threaded"), ThreadedRuntime)
+        assert isinstance(get_runtime("process", workers=2), ProcessRuntime)
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(RuntimeError_, match="threaded"):
+            get_runtime("quantum")
+
+    def test_process_is_a_distinct_backend(self):
+        runtime = get_runtime("process", workers=3, chunk_size=2)
+        assert runtime.workers == 3
+        assert runtime.chunk_size == 2
+
+
+class TestConformance:
+    def test_single_box(self, backend):
+        outs = run_backend(backend, make_inc(), [Record({"a": 1}), Record({"a": 5})])
+        assert sorted(r.field("b") for r in outs) == [2, 6]
+
+    def test_serial_pipeline_matches_sequential(self, backend):
+        net = Serial(make_inc("a", "b"), make_inc("b", "c"))
+        inputs = [Record({"a": i}) for i in range(20)]
+        expected = multiset(run_network(net, inputs))
+        assert multiset(run_backend(backend, net, inputs)) == expected
+
+    def test_parallel_routing(self, backend):
+        net = Parallel(make_inc("a", "x"), make_inc("b", "y"))
+        inputs = [Record({"a": 1}), Record({"b": 2}), Record({"a": 3})]
+        outs = run_backend(backend, net, inputs)
+        assert len(outs) == 3
+        assert sum(1 for r in outs if r.has_field("x")) == 2
+        assert sum(1 for r in outs if r.has_field("y")) == 1
+
+    def test_star_unrolling(self, backend):
+        @box("(<n>) -> (<n>)")
+        def bump(n):
+            return {"<n>": n + 1}
+
+        net = Star(bump, Pattern(["<n>"], Guard(TagRef("n") >= 4)))
+        outs = run_backend(backend, net, [Record({"<n>": 0}), Record({"<n>": 2})])
+        assert sorted(r.tag("n") for r in outs) == [4, 4]
+
+    def test_index_split(self, backend):
+        @box("(sect, <node>) -> (chunk, <node>)")
+        def solve(sect, node):
+            return {"chunk": sect * 10, "<node>": node}
+
+        net = IndexSplit(solve, "node")
+        inputs = [Record({"sect": i, "<node>": i % 3}) for i in range(9)]
+        outs = run_backend(backend, net, inputs)
+        assert len(outs) == 9
+        assert {r.tag("node") for r in outs} == {0, 1, 2}
+        assert sorted(r.field("chunk") for r in outs) == [i * 10 for i in range(9)]
+
+    def test_synchrocell(self, backend):
+        net = Serial(SyncroCell([["pic"], ["chunk"]]), Filter.identity())
+        outs = run_backend(
+            backend, net, [Record({"pic": "P"}), Record({"chunk": "C"})]
+        )
+        assert len(outs) == 1
+        assert outs[0].field("pic") == "P"
+        assert outs[0].field("chunk") == "C"
+
+    def test_flush_releases_buffered_records(self, backend):
+        class Batcher(PrimitiveEntity):
+            """Stateful primitive releasing its buffer at end-of-stream."""
+
+            def __init__(self):
+                super().__init__("batcher")
+                self._held = []
+
+            @property
+            def signature(self):
+                return Filter.identity().signature
+
+            def process(self, rec):
+                self._held.append(rec)
+                return []
+
+            def flush(self):
+                held, self._held = self._held, []
+                return held
+
+            def reset(self):
+                self._held = []
+
+        net = Serial(Batcher(), make_inc("a", "b"))
+        inputs = [Record({"a": i}) for i in range(5)]
+        outs = run_backend(backend, net, inputs)
+        assert sorted(r.field("b") for r in outs) == [1, 2, 3, 4, 5]
+
+    def test_flow_inheritance_is_preserved(self, backend):
+        net = Serial(make_inc("a", "b"), make_inc("b", "c"))
+        inputs = [Record({"a": i, "payload": f"rec-{i}", "<k>": i}) for i in range(8)]
+        outs = run_backend(backend, net, inputs)
+        assert sorted(r.field("payload") for r in outs) == [f"rec-{i}" for i in range(8)]
+        assert sorted(r.tag("k") for r in outs) == list(range(8))
+
+    def test_nested_combinators_match_sequential(self, backend):
+        @box("(<n>) -> (<n>)")
+        def bump(n):
+            return {"<n>": n + 1}
+
+        inner = Serial(make_inc("a", "a"), Filter.identity())
+        net = Network(
+            "nested",
+            Serial(
+                IndexSplit(inner, "k"),
+                Star(bump, Pattern(["<n>"], Guard(TagRef("n") >= 2))),
+            ),
+        )
+        inputs = [Record({"a": i, "<k>": i % 2, "<n>": 0}) for i in range(10)]
+        expected = multiset(run_network(net, inputs))
+        assert multiset(run_backend(backend, net, inputs)) == expected
+
+    def test_error_propagation_mid_stream(self, backend):
+        """A box raising mid-stream fails run() promptly on every backend.
+
+        Regression: a dead worker used to leave upstream producers blocked on
+        back-pressure, so the failure only surfaced at the harness timeout.
+        """
+
+        @box("(a) -> (b)")
+        def flaky(a):
+            if a == 7:
+                raise ValueError("box exploded mid-stream")
+            return {"b": a}
+
+        net = Serial(make_inc("a", "a"), Serial(flaky, make_inc("b", "c")))
+        inputs = [Record({"a": i}) for i in range(50)]
+        with pytest.raises(RuntimeError_, match="worker"):
+            # records exceed the stream capacity on purpose: the feeder can
+            # only finish because the failing worker drains its input
+            run_backend(backend, net, inputs, timeout=15.0, stream_capacity=4)
+
+    def test_tiny_stream_capacity(self, backend):
+        net = Serial(make_inc("a", "b"), Serial(make_inc("b", "c"), Filter.identity()))
+        inputs = [Record({"a": i}) for i in range(30)]
+        outs = run_backend(backend, net, inputs, stream_capacity=1)
+        assert sorted(r.field("c") for r in outs) == [i + 2 for i in range(30)]
+
+
+class TestProcessBackendSpecifics:
+    def test_chunked_batches_conform(self):
+        net = Serial(make_inc("a", "b"), make_inc("b", "c"))
+        inputs = [Record({"a": i}) for i in range(40)]
+        expected = multiset(run_network(net, inputs))
+        outs = run_on(
+            "process", net, inputs, timeout=30.0, workers=2, chunk_size=8
+        )
+        assert multiset(outs) == expected
+
+    def test_not_parallel_safe_box_runs_in_parent(self):
+        observed = []
+
+        @box("(a) -> (b)", parallel_safe=False)
+        def local_effect(a):
+            observed.append(a)  # visible only if executed in this process
+            return {"b": a}
+
+        outs = run_on(
+            "process", local_effect, [Record({"a": i}) for i in range(5)],
+            timeout=30.0, workers=2,
+        )
+        assert len(outs) == 5
+        assert sorted(observed) == [0, 1, 2, 3, 4]
+
+    @pytest.mark.skipif(
+        not ProcessRuntime.fork_available(), reason="needs fork start method"
+    )
+    def test_parallel_safe_box_runs_in_workers(self):
+        import os
+
+        @box("(a) -> (b)")
+        def tag_pid(a):
+            return {"b": os.getpid()}
+
+        outs = run_on(
+            "process", tag_pid, [Record({"a": i}) for i in range(8)],
+            timeout=30.0, workers=2,
+        )
+        pids = {r.field("b") for r in outs}
+        assert os.getpid() not in pids
+        assert 1 <= len(pids) <= 2
+
+    def test_registry_is_cleaned_up_after_run(self):
+        from repro.snet.runtime import process_engine
+
+        before = dict(process_engine._BOX_REGISTRY)
+        run_on(
+            "process", make_inc(), [Record({"a": 1})], timeout=30.0, workers=2
+        )
+        assert process_engine._BOX_REGISTRY == before
+
+    def test_distinct_boxes_sharing_one_function(self):
+        """Regression: two boxes over one function must not collapse.
+
+        The fork-shared registry used to key templates by function identity
+        alone, so the second box's records were processed with the first
+        box's signature in the pool worker.
+        """
+
+        def rename(value):
+            return {"r": value}
+
+        first = Box("first", "(a) -> (r)", rename)
+        second = Box("second", "(b) -> (r)", rename)
+        net = Parallel(first, second)
+        inputs = [Record({"a": 1}), Record({"b": 2}), Record({"a": 3})]
+        expected = multiset(run_network(net, inputs))
+        outs = run_on("process", net, inputs, timeout=30.0, workers=2)
+        assert multiset(outs) == expected
+
+    def test_worker_error_carries_remote_traceback(self):
+        @box("(a) -> (b)")
+        def boom(a):
+            raise KeyError("remote failure detail")
+
+        runtime = get_runtime("process", workers=2)
+        with pytest.raises(RuntimeError_) as excinfo:
+            runtime.run(boom, [Record({"a": 1})], timeout=15.0)
+        assert "remote failure detail" in str(excinfo.value.__cause__)
+
+
+class TestRayTracingFarmConformance:
+    """The paper's farm renders the identical image on every backend."""
+
+    @pytest.mark.parametrize("variant", ["static", "dynamic"])
+    def test_farm_image_identical_across_backends(self, backend, variant):
+        from repro.apps import run_raytracing_farm
+        from repro.raytracer import Camera, random_scene, render
+        from repro.raytracer.image import image_rms_difference
+
+        scene = random_scene(num_spheres=6, clustering=0.5, seed=3)
+        reference = render(scene, Camera(width=24, height=24))
+        options = {"workers": 2} if backend == "process" else {}
+        run = run_raytracing_farm(
+            variant,
+            runtime=backend,
+            width=24,
+            height=24,
+            nodes=2,
+            tasks=4,
+            scene=scene,
+            runtime_options=options,
+            timeout=60.0,
+        )
+        assert image_rms_difference(run.image, reference) == 0.0

@@ -11,7 +11,13 @@ from repro.raytracer.geometry import Sphere
 from repro.raytracer.ray import Ray
 from repro.raytracer.vec import vec3
 from repro.scheduling import BlockScheduler, FactoringScheduler, validate_sections
+from repro.snet.boxes import box
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.filters import Filter
+from repro.snet.network import run_network
+from repro.snet.patterns import Guard, Pattern, TagRef
 from repro.snet.records import Field, Record, Tag
+from repro.snet.runtime import ThreadedRuntime
 from repro.snet.types import RecordType, Variant
 from repro.mpisim.datatypes import payload_bytes
 
@@ -171,3 +177,113 @@ class TestBVHProperties:
         assert (bvh_hit is None) == (brute_hit is None)
         if brute_t is not None:
             assert bvh_t == pytest.approx(brute_t)
+
+
+# -- runtime stream invariants ---------------------------------------------------
+#
+# Random record streams through randomly composed combinator graphs.  Every
+# component of the grammar below conserves records one-to-one, so for any
+# generated graph the runtime must emit exactly one output per input — no
+# loss, no duplication, no deadlock — at any stream capacity (including the
+# fully throttled capacity=1 configuration).  Each input carries a unique
+# ``ident`` field that flow inheritance must preserve end to end.
+
+STAR_EXIT = 3  # bump boxes increment <n>; records enter with <n> <= this
+
+
+def _bump_box():
+    @box("(<n>) -> (<n>)", name="bump")
+    def bump(n):
+        return {"<n>": n + 1}
+
+    return bump
+
+
+def _inc_box():
+    @box("(<n>) -> (<n>)", name="inc")
+    def inc(n):
+        return {"<n>": n}
+
+    return inc
+
+
+@st.composite
+def combinator_graphs(draw, depth=0):
+    """A random record-conserving combinator graph over {<n>, <k>} records."""
+    leaves = ["inc", "identity"]
+    choices = list(leaves)
+    if depth < 3:
+        choices += ["serial", "parallel", "split", "star"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "inc":
+        return _inc_box()
+    if kind == "identity":
+        return Filter.identity()
+    if kind == "serial":
+        return Serial(
+            draw(combinator_graphs(depth=depth + 1)),
+            draw(combinator_graphs(depth=depth + 1)),
+        )
+    if kind == "parallel":
+        # both branches accept every record; route() still must send each
+        # record to exactly one of them
+        return Parallel(
+            draw(combinator_graphs(depth=depth + 1)),
+            draw(combinator_graphs(depth=depth + 1)),
+        )
+    if kind == "split":
+        return IndexSplit(draw(combinator_graphs(depth=depth + 1)), "k")
+    # star: the operand must strictly advance <n> towards the exit guard,
+    # otherwise the unrolling would never terminate
+    return Star(_bump_box(), Pattern(["<n>"], Guard(TagRef("n") >= STAR_EXIT)))
+
+
+@st.composite
+def record_streams(draw):
+    count = draw(st.integers(0, 30))
+    return [
+        Record(
+            {
+                "<n>": draw(st.integers(0, STAR_EXIT)),
+                "<k>": draw(st.integers(0, 3)),
+                "ident": i,
+            }
+        )
+        for i in range(count)
+    ]
+
+
+class TestRuntimeStreamProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(combinator_graphs(), record_streams(), st.sampled_from([1, 2, 16]))
+    def test_no_record_loss_or_duplication(self, graph, inputs, capacity):
+        runtime = ThreadedRuntime(stream_capacity=capacity)
+        # a 10s timeout turns any scheduling deadlock into a hard failure
+        outputs = runtime.run(graph, inputs, timeout=10.0)
+        assert sorted(r.field("ident") for r in outputs) == [
+            r.field("ident") for r in inputs
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(combinator_graphs(), record_streams())
+    def test_matches_sequential_multiset(self, graph, inputs):
+        expected = sorted(repr(r) for r in run_network(graph, inputs))
+        runtime = ThreadedRuntime(stream_capacity=2)
+        outputs = runtime.run(graph, inputs, timeout=10.0)
+        assert sorted(repr(r) for r in outputs) == expected
+
+    @settings(max_examples=8, deadline=None)
+    @given(record_streams(), st.sampled_from([1, 4]))
+    def test_process_backend_conserves_records(self, inputs, capacity):
+        from repro.snet.runtime import ProcessRuntime
+
+        graph = Serial(
+            _inc_box(), Parallel(Filter.identity(), Star(
+                _bump_box(), Pattern(["<n>"], Guard(TagRef("n") >= STAR_EXIT))
+            ))
+        )
+        runtime = ProcessRuntime(workers=2, stream_capacity=capacity, chunk_size=3)
+        outputs = runtime.run(graph, inputs, timeout=20.0)
+        assert sorted(r.field("ident") for r in outputs) == [
+            r.field("ident") for r in inputs
+        ]
