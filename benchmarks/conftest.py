@@ -1,5 +1,9 @@
 """Shared fixtures for the figure-reproduction benchmarks."""
 
+import json
+import os
+import pathlib
+
 import pytest
 
 from repro.bench.experiments import ExperimentSettings
@@ -9,3 +13,27 @@ from repro.bench.experiments import ExperimentSettings
 def settings() -> ExperimentSettings:
     """The workload/substrate configuration used for every figure."""
     return ExperimentSettings()
+
+
+@pytest.fixture
+def bench_json():
+    """Writer for per-benchmark timing records (the CI trajectory artifact).
+
+    Returns ``write(name, payload)``; when the ``BENCH_RESULTS_DIR``
+    environment variable is set the payload is dumped as
+    ``$BENCH_RESULTS_DIR/<name>.json`` (CI uploads that directory as the
+    ``bench-timings`` artifact, accumulating BENCH_* trajectory data per
+    PR), otherwise the call is a no-op so local runs stay side-effect free.
+    """
+
+    def write(name: str, payload: dict):
+        out_dir = os.environ.get("BENCH_RESULTS_DIR")
+        if not out_dir:
+            return None
+        directory = pathlib.Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / f"{name}.json"
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return target
+
+    return write

@@ -17,6 +17,7 @@ exactly the property the GIL denies the threaded backend for CPU-bound
 boxes.
 """
 
+import os
 import time
 
 import pytest
@@ -62,7 +63,7 @@ def _render_once(scene, camera, workers: int):
     not ProcessRuntime.fork_available(),
     reason="process backend needs the fork start method",
 )
-def test_fig6_process_speedup():
+def test_fig6_process_speedup(bench_json):
     scene = random_scene(num_spheres=8, clustering=0.5, seed=7)
     camera = Camera(width=32, height=32)
     reference = render(scene, camera)
@@ -75,6 +76,20 @@ def test_fig6_process_speedup():
     print(f"  1 worker : {t_serial:6.2f} s")
     print(f"  {NODES} workers: {t_parallel:6.2f} s")
     print(f"  speedup  : {speedup:6.2f} x")
+
+    bench_json(
+        "fig6_process_speedup",
+        {
+            "benchmark": "fig6_process_speedup",
+            "workers": NODES,
+            "tasks": TASKS,
+            "section_cost_seconds": SECTION_COST,
+            "serial_seconds": t_serial,
+            "parallel_seconds": t_parallel,
+            "speedup": speedup,
+            "cpu_count": os.cpu_count(),
+        },
+    )
 
     # both configurations must compute the exact sequential image
     assert image_rms_difference(image_serial, reference) == 0.0

@@ -1,0 +1,72 @@
+"""E7 — measured speedup of the packet rendering path over the scalar oracle.
+
+The paper's solver box is the farm's hot path; rendering a section one
+pixel at a time through Python objects makes every runtime backend
+interpreter-bound instead of coordination-bound.  The packet path renders a
+whole section as NumPy ray arrays (masked BVH traversal, vectorized
+shading; see :mod:`repro.raytracer.packet`).  This benchmark measures the
+resulting single-invocation speedup on a 128x128 render of the standard
+random scene and pins the two acceptance bars:
+
+* the packet image is pixel-identical to the scalar image (atol 1e-9),
+  with identical ray accounting;
+* the packet path is at least 5x faster (measured ~20x on one core; the
+  bar leaves headroom for loaded CI runners).
+
+Timings are written as JSON via the ``bench_json`` fixture when
+``BENCH_RESULTS_DIR`` is set, so CI accumulates per-PR trajectory data.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.raytracer import Camera, RayTracer, random_scene
+
+WIDTH = HEIGHT = 128
+MIN_SPEEDUP = 5.0
+
+
+def test_packet_speedup(bench_json):
+    scene = random_scene(num_spheres=30, clustering=0.5, seed=7)
+    camera = Camera(width=WIDTH, height=HEIGHT)
+    scene.index  # build the BVH up front so neither path pays for it
+
+    packet_tracer = RayTracer(scene, camera)
+    start = time.perf_counter()
+    packet = packet_tracer.render_rows_packet(0, HEIGHT)
+    t_packet = time.perf_counter() - start
+
+    scalar_tracer = RayTracer(scene, camera)
+    start = time.perf_counter()
+    scalar = scalar_tracer.render_rows(0, HEIGHT)
+    t_scalar = time.perf_counter() - start
+
+    speedup = t_scalar / t_packet
+    print()
+    print(f"  scalar : {t_scalar:7.2f} s")
+    print(f"  packet : {t_packet:7.3f} s")
+    print(f"  speedup: {speedup:7.2f} x")
+
+    bench_json(
+        "packet_speedup",
+        {
+            "benchmark": "packet_speedup",
+            "width": WIDTH,
+            "height": HEIGHT,
+            "scalar_seconds": t_scalar,
+            "packet_seconds": t_packet,
+            "speedup": speedup,
+            "rays_cast": int(scalar_tracer.rays_cast),
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+    # correctness first: same pixels, same number of rays traced
+    np.testing.assert_allclose(packet, scalar, atol=1e-9)
+    assert packet_tracer.rays_cast == scalar_tracer.rays_cast
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"packet path speedup {speedup:.2f}x < {MIN_SPEEDUP}x"
+    )

@@ -5,11 +5,13 @@ the real render backend, runs it on a selectable runtime backend, verifies
 the result against a sequential render and writes the picture to
 ``raytraced.ppm``.
 
-Run with:  python examples/raytracing_static.py [width] [height] [runtime]
+Run with:  python examples/raytracing_static.py [width] [height] [runtime] [mode]
 
 where ``runtime`` is ``threaded`` (default) or ``process``; the process
 backend executes the solver boxes on a forked worker pool and is the one
-that shows real wall-clock speedup on a multi-core host.
+that shows real wall-clock speedup on a multi-core host.  ``mode`` is
+``scalar`` (default, one ray at a time) or ``packet`` (NumPy ray packets,
+an order of magnitude faster per solver invocation).
 """
 
 import sys
@@ -21,13 +23,15 @@ from repro.raytracer.image import image_rms_difference
 from repro.snet.runtime import ProcessRuntime, Tracer
 
 
-def main(width: int = 96, height: int = 96, runtime: str = "threaded") -> None:
+def main(
+    width: int = 96, height: int = 96, runtime: str = "threaded", mode: str = "scalar"
+) -> None:
     scene = random_scene(num_spheres=40, clustering=0.5, seed=7)
     camera = Camera(width=width, height=height)
 
-    # sequential reference (Algorithm 1 of the paper)
+    # sequential reference (Algorithm 1 of the paper), same render mode
     t0 = time.perf_counter()
-    reference = render(scene, camera)
+    reference = render(scene, camera, mode=mode)
     sequential_time = time.perf_counter() - t0
 
     # the S-Net coordinated version: 4 abstract nodes, 8 sections
@@ -42,6 +46,7 @@ def main(width: int = 96, height: int = 96, runtime: str = "threaded") -> None:
         scene=scene,
         runtime_options={"tracer": tracer},
         timeout=300.0,
+        render_mode=mode,
     )
 
     difference = image_rms_difference(run.image, reference)
@@ -53,9 +58,10 @@ def main(width: int = 96, height: int = 96, runtime: str = "threaded") -> None:
         "threaded": "threaded runtime; the GIL prevents real speed-ups in pure Python",
         "process": process_note,
     }.get(runtime, runtime)
-    print(f"sequential render : {sequential_time:6.2f} s")
+    print(f"sequential render : {sequential_time:6.2f} s ({mode} mode)")
     print(f"S-Net coordinated : {run.seconds:6.2f} s ({note})")
     print(f"pixel difference  : {difference:.2e} (must be 0: same algorithm, same image)")
+    print(f"rays cast         : {run.rays_cast}")
     print(f"records traced    : {tracer.count('consume')} consumed, "
           f"{tracer.count('produce')} produced")
 
@@ -68,4 +74,5 @@ if __name__ == "__main__":
     width = int(sys.argv[1]) if len(sys.argv) > 1 else 96
     height = int(sys.argv[2]) if len(sys.argv) > 2 else 96
     runtime = sys.argv[3] if len(sys.argv) > 3 else "threaded"
-    main(width, height, runtime)
+    mode = sys.argv[4] if len(sys.argv) > 4 else "scalar"
+    main(width, height, runtime, mode)

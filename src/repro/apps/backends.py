@@ -18,6 +18,7 @@ the box bodies differ.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
@@ -27,7 +28,7 @@ from repro.raytracer.camera import Camera
 from repro.raytracer.cost import CostParameters, SectionCostModel
 from repro.raytracer.image import ImageChunk, blank_image, merge_chunk_into, to_ppm
 from repro.raytracer.scene import Scene
-from repro.raytracer.tracer import render_section
+from repro.raytracer.tracer import check_render_mode, render_section
 from repro.scheduling.base import Section
 
 __all__ = [
@@ -84,6 +85,28 @@ class RenderBackend:
         self.scene = scene
         self.camera = camera
         self.saved_images: List[Any] = []
+        self._stats_lock = threading.Lock()
+        self.rays_cast = 0
+
+    # -- tracing stats ---------------------------------------------------------
+    def add_rays_cast(self, count: int) -> None:
+        """Thread-safely accumulate rays cast by one solver invocation.
+
+        Solver replicas under the threaded runtime share this backend object
+        from several worker threads, hence the lock.
+        """
+        if count:
+            with self._stats_lock:
+                self.rays_cast += int(count)
+
+    def absorb_chunk_stats(self, chunk: Any) -> None:
+        """Fold a chunk's tracing stats into the backend totals.
+
+        Called by the merger-side boxes (which always execute in the
+        coordinating process), so the counts survive even when the solver ran
+        in a forked pool worker whose backend copy is unreachable.
+        """
+        self.add_rays_cast(getattr(chunk, "rays_cast", 0))
 
     # -- geometry ------------------------------------------------------------
     @property
@@ -132,18 +155,36 @@ class RenderBackend:
 
 
 class RealRenderBackend(RenderBackend):
-    """Backend that actually renders pixels (for small resolutions)."""
+    """Backend that actually renders pixels (for small resolutions).
+
+    ``render_mode`` selects the execution strategy of the solver body:
+    ``"scalar"`` renders one pixel at a time (the correctness oracle),
+    ``"packet"`` renders each section as one vectorized NumPy ray packet
+    (see :mod:`repro.raytracer.packet`); both produce the same image to
+    within ``atol=1e-9``.
+    """
+
+    def __init__(self, scene: Scene, camera: Camera, render_mode: str = "scalar"):
+        super().__init__(scene, camera)
+        self.render_mode = check_render_mode(render_mode)
 
     def render_section(self, section: Section) -> ImageChunk:
         return render_section(
-            self.scene, self.camera, section.y_start, section.y_end, section.index
+            self.scene,
+            self.camera,
+            section.y_start,
+            section.y_end,
+            section.index,
+            mode=self.render_mode,
         )
 
     def init_picture(self, chunk: ImageChunk) -> np.ndarray:
+        self.absorb_chunk_stats(chunk)
         picture = blank_image(self.width, self.height)
         return merge_chunk_into(picture, chunk)
 
     def merge(self, picture: np.ndarray, chunk: ImageChunk) -> np.ndarray:
+        self.absorb_chunk_stats(chunk)
         return merge_chunk_into(picture, chunk)
 
     def write_image(self, picture: np.ndarray) -> None:

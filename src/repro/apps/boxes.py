@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.apps.backends import RenderBackend
+from repro.raytracer.tracer import check_render_mode
 from repro.scheduling.base import Scheduler, Section, validate_sections
 from repro.scheduling.block import BlockScheduler
 from repro.snet.boxes import Box
@@ -45,11 +46,23 @@ class RayTracingBoxes:
     scheduler:
         How the splitter divides the image into sections.  Defaults to block
         scheduling with as many sections as there are ``<tasks>``.
+    render_mode:
+        Optional override of the backend's rendering strategy
+        (``"scalar"`` | ``"packet"``); ``None`` leaves the backend's own
+        mode untouched.  Backends without a mode knob (the model backend)
+        ignore the override.
     """
 
-    def __init__(self, backend: RenderBackend, scheduler: Optional[Scheduler] = None):
+    def __init__(
+        self,
+        backend: RenderBackend,
+        scheduler: Optional[Scheduler] = None,
+        render_mode: Optional[str] = None,
+    ):
         self.backend = backend
         self.scheduler = scheduler
+        if render_mode is not None and hasattr(backend, "render_mode"):
+            backend.render_mode = check_render_mode(render_mode)
 
     # -- section generation ------------------------------------------------
     def _sections(self, num_tasks: int) -> List[Section]:

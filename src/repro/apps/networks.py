@@ -144,10 +144,12 @@ def build_solver_segment(boxes: RayTracingBoxes) -> Network:
 
 
 def build_static_network(
-    backend: RenderBackend, scheduler: Optional[Scheduler] = None
+    backend: RenderBackend,
+    scheduler: Optional[Scheduler] = None,
+    render_mode: Optional[str] = None,
 ) -> Network:
     """The simple fork-join network of Fig. 2 (one solver instance per node)."""
-    boxes = RayTracingBoxes(backend, scheduler)
+    boxes = RayTracingBoxes(backend, scheduler, render_mode=render_mode)
     splitter = boxes.static_splitter()
     solver = boxes.solver()
     merger = build_merger(boxes)
@@ -159,7 +161,9 @@ def build_static_network(
 
 
 def build_static_2cpu_network(
-    backend: RenderBackend, scheduler: Optional[Scheduler] = None
+    backend: RenderBackend,
+    scheduler: Optional[Scheduler] = None,
+    render_mode: Optional[str] = None,
 ) -> Network:
     """The static variant with two solver instances per node.
 
@@ -167,7 +171,7 @@ def build_static_2cpu_network(
     solver of Fig. 2 (``(solver!<cpu>)!@<node>``) and marking input data with
     a ``<cpu>`` tag of values 0 and 1".
     """
-    boxes = RayTracingBoxes(backend, scheduler)
+    boxes = RayTracingBoxes(backend, scheduler, render_mode=render_mode)
     splitter = boxes.static_2cpu_splitter()
     solver = boxes.solver()
     per_cpu = IndexSplit(solver, "cpu")
@@ -180,7 +184,9 @@ def build_static_2cpu_network(
 
 
 def build_dynamic_network(
-    backend: RenderBackend, scheduler: Optional[Scheduler] = None
+    backend: RenderBackend,
+    scheduler: Optional[Scheduler] = None,
+    render_mode: Optional[str] = None,
 ) -> Network:
     """The dynamically load-balanced network (Fig. 2 with the Fig. 4 segment).
 
@@ -190,7 +196,7 @@ def build_dynamic_network(
     ... is oblivious of the node tag, it can be utilised in the dynamic
     setting without modification."
     """
-    boxes = RayTracingBoxes(backend, scheduler)
+    boxes = RayTracingBoxes(backend, scheduler, render_mode=render_mode)
     splitter = boxes.dynamic_splitter()
     solver_segment = build_solver_segment(boxes)
     merger = build_merger(boxes)

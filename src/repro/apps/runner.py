@@ -49,7 +49,12 @@ FARM_VARIANTS = {
 
 @dataclass
 class FarmRun:
-    """Outcome of one farm execution."""
+    """Outcome of one farm execution.
+
+    ``rays_cast`` is the total number of rays the solver boxes traced,
+    aggregated from the per-chunk counters by the merger side (so the count
+    is correct even when the solvers executed in forked pool workers).
+    """
 
     variant: str
     runtime: str
@@ -57,6 +62,8 @@ class FarmRun:
     outputs: List[Record]
     seconds: float
     backend: RenderBackend = field(repr=False)
+    render_mode: str = "scalar"
+    rays_cast: int = 0
 
 
 def run_raytracing_farm(
@@ -75,12 +82,16 @@ def run_raytracing_farm(
     backend: Optional[RenderBackend] = None,
     runtime_options: Optional[Dict[str, Any]] = None,
     timeout: float = 300.0,
+    render_mode: Optional[str] = None,
 ) -> FarmRun:
     """Build one of the paper's farm variants and run it to completion.
 
     Parameters mirror the paper's experiment knobs: ``nodes`` compute nodes,
     ``tasks`` image sections, and (dynamic variant only) ``tokens`` initial
-    node tokens, defaulting to ``nodes``.
+    node tokens, defaulting to ``nodes``.  ``render_mode`` selects the solver
+    execution strategy (``"scalar"`` per-pixel oracle or the vectorized
+    ``"packet"`` path); ``None`` keeps the backend's own mode (``"scalar"``
+    for a freshly created backend).
     """
     if variant not in FARM_VARIANTS:
         raise ValueError(
@@ -90,8 +101,12 @@ def run_raytracing_farm(
     if scene is None:
         scene = random_scene(num_spheres=num_spheres, clustering=0.5, seed=seed)
     if backend is None:
-        backend = RealRenderBackend(scene, Camera(width=width, height=height))
-    network = FARM_VARIANTS[variant](backend, scheduler)
+        backend = RealRenderBackend(
+            scene,
+            Camera(width=width, height=height),
+            render_mode=render_mode or "scalar",
+        )
+    network = FARM_VARIANTS[variant](backend, scheduler, render_mode=render_mode)
     if variant == "dynamic":
         inputs = dynamic_input_records(
             scene, nodes=nodes, tasks=tasks, tokens=tokens if tokens is not None else nodes
@@ -109,4 +124,6 @@ def run_raytracing_farm(
         outputs=outputs,
         seconds=seconds,
         backend=backend,
+        render_mode=getattr(backend, "render_mode", "scalar"),
+        rays_cast=getattr(backend, "rays_cast", 0),
     )

@@ -25,7 +25,14 @@ from repro.raytracer.materials import Material
 from repro.raytracer.geometry import AABB, Plane, Sphere, Triangle
 from repro.raytracer.bvh import BVH, BruteForceIndex
 from repro.raytracer.scene import Light, Scene, paper_scene, random_scene
-from repro.raytracer.tracer import Hit, RayTracer, render, render_section
+from repro.raytracer.packet import ScenePacketData, scene_packet_data, trace_packet
+from repro.raytracer.tracer import (
+    RENDER_MODES,
+    Hit,
+    RayTracer,
+    render,
+    render_section,
+)
 from repro.raytracer.image import ImageChunk, assemble_chunks, to_ppm
 from repro.raytracer.cost import SectionCostModel, CostParameters
 
@@ -49,8 +56,12 @@ __all__ = [
     "random_scene",
     "Hit",
     "RayTracer",
+    "RENDER_MODES",
     "render",
     "render_section",
+    "ScenePacketData",
+    "scene_packet_data",
+    "trace_packet",
     "ImageChunk",
     "assemble_chunks",
     "to_ppm",

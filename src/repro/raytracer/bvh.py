@@ -23,13 +23,14 @@ for the ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.raytracer.geometry.aabb import AABB
 from repro.raytracer.geometry.primitives import Primitive
 from repro.raytracer.ray import Ray
+from repro.raytracer.vec import broadcast_tmax
 
 __all__ = ["BVHNode", "BVH", "BruteForceIndex", "TraversalStats"]
 
@@ -85,6 +86,8 @@ class BVH:
         self.root: Optional[BVHNode] = None
         self.size = 0
         self.stats = TraversalStats()
+        self._packet_primitives: Optional[List[Primitive]] = None
+        self._packet_index: Dict[int, int] = {}
         for primitive in primitives:
             self.insert(primitive)
 
@@ -99,6 +102,7 @@ class BVH:
         leaf_box = primitive.bounding_box()
         new_leaf = BVHNode(leaf_box, primitive=primitive)
         self.size += 1
+        self._packet_primitives = None  # invalidate the packet leaf index
         if self.root is None:
             self.root = new_leaf
             return
@@ -211,6 +215,104 @@ class BVH:
                 stack.append(node.right)
         return False
 
+    # -- packet queries -----------------------------------------------------
+    @property
+    def packet_primitives(self) -> List[Primitive]:
+        """Leaf primitives in traversal order; packet hit indices refer here."""
+        self._ensure_packet_index()
+        assert self._packet_primitives is not None
+        return self._packet_primitives
+
+    def _ensure_packet_index(self) -> None:
+        if self._packet_primitives is not None:
+            return
+        primitives = [leaf.primitive for leaf in self.leaves()]
+        self._packet_primitives = primitives  # type: ignore[assignment]
+        self._packet_index = {id(p): i for i, p in enumerate(primitives)}
+
+    def intersect_packet(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Closest hit for a whole ray packet (masked active-ray traversal).
+
+        Returns ``(indices, t)``: per ray, the index of the hit primitive in
+        :attr:`packet_primitives` (``-1`` for a miss) and the hit parameter
+        (``np.inf`` for a miss).  Traversal carries the set of still-active
+        ray indices per node; the box test and the leaf intersection are
+        vectorized over that set (primitives without a NumPy kernel fall
+        back to the scalar loop of ``Primitive.intersect_block``).
+        """
+        n = origins.shape[0]
+        best_t = np.full(n, np.inf)
+        best_index = np.full(n, -1, dtype=np.int64)
+        if self.root is None or n == 0:
+            return best_index, best_t
+        self._ensure_packet_index()
+        stack: List[Tuple[BVHNode, np.ndarray]] = [(self.root, np.arange(n))]
+        while stack:
+            node, active = stack.pop()
+            self.stats.node_visits += int(active.size)
+            mask = node.box.intersects_ray_block(
+                origins[active], directions[active], t_min, best_t[active]
+            )
+            active = active[mask]
+            if active.size == 0:
+                continue
+            if node.is_leaf:
+                self.stats.primitive_tests += int(active.size)
+                t = node.primitive.intersect_block(  # type: ignore[union-attr]
+                    origins[active], directions[active], t_min, best_t[active]
+                )
+                closer = t < best_t[active]
+                hits = active[closer]
+                best_t[hits] = t[closer]
+                best_index[hits] = self._packet_index[id(node.primitive)]
+                continue
+            if node.left is not None:
+                stack.append((node.left, active))
+            if node.right is not None:
+                stack.append((node.right, active))
+        return best_index, best_t
+
+    def any_hit_packet(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6, t_max=np.inf
+    ) -> np.ndarray:
+        """Vectorized occlusion query; ``t_max`` may be per-ray (shadow rays).
+
+        Returns an ``(n,)`` boolean mask; rays already known to be occluded
+        are dropped from the active set before each node is tested.
+        """
+        n = origins.shape[0]
+        occluded = np.zeros(n, dtype=bool)
+        if self.root is None or n == 0:
+            return occluded
+        tmax = broadcast_tmax(t_max, n)
+        stack: List[Tuple[BVHNode, np.ndarray]] = [(self.root, np.arange(n))]
+        while stack:
+            node, active = stack.pop()
+            active = active[~occluded[active]]
+            if active.size == 0:
+                continue
+            self.stats.node_visits += int(active.size)
+            mask = node.box.intersects_ray_block(
+                origins[active], directions[active], t_min, tmax[active]
+            )
+            active = active[mask]
+            if active.size == 0:
+                continue
+            if node.is_leaf:
+                self.stats.primitive_tests += int(active.size)
+                t = node.primitive.intersect_block(  # type: ignore[union-attr]
+                    origins[active], directions[active], t_min, tmax[active]
+                )
+                occluded[active[np.isfinite(t)]] = True
+                continue
+            if node.left is not None:
+                stack.append((node.left, active))
+            if node.right is not None:
+                stack.append((node.right, active))
+        return occluded
+
     # -- invariants (used by property-based tests) -------------------------------
     def leaves(self) -> List[BVHNode]:
         result: List[BVHNode] = []
@@ -304,3 +406,39 @@ class BruteForceIndex:
             if primitive.intersect(ray, t_min, t_max) is not None:
                 return True
         return False
+
+    # -- packet queries -----------------------------------------------------
+    @property
+    def packet_primitives(self) -> List[Primitive]:
+        return self.primitives
+
+    def intersect_packet(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = origins.shape[0]
+        best_t = np.full(n, np.inf)
+        best_index = np.full(n, -1, dtype=np.int64)
+        for index, primitive in enumerate(self.primitives):
+            self.stats.primitive_tests += n
+            t = primitive.intersect_block(origins, directions, t_min, best_t)
+            closer = t < best_t
+            best_t[closer] = t[closer]
+            best_index[closer] = index
+        return best_index, best_t
+
+    def any_hit_packet(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6, t_max=np.inf
+    ) -> np.ndarray:
+        n = origins.shape[0]
+        occluded = np.zeros(n, dtype=bool)
+        tmax = broadcast_tmax(t_max, n)
+        for primitive in self.primitives:
+            active = (~occluded).nonzero()[0]
+            if active.size == 0:
+                break
+            self.stats.primitive_tests += int(active.size)
+            t = primitive.intersect_block(
+                origins[active], directions[active], t_min, tmax[active]
+            )
+            occluded[active[np.isfinite(t)]] = True
+        return occluded

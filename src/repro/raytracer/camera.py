@@ -69,6 +69,35 @@ class Camera:
         )
         return Ray(self.position, direction, depth=0)
 
+    def primary_ray_block(self, y_start: int, y_end: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All primary rays of rows ``[y_start, y_end)`` as arrays.
+
+        Returns ``(origins, directions)``, both of shape ``(rows * width, 3)``
+        in row-major pixel order — ray ``i`` corresponds to the pixel
+        ``(px, py) = (i % width, y_start + i // width)`` and matches
+        :meth:`primary_ray` for that pixel (same half-pixel centring, same
+        normalization).  This is the entry point of the packet rendering
+        path: one array pair per image section instead of one :class:`Ray`
+        object per pixel.
+        """
+        if not 0 <= y_start <= y_end <= self.height:
+            raise ValueError(
+                f"row range [{y_start}, {y_end}) outside image of height {self.height}"
+            )
+        px = np.arange(self.width, dtype=np.float64)
+        py = np.arange(y_start, y_end, dtype=np.float64)
+        u = (px + 0.5) / self.width * 2.0 - 1.0
+        v = 1.0 - (py + 0.5) / self.height * 2.0
+        directions = (
+            self._forward
+            + (u * self._half_width)[None, :, None] * self._right
+            + (v * self._half_height)[:, None, None] * self._true_up
+        ).reshape(-1, 3)
+        norms = np.sqrt(np.einsum("ij,ij->i", directions, directions))
+        directions = directions / norms[:, None]
+        origins = np.broadcast_to(self.position, directions.shape)
+        return origins, directions
+
     def ndc_of_point(self, point: Vector) -> Tuple[float, float, float]:
         """Project a world point; returns (x_ndc, y_ndc, depth).
 

@@ -22,7 +22,7 @@ import numpy as np
 from repro.raytracer.geometry.aabb import AABB
 from repro.raytracer.materials import Material
 from repro.raytracer.ray import Ray
-from repro.raytracer.vec import Vector, cross, dot, normalize, vec3
+from repro.raytracer.vec import Vector, broadcast_tmax, cross, dot, normalize, row_dot, vec3
 
 __all__ = ["Primitive", "Sphere", "Plane", "Triangle"]
 
@@ -42,8 +42,32 @@ class Primitive:
     def intersect(self, ray: Ray, t_min: float = 1e-6, t_max: float = np.inf) -> Optional[float]:
         raise NotImplementedError
 
+    def intersect_block(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6, t_max=np.inf
+    ) -> np.ndarray:
+        """Vectorized :meth:`intersect` over an ``(n, 3)`` ray packet.
+
+        ``t_max`` may be a scalar or an ``(n,)`` array of per-ray upper
+        bounds.  Returns an ``(n,)`` array of hit parameters with ``np.inf``
+        marking misses.  The base implementation is a scalar loop, so custom
+        primitives work in packets unchanged (the "scalar fallback per leaf"
+        of the packet BVH traversal); the built-in shapes override it with
+        NumPy kernels.
+        """
+        tmax = broadcast_tmax(t_max, origins.shape[0])
+        out = np.full(origins.shape[0], np.inf)
+        for i in range(origins.shape[0]):
+            t = self.intersect(Ray(origins[i], directions[i]), t_min, float(tmax[i]))
+            if t is not None:
+                out[i] = t
+        return out
+
     def normal_at(self, point: Vector) -> Vector:
         raise NotImplementedError
+
+    def normal_block(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`normal_at` over ``(n, 3)`` surface points."""
+        return np.stack([self.normal_at(points[i]) for i in range(points.shape[0])])
 
     def bounding_box(self) -> AABB:
         raise NotImplementedError
@@ -80,8 +104,35 @@ class Sphere(Primitive):
                 return float(t)
         return None
 
+    def intersect_block(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6, t_max=np.inf
+    ) -> np.ndarray:
+        oc = origins - self.center
+        half_b = row_dot(oc, directions)
+        c = row_dot(oc, oc) - self.radius * self.radius
+        discriminant = half_b * half_b - c
+        t = np.full(half_b.shape, np.inf)
+        valid = discriminant >= 0.0
+        if not valid.any():
+            return t
+        sqrt_d = np.sqrt(discriminant[valid])
+        near = -half_b[valid] - sqrt_d
+        far = -half_b[valid] + sqrt_d
+        tmax = broadcast_tmax(t_max, origins.shape[0])[valid]
+        near_ok = (near >= t_min) & (near <= tmax)
+        far_ok = (far >= t_min) & (far <= tmax)
+        # same root preference as the scalar path: the near root wins when in
+        # range, otherwise the far root (the ray starts inside the sphere)
+        t[valid] = np.where(near_ok, near, np.where(far_ok, far, np.inf))
+        return t
+
     def normal_at(self, point: Vector) -> Vector:
         return normalize(point - self.center)
+
+    def normal_block(self, points: np.ndarray) -> np.ndarray:
+        offsets = points - self.center
+        norms = np.sqrt(row_dot(offsets, offsets))
+        return offsets / np.where(norms == 0.0, 1.0, norms)[:, None]
 
     def bounding_box(self) -> AABB:
         r = vec3(self.radius, self.radius, self.radius)
@@ -110,8 +161,25 @@ class Plane(Primitive):
             return float(t)
         return None
 
+    def intersect_block(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6, t_max=np.inf
+    ) -> np.ndarray:
+        denom = directions @ self.normal
+        t = np.full(denom.shape, np.inf)
+        valid = np.abs(denom) >= 1e-12
+        if not valid.any():
+            return t
+        candidate = ((self.point - origins[valid]) @ self.normal) / denom[valid]
+        tmax = broadcast_tmax(t_max, origins.shape[0])[valid]
+        ok = (candidate >= t_min) & (candidate <= tmax)
+        t[valid] = np.where(ok, candidate, np.inf)
+        return t
+
     def normal_at(self, point: Vector) -> Vector:
         return self.normal
+
+    def normal_block(self, points: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(self.normal, points.shape)
 
     def bounding_box(self) -> AABB:
         return AABB(vec3(-_HUGE, -_HUGE, -_HUGE), vec3(_HUGE, _HUGE, _HUGE))
@@ -161,8 +229,40 @@ class Triangle(Primitive):
             return float(t)
         return None
 
+    def intersect_block(
+        self, origins: np.ndarray, directions: np.ndarray, t_min: float = 1e-6, t_max=np.inf
+    ) -> np.ndarray:
+        edge1 = self.v1 - self.v0
+        edge2 = self.v2 - self.v0
+        h = np.cross(directions, edge2)
+        a = h @ edge1
+        t = np.full(a.shape, np.inf)
+        valid = np.abs(a) >= 1e-12
+        if not valid.any():
+            return t
+        f = 1.0 / a[valid]
+        s = origins[valid] - self.v0
+        u = f * row_dot(s, h[valid])
+        q = np.cross(s, edge1)
+        v = f * row_dot(directions[valid], q)
+        candidate = f * (q @ edge2)
+        tmax = broadcast_tmax(t_max, origins.shape[0])[valid]
+        ok = (
+            (u >= 0.0)
+            & (u <= 1.0)
+            & (v >= 0.0)
+            & (u + v <= 1.0)
+            & (candidate >= t_min)
+            & (candidate <= tmax)
+        )
+        t[valid] = np.where(ok, candidate, np.inf)
+        return t
+
     def normal_at(self, point: Vector) -> Vector:
         return self._normal
+
+    def normal_block(self, points: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(self._normal, points.shape)
 
     def bounding_box(self) -> AABB:
         stacked = np.stack([self.v0, self.v1, self.v2])

@@ -18,11 +18,17 @@ __all__ = ["ImageChunk", "assemble_chunks", "blank_image", "to_ppm", "image_rms_
 
 @dataclass
 class ImageChunk:
-    """A horizontal band of rendered pixels starting at row ``y_start``."""
+    """A horizontal band of rendered pixels starting at row ``y_start``.
+
+    ``rays_cast`` records how many rays the section cost to render; it rides
+    along with the pixels so the merging side can aggregate tracing stats
+    even when the solver executed in a worker process.
+    """
 
     y_start: int
     pixels: np.ndarray  # shape (rows, width, 3), float64 in [0, 1]
     section_id: int = 0
+    rays_cast: int = 0
 
     def __post_init__(self) -> None:
         self.pixels = np.asarray(self.pixels, dtype=np.float64)

@@ -1,0 +1,181 @@
+"""NumPy ray-packet tracing: the vectorized inner loop of the solver box.
+
+The scalar path of :mod:`repro.raytracer.tracer` follows Algorithms 1 and 2
+of the paper one ray at a time, which makes every backend — threaded,
+process, simulated — interpreter-bound rather than coordination-bound.  This
+module renders whole image sections as *packets*:
+
+* the camera emits all primary rays of a section as ``(n, 3)`` arrays
+  (:meth:`~repro.raytracer.camera.Camera.primary_ray_block`);
+* the BVH is traversed once per packet with masked active-ray index sets
+  (:meth:`~repro.raytracer.bvh.BVH.intersect_packet`), testing whole ray
+  subsets against each node box and leaf primitive with NumPy kernels
+  (scalar fallback per leaf for primitives without a vectorized kernel);
+* direct lighting is shaded for the whole packet at once
+  (:func:`repro.raytracer.shading.shade_block`);
+* secondary rays (reflection, refraction) are gathered into smaller packets
+  and traced recursively, so the whole image is rendered without a single
+  per-pixel Python loop.
+
+Every kernel reproduces the scalar arithmetic operation-for-operation, so
+the packet image matches the scalar image to ``atol=1e-9`` (the conformance
+tests pin this); the scalar path remains the correctness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, List, Tuple
+
+import numpy as np
+
+from repro.raytracer.geometry.primitives import Primitive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.raytracer.scene import Scene
+    from repro.raytracer.tracer import RayTracer
+
+__all__ = [
+    "ScenePacketData",
+    "scene_packet_data",
+    "cast_packet",
+    "occluded_packet",
+    "trace_packet",
+]
+
+
+@dataclass
+class ScenePacketData:
+    """Per-primitive material arrays for packet shading.
+
+    Rows are aligned with the hit indices produced by :func:`cast_packet`:
+    the first ``len(index.packet_primitives)`` rows are the indexed (bounded)
+    primitives in BVH leaf order, followed by the scene's unbounded
+    primitives.  Cached on the scene and rebuilt whenever the acceleration
+    index is (object identity ties the two together).
+    """
+
+    index: Any
+    #: the index's packet_primitives list object at build time plus its
+    #: length — together they detect in-place index mutation (BVH.insert
+    #: swaps the list object, BruteForceIndex.insert grows it in place)
+    indexed: List[Primitive]
+    num_indexed: int
+    primitives: List[Primitive]
+    color: np.ndarray
+    ambient: np.ndarray
+    diffuse: np.ndarray
+    specular: np.ndarray
+    shininess: np.ndarray
+    reflectivity: np.ndarray
+    transparency: np.ndarray
+    ior: np.ndarray
+
+
+def scene_packet_data(scene: "Scene") -> ScenePacketData:
+    """The (cached) packet arrays of ``scene``; rebuilds after index changes.
+
+    Staleness is detected three ways: a rebuilt index object
+    (``Scene.add``), a re-derived leaf list on the same BVH (in-place
+    ``BVH.insert``), or a grown primitive list on the same brute-force index
+    (in-place ``BruteForceIndex.insert``).
+    """
+    index = scene.index  # building the index also populates the unbounded list
+    cached = getattr(scene, "_packet_data", None)
+    if (
+        cached is not None
+        and cached.index is index
+        and cached.indexed is index.packet_primitives
+        and cached.num_indexed == len(cached.indexed)
+    ):
+        return cached
+    indexed = index.packet_primitives
+    primitives = list(indexed) + list(scene.unbounded_objects)
+    materials = [p.material for p in primitives]
+    data = ScenePacketData(
+        index=index,
+        indexed=indexed,
+        num_indexed=len(indexed),
+        primitives=primitives,
+        color=np.array([m.color for m in materials], dtype=np.float64).reshape(
+            len(materials), 3
+        ),
+        ambient=np.array([m.ambient for m in materials], dtype=np.float64),
+        diffuse=np.array([m.diffuse for m in materials], dtype=np.float64),
+        specular=np.array([m.specular for m in materials], dtype=np.float64),
+        shininess=np.array([m.shininess for m in materials], dtype=np.float64),
+        reflectivity=np.array([m.reflectivity for m in materials], dtype=np.float64),
+        transparency=np.array([m.transparency for m in materials], dtype=np.float64),
+        ior=np.array([m.ior for m in materials], dtype=np.float64),
+    )
+    scene._packet_data = data
+    return data
+
+
+def cast_packet(
+    scene: "Scene", origins: np.ndarray, directions: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Closest hit of every ray in the packet (the packet ``Cast`` step).
+
+    Returns ``(indices, t)`` with indices into
+    :attr:`ScenePacketData.primitives` (``-1``/``np.inf`` for misses).
+    Mirrors :meth:`RayTracer.cast`: BVH first, then the unbounded primitives
+    bounded by each ray's current best hit.
+    """
+    indices, t = scene.index.intersect_packet(origins, directions, t_min=1e-6)
+    base = len(scene.index.packet_primitives)
+    for offset, obj in enumerate(scene.unbounded_objects):
+        t_obj = obj.intersect_block(origins, directions, 1e-6, t)
+        closer = t_obj < t
+        t[closer] = t_obj[closer]
+        indices[closer] = base + offset
+    return indices, t
+
+
+def occluded_packet(
+    scene: "Scene",
+    origins: np.ndarray,
+    directions: np.ndarray,
+    max_distance: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :meth:`RayTracer.occluded` for a packet of shadow rays."""
+    occluded = scene.index.any_hit_packet(origins, directions, 1e-6, max_distance)
+    tmax = np.broadcast_to(
+        np.asarray(max_distance, dtype=np.float64), (origins.shape[0],)
+    )
+    for obj in scene.unbounded_objects:
+        active = (~occluded).nonzero()[0]
+        if active.size == 0:
+            break
+        t = obj.intersect_block(origins[active], directions[active], 1e-6, tmax[active])
+        occluded[active[np.isfinite(t)]] = True
+    return occluded
+
+
+def trace_packet(
+    tracer: "RayTracer", origins: np.ndarray, directions: np.ndarray, depth: int = 0
+) -> np.ndarray:
+    """Vectorized :meth:`RayTracer.trace`: colours for a whole ray packet.
+
+    ``directions`` must be normalized (as :meth:`Camera.primary_ray_block`
+    and the secondary-ray spawning in ``shade_block`` guarantee).
+    """
+    scene = tracer.scene
+    n = origins.shape[0]
+    if n == 0:
+        return np.zeros((0, 3), dtype=np.float64)
+    colors = np.repeat(scene.background[None, :], n, axis=0)
+    if depth >= scene.max_ray_depth:
+        return colors
+    tracer.rays_cast += n
+    data = scene_packet_data(scene)
+    indices, t = cast_packet(scene, origins, directions)
+    hits = (indices >= 0).nonzero()[0]
+    if hits.size == 0:
+        return colors
+    from repro.raytracer.shading import shade_block
+
+    colors[hits] = shade_block(
+        tracer, data, origins[hits], directions[hits], indices[hits], t[hits], depth
+    )
+    return colors

@@ -17,12 +17,21 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.raytracer.ray import Ray
-from repro.raytracer.vec import Vector, dot, normalize, reflect, refract
+from repro.raytracer.vec import (
+    Vector,
+    dot,
+    normalize,
+    normalize_rows,
+    reflect,
+    refract,
+    row_dot,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.raytracer.packet import ScenePacketData
     from repro.raytracer.tracer import Hit, RayTracer
 
-__all__ = ["shade"]
+__all__ = ["shade", "shade_block"]
 
 #: offset applied along the normal to avoid self-intersection ("shadow acne")
 EPSILON = 1e-4
@@ -72,5 +81,107 @@ def shade(tracer: "RayTracer", hit: "Hit", ray: Ray) -> Vector:
             exit_point = hit.point - oriented_normal * EPSILON
             contribution = tracer.trace(ray.spawn(exit_point, refracted_dir))
         color = color + material.transparency * contribution
+
+    return np.clip(color, 0.0, 1.0)
+
+
+def shade_block(
+    tracer: "RayTracer",
+    data: "ScenePacketData",
+    origins: np.ndarray,
+    directions: np.ndarray,
+    indices: np.ndarray,
+    t: np.ndarray,
+    depth: int,
+) -> np.ndarray:
+    """Vectorized :func:`shade` for a packet of hits.
+
+    ``indices`` selects each ray's hit primitive in ``data.primitives``; the
+    material parameters are gathered from the pre-flattened arrays of
+    :class:`~repro.raytracer.packet.ScenePacketData`.  The direct-lighting
+    terms (ambient, Phong diffuse/specular, shadow attenuation) are computed
+    for the whole packet at once; reflection and refraction gather the rays
+    that spawn secondary rays into smaller packets and recurse through
+    :func:`~repro.raytracer.packet.trace_packet`.  The arithmetic follows the
+    scalar path operation-for-operation so both produce the same pixels.
+    """
+    from repro.raytracer.packet import occluded_packet, trace_packet
+
+    scene = tracer.scene
+    points = origins + t[:, None] * directions
+
+    normals = np.empty_like(points)
+    for prim_id in np.unique(indices):
+        selected = indices == prim_id
+        normals[selected] = data.primitives[prim_id].normal_block(points[selected])
+
+    # flip normals when hitting a surface from the inside (refraction exit)
+    inside = row_dot(directions, normals) > 0
+    oriented = np.where(inside[:, None], -normals, normals)
+    surface = points + oriented * EPSILON
+
+    m_color = data.color[indices]
+    color = data.ambient[indices][:, None] * m_color
+
+    for light in scene.lights:
+        to_light = light.position - surface
+        distance = np.sqrt(row_dot(to_light, to_light))
+        positive = distance > 0.0
+        light_dir = np.where(
+            positive[:, None],
+            to_light / np.where(positive, distance, 1.0)[:, None],
+            to_light,
+        )
+        # shadow packet: the scalar path re-normalizes inside Ray.__init__
+        lit = ~occluded_packet(scene, surface, normalize_rows(light_dir), distance)
+        lambert = np.maximum(0.0, row_dot(oriented, light_dir))
+        contribution = (data.diffuse[indices] * lambert * light.intensity)[
+            :, None
+        ] * (m_color * light.color)
+        half_vector = normalize_rows(light_dir - directions)
+        highlight = (
+            np.maximum(0.0, row_dot(oriented, half_vector)) ** data.shininess[indices]
+        )
+        contribution += (data.specular[indices] * highlight * light.intensity)[
+            :, None
+        ] * light.color
+        color = color + np.where(lit[:, None], contribution, 0.0)
+
+    reflectivity = data.reflectivity[indices]
+    reflecting = (reflectivity > 0.0).nonzero()[0]
+    if reflecting.size:
+        d = directions[reflecting]
+        n = oriented[reflecting]
+        reflected_dir = d - 2.0 * row_dot(d, n)[:, None] * n
+        reflected = trace_packet(
+            tracer, surface[reflecting], normalize_rows(reflected_dir), depth + 1
+        )
+        color[reflecting] += reflectivity[reflecting][:, None] * reflected
+
+    transparency = data.transparency[indices]
+    transmitting = (transparency > 0.0).nonzero()[0]
+    if transmitting.size:
+        d = directions[transmitting]
+        n = oriented[transmitting]
+        ior = data.ior[indices][transmitting]
+        ratio = np.where(inside[transmitting], ior, 1.0 / ior)
+        cos_incident = -row_dot(d, n)
+        sin2_transmitted = ratio * ratio * (1.0 - cos_incident * cos_incident)
+        total_internal = sin2_transmitted > 1.0
+        cos_transmitted = np.sqrt(np.maximum(0.0, 1.0 - sin2_transmitted))
+        refracted_dir = (
+            ratio[:, None] * d + (ratio * cos_incident - cos_transmitted)[:, None] * n
+        )
+        reflected_dir = d - 2.0 * row_dot(d, n)[:, None] * n
+        secondary_dir = np.where(total_internal[:, None], reflected_dir, refracted_dir)
+        secondary_origin = np.where(
+            total_internal[:, None],
+            surface[transmitting],
+            points[transmitting] - n * EPSILON,
+        )
+        contribution = trace_packet(
+            tracer, secondary_origin, normalize_rows(secondary_dir), depth + 1
+        )
+        color[transmitting] += transparency[transmitting][:, None] * contribution
 
     return np.clip(color, 0.0, 1.0)

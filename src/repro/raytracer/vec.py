@@ -10,7 +10,18 @@ from typing import Iterable, Union
 
 import numpy as np
 
-__all__ = ["vec3", "normalize", "length", "dot", "cross", "reflect", "refract"]
+__all__ = [
+    "vec3",
+    "normalize",
+    "normalize_rows",
+    "length",
+    "dot",
+    "row_dot",
+    "broadcast_tmax",
+    "cross",
+    "reflect",
+    "refract",
+]
 
 Vector = np.ndarray
 
@@ -36,6 +47,37 @@ def normalize(v: Vector) -> Vector:
 def dot(a: Vector, b: Vector) -> float:
     """Scalar product."""
     return float(np.dot(a, b))
+
+
+def row_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise scalar product of two ``(n, 3)`` arrays (packet kernels).
+
+    Accumulates each row in the same x+y+z order as :func:`dot` on a single
+    vector, so packet and scalar paths agree to the last ulp wherever the
+    inputs do.
+    """
+    return np.einsum("ij,ij->i", a, b)
+
+
+def broadcast_tmax(t_max, n: int) -> np.ndarray:
+    """Normalize a scalar-or-per-ray ``t_max`` bound to an ``(n,)`` array.
+
+    Shared by every packet intersection kernel: closest-hit traversal passes
+    each ray's current best hit as its individual upper bound.
+    """
+    return np.broadcast_to(np.asarray(t_max, dtype=np.float64), (n,))
+
+
+def normalize_rows(v: np.ndarray) -> np.ndarray:
+    """Normalize each row of an ``(n, 3)`` array (zero rows pass through).
+
+    The row-wise counterpart of :func:`normalize`, used by the packet path to
+    mirror the normalization every scalar :class:`~repro.raytracer.ray.Ray`
+    applies to its direction.
+    """
+    norms = np.sqrt(np.einsum("ij,ij->i", v, v))
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return v / safe[:, None]
 
 
 def cross(a: Vector, b: Vector) -> Vector:

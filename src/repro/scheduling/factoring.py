@@ -79,15 +79,21 @@ class FactoringScheduler(Scheduler):
     def sections(self, height: int) -> List[Section]:
         per_batch = self.num_tasks // self.num_batches
         sizes = self.batch_sizes(height)
+        # rows the integer batch sizes leave uncovered; always < per_batch.
+        # They are distributed one per section over the final batch, keeping
+        # the within-batch size spread at most one row — dumping them all
+        # into the very last section could make the section meant to be the
+        # smallest the largest of the whole schedule, stalling the farm tail.
+        remainder = height - sum(size * per_batch for size in sizes)
         sections: List[Section] = []
         row = 0
         index = 0
         for batch, size in enumerate(sizes):
+            is_last_batch = batch == len(sizes) - 1
             for position in range(per_batch):
-                is_last_section = batch == len(sizes) - 1 and position == per_batch - 1
-                end = height if is_last_section else row + size
-                sections.append(Section(index=index, y_start=row, y_end=end))
-                row = end
+                rows = size + (1 if is_last_batch and position < remainder else 0)
+                sections.append(Section(index=index, y_start=row, y_end=row + rows))
+                row += rows
                 index += 1
         return sections
 

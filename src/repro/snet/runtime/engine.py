@@ -23,6 +23,7 @@ threads immediately; all threads are joined when the run finishes.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -287,6 +288,13 @@ class ThreadedRuntime:
         The input records are fed from a dedicated feeder thread while the
         calling thread drains the global output stream, so bounded streams
         cannot deadlock the harness.
+
+        ``timeout`` is a *wall-clock deadline for the whole run*, not a
+        per-record patience: every read of the output stream waits at most
+        for the time remaining until the deadline.  (It used to be applied
+        per output record, so a network trickling one record just under the
+        timeout apiece could stall arbitrarily long without ever timing
+        out.)  ``None`` disables the deadline.
         """
         target = network.copy() if fresh else network
         in_stream = self._new_stream("network-in")
@@ -312,10 +320,19 @@ class ThreadedRuntime:
         for start in pending:
             start()
 
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.monotonic())
+
         outputs: List[Record] = []
         while True:
             try:
-                rec = out_stream.get(timeout=timeout)
+                # already-buffered records are returned even at a spent
+                # deadline; only *waiting* is bounded by the remaining budget
+                rec = out_stream.get(timeout=remaining())
             except RuntimeError_:
                 # drain timed out: a collected worker error explains the stall
                 # better than the generic timeout does
@@ -326,12 +343,11 @@ class ThreadedRuntime:
                 break
             outputs.append(rec)
 
-        # with a collected error, joining stuck threads for the full timeout
-        # each would delay the report by N_threads x timeout; they are daemons,
-        # so give them only a token grace period
-        join_timeout = 1.0 if self.errors else timeout
+        # with a collected error, joining stuck threads for the remaining
+        # budget each would delay the report by N_threads x timeout; they are
+        # daemons, so give them only a token grace period
         for thread in list(self._threads):
-            thread.join(timeout=join_timeout)
+            thread.join(timeout=1.0 if self.errors else remaining())
         if self.errors:
             raise RuntimeError_(
                 f"{len(self.errors)} worker(s) failed: {self.errors[0]!r}"

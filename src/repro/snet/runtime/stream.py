@@ -136,7 +136,18 @@ class Stream:
             return rec
 
     def try_get(self) -> Optional[Record]:
-        """Non-blocking read; ``None`` means empty right now (not EOS)."""
+        """Non-blocking read; ``None`` strictly means "empty *right now*".
+
+        Unlike :meth:`get`, a ``None`` from ``try_get`` is **not** the
+        end-of-stream signal: the stream may simply be momentarily idle while
+        writers are still open, and more records can arrive later.
+        ``try_get`` cannot distinguish that case from an exhausted stream —
+        callers that need to observe EOS (queue drained *and* every writer
+        closed) must use :meth:`get`, whose ``None`` is definitive.  The
+        process runtime's greedy batcher relies on exactly this: it tops up a
+        batch with ``try_get`` and falls back to a blocking ``get`` to learn
+        about end-of-stream.
+        """
         with self._lock:
             if self._queue:
                 rec = self._queue.popleft()

@@ -105,3 +105,34 @@ class TestFactoringScheduler:
         sections = scheduler.sections(3000)
         assert len(sections) == 8
         validate_sections(sections, 3000)
+
+    def test_paper_example_last_batch_is_uniform(self):
+        # 3000 rows divide exactly (24*93 + 24*32), so every last-batch
+        # section must be exactly 32 rows — no remainder dumping
+        sections = FactoringScheduler(num_tasks=48, num_batches=2, decay=3.0).sections(3000)
+        assert [s.rows for s in sections[24:]] == [32] * 24
+
+    def test_remainder_spread_one_per_section(self):
+        """Regression: remainder rows used to be dumped into the final section.
+
+        With 999 rows over 8 tasks the integer batch sizes leave 3 rows
+        uncovered; the final section (meant to be the smallest of the whole
+        schedule) used to absorb all of them and could become the largest.
+        They must instead be spread one per section across the last batch.
+        """
+        sections = FactoringScheduler(num_tasks=8, num_batches=2, decay=3.0).sections(999)
+        validate_sections(sections, 999)
+        last_batch = [s.rows for s in sections[4:]]
+        assert max(last_batch) - min(last_batch) <= 1
+        # the closing section stays the (joint) smallest of the schedule
+        assert sections[-1].rows == min(s.rows for s in sections)
+
+    def test_remainder_spread_many_task_counts(self):
+        for tasks in (8, 16, 32, 48, 64):
+            for height in (2999, 3000, 3001, 3013, 3601):
+                sections = FactoringScheduler(num_tasks=tasks).sections(height)
+                validate_sections(sections, height)
+                per_batch = tasks // 2
+                for batch in range(2):
+                    rows = [s.rows for s in sections[batch * per_batch:(batch + 1) * per_batch]]
+                    assert max(rows) - min(rows) <= 1, (tasks, height, batch)

@@ -195,6 +195,34 @@ class TestThreadedRuntime:
         runtime.run(sync, [Record({"a": 1}), Record({"b": 2})])
         assert sync.pending == {}
 
+    def test_timeout_is_a_wall_clock_deadline(self):
+        """Regression: the run timeout bounds the *whole* run.
+
+        It used to be applied per output record, so a network trickling one
+        record every ``timeout - epsilon`` seconds could stall for an
+        arbitrary total time without ever timing out.
+        """
+        import time
+
+        @box("(a) -> (b)")
+        def slow(a):
+            time.sleep(0.15)
+            return {"b": a}
+
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError_, match="timed out"):
+            # each record arrives comfortably inside the 0.5s budget, but the
+            # ten of them need ~1.5s of wall clock: the deadline must fire
+            run_threaded(slow, [Record({"a": i}) for i in range(10)], timeout=0.5)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.4, f"deadline fired only after {elapsed:.2f}s"
+
+    def test_run_within_deadline_is_unaffected(self):
+        outs = run_threaded(
+            make_inc("a", "b"), [Record({"a": i}) for i in range(20)], timeout=30.0
+        )
+        assert len(outs) == 20
+
 
 class TestTracer:
     def test_summary_and_filtering(self):

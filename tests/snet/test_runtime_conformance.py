@@ -285,16 +285,25 @@ class TestProcessBackendSpecifics:
 
 
 class TestRayTracingFarmConformance:
-    """The paper's farm renders the identical image on every backend."""
+    """The paper's farm renders the identical image on every backend.
+
+    Parametrised over the solver's render mode as well: the farm must
+    produce exactly the sequential image of the *same* mode on every
+    backend, and the packet image must match the scalar one to ``1e-9``.
+    """
 
     @pytest.mark.parametrize("variant", ["static", "dynamic"])
-    def test_farm_image_identical_across_backends(self, backend, variant):
+    @pytest.mark.parametrize("render_mode", ["scalar", "packet"])
+    def test_farm_image_identical_across_backends(self, backend, variant, render_mode):
+        import numpy as np
+
         from repro.apps import run_raytracing_farm
         from repro.raytracer import Camera, random_scene, render
         from repro.raytracer.image import image_rms_difference
 
         scene = random_scene(num_spheres=6, clustering=0.5, seed=3)
-        reference = render(scene, Camera(width=24, height=24))
+        scalar_reference = render(scene, Camera(width=24, height=24))
+        reference = render(scene, Camera(width=24, height=24), mode=render_mode)
         options = {"workers": 2} if backend == "process" else {}
         run = run_raytracing_farm(
             variant,
@@ -306,5 +315,11 @@ class TestRayTracingFarmConformance:
             scene=scene,
             runtime_options=options,
             timeout=60.0,
+            render_mode=render_mode,
         )
         assert image_rms_difference(run.image, reference) == 0.0
+        assert np.allclose(run.image, scalar_reference, atol=1e-9)
+        # the farm surfaces the solver-side ray accounting on every backend
+        # (the chunks carry the counts back across process boundaries)
+        assert run.rays_cast >= 24 * 24
+        assert run.render_mode == render_mode

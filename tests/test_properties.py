@@ -4,7 +4,7 @@ import string
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.raytracer.bvh import BVH, BruteForceIndex
 from repro.raytracer.geometry import Sphere
@@ -125,6 +125,9 @@ class TestSchedulerProperties:
         validate_sections(sections, height)
         assert len(sections) == tasks
         assert sum(s.rows for s in sections) == height
+        # block scheduling is one batch: sizes may differ by at most one row
+        sizes = [s.rows for s in sections]
+        assert max(sizes) - min(sizes) <= 1
 
     @settings(max_examples=60, deadline=None)
     @given(
@@ -137,6 +140,32 @@ class TestSchedulerProperties:
         sections = scheduler.sections(height)
         validate_sections(sections, height)
         assert len(sections) == tasks
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.integers(1, 4),  # batches
+        st.integers(1, 12),  # sections per batch
+        st.integers(100, 6000),
+        st.floats(1.5, 5.0),
+    )
+    def test_factoring_within_batch_spread_at_most_one(
+        self, batches, per_batch, height, decay
+    ):
+        """Pins the remainder fix: sections tile exactly and every batch is
+        uniform to within one row (no dumping of leftover rows into the
+        closing section)."""
+        tasks = batches * per_batch
+        scheduler = FactoringScheduler(num_tasks=tasks, num_batches=batches, decay=decay)
+        try:
+            sections = scheduler.sections(height)
+        except ValueError:
+            # the configuration genuinely does not fit this height
+            assume(False)
+        validate_sections(sections, height)
+        assert len(sections) == tasks
+        for batch in range(batches):
+            rows = [s.rows for s in sections[batch * per_batch:(batch + 1) * per_batch]]
+            assert max(rows) - min(rows) <= 1, (batch, rows)
 
     @settings(max_examples=40, deadline=None)
     @given(st.integers(2, 16).map(lambda k: 2 * k), st.integers(1000, 4000))
