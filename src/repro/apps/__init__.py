@@ -17,7 +17,12 @@
   backend (``threaded`` / ``process``) via the runtime registry.
 """
 
-from repro.apps.backends import ModelRenderBackend, RealRenderBackend, RenderBackend
+from repro.apps.backends import (
+    ModelRenderBackend,
+    RealRenderBackend,
+    RenderBackend,
+    SharedFrameRenderBackend,
+)
 from repro.apps.boxes import RayTracingBoxes
 from repro.apps.merger import build_merger
 from repro.apps.networks import (
@@ -35,6 +40,7 @@ from repro.apps.workloads import initial_record, dynamic_input_records, extract_
 __all__ = [
     "RenderBackend",
     "RealRenderBackend",
+    "SharedFrameRenderBackend",
     "ModelRenderBackend",
     "RayTracingBoxes",
     "build_merger",

@@ -26,7 +26,14 @@ import numpy as np
 
 from repro.raytracer.camera import Camera
 from repro.raytracer.cost import CostParameters, SectionCostModel
-from repro.raytracer.image import ImageChunk, blank_image, merge_chunk_into, to_ppm
+from repro.raytracer.image import (
+    FrameChunkRef,
+    ImageChunk,
+    SharedFrameBuffer,
+    blank_image,
+    merge_chunk_into,
+    to_ppm,
+)
 from repro.raytracer.scene import Scene
 from repro.raytracer.tracer import check_render_mode, render_section
 from repro.scheduling.base import Section
@@ -34,9 +41,11 @@ from repro.scheduling.base import Section
 __all__ = [
     "RenderBackend",
     "RealRenderBackend",
+    "SharedFrameRenderBackend",
     "ModelRenderBackend",
     "ChunkPlaceholder",
     "PicturePlaceholder",
+    "SharedFramePicture",
 ]
 
 #: memory-copy throughput of the reference CPU (bytes/second), used to cost
@@ -63,6 +72,38 @@ class ChunkPlaceholder:
 
     def payload_size(self) -> int:
         return self.rows * self.width * 3 + 32
+
+
+@dataclass
+class SharedFramePicture:
+    """Bookkeeping token for an accumulator living in a shared frame buffer.
+
+    On the zero-copy data plane the ``pic`` record is pure metadata: the
+    pixels already sit in the :class:`~repro.raytracer.image.SharedFrameBuffer`
+    the solver workers wrote into, so "merging" degenerates to counting the
+    chunks and rows accounted for.
+    """
+
+    width: int
+    height: int
+    merged_chunks: int = 0
+    covered_rows: int = 0
+
+    def absorb(self, chunk: FrameChunkRef) -> "SharedFramePicture":
+        if self.covered_rows + chunk.rows > self.height:
+            raise ValueError(
+                f"merging chunk rows [{chunk.y_start}, {chunk.y_end}) exceeds "
+                f"frame height {self.height}"
+            )
+        return SharedFramePicture(
+            width=self.width,
+            height=self.height,
+            merged_chunks=self.merged_chunks + 1,
+            covered_rows=self.covered_rows + chunk.rows,
+        )
+
+    def payload_size(self) -> int:
+        return 32
 
 
 @dataclass
@@ -144,6 +185,15 @@ class RenderBackend:
     def picture_copy_cost(self) -> float:
         return 0.0
 
+    def merge_cost(self, chunk: Any) -> float:
+        """Modelled cost of one merge-box invocation.
+
+        The default charges the paper's copy-based merge (one accumulator
+        copy plus one chunk copy).  Backends whose merge is O(chunk) —
+        in-place accumulators, shared frame buffers — return less.
+        """
+        return self.picture_copy_cost() + self.chunk_copy_cost(chunk)
+
     def image_write_cost(self) -> float:
         return 0.0
 
@@ -162,11 +212,25 @@ class RealRenderBackend(RenderBackend):
     ``"packet"`` renders each section as one vectorized NumPy ray packet
     (see :mod:`repro.raytracer.packet`); both produce the same image to
     within ``atol=1e-9``.
+
+    ``copy_on_merge`` controls the merge box: ``False`` (the default)
+    mutates the single live accumulator in place — O(chunk) per merge —
+    which is safe because the merger's ``pic`` token is linear in the
+    dataflow.  ``True`` restores the paper's copy-per-merge behaviour
+    (O(H·W) per merge), useful when callers want to hold on to
+    intermediate accumulator states.
     """
 
-    def __init__(self, scene: Scene, camera: Camera, render_mode: str = "scalar"):
+    def __init__(
+        self,
+        scene: Scene,
+        camera: Camera,
+        render_mode: str = "scalar",
+        copy_on_merge: bool = False,
+    ):
         super().__init__(scene, camera)
         self.render_mode = check_render_mode(render_mode)
+        self.copy_on_merge = copy_on_merge
 
     def render_section(self, section: Section) -> ImageChunk:
         return render_section(
@@ -181,16 +245,86 @@ class RealRenderBackend(RenderBackend):
     def init_picture(self, chunk: ImageChunk) -> np.ndarray:
         self.absorb_chunk_stats(chunk)
         picture = blank_image(self.width, self.height)
-        return merge_chunk_into(picture, chunk)
+        return merge_chunk_into(picture, chunk, copy=False)  # fresh, always safe
 
     def merge(self, picture: np.ndarray, chunk: ImageChunk) -> np.ndarray:
         self.absorb_chunk_stats(chunk)
-        return merge_chunk_into(picture, chunk)
+        return merge_chunk_into(picture, chunk, copy=self.copy_on_merge)
+
+    def merge_cost(self, chunk: Any) -> float:
+        # the in-place merge writes only the chunk's rows
+        return self.chunk_copy_cost(chunk) if not self.copy_on_merge else (
+            self.picture_copy_cost() + self.chunk_copy_cost(chunk)
+        )
 
     def write_image(self, picture: np.ndarray) -> None:
         # keep both the raw array (for assertions) and the PPM encoding
         self.saved_images.append(picture)
         self.last_ppm = to_ppm(picture)
+
+
+class SharedFrameRenderBackend(RealRenderBackend):
+    """Real pixels rendered straight into a shared-memory frame buffer.
+
+    The zero-copy data plane of the process runtime: the frame is allocated
+    in ``multiprocessing.shared_memory`` *before* the worker pool forks, so
+    every solver worker inherits the mapping and writes its rendered rows
+    directly into the final image.  What crosses the process boundary is
+    pure metadata — :class:`~repro.raytracer.image.FrameChunkRef` chunks on
+    the way back, a :class:`SharedFramePicture` token between the merger
+    boxes — and the merge box degenerates to O(1) bookkeeping.
+
+    Works identically (if pointlessly) on the threaded runtime, where the
+    "shared" frame is simply process-local memory; the conformance tests
+    use that to pin pixel identity against the record-passing oracle.
+
+    Call :meth:`release` (idempotent) when done with the backend: shared
+    segments outlive their creator until unlinked.  Images saved by
+    ``genImg`` are snapshots, so they stay valid after release.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        camera: Camera,
+        render_mode: str = "scalar",
+    ):
+        super().__init__(scene, camera, render_mode=render_mode)
+        self.frame = SharedFrameBuffer(camera.width, camera.height)
+
+    def render_section(self, section: Section) -> FrameChunkRef:
+        chunk = super().render_section(section)
+        ref = self.frame.write_rows(chunk.y_start, chunk.pixels)
+        return FrameChunkRef(
+            y_start=ref.y_start,
+            rows=ref.rows,
+            width=ref.width,
+            section_id=section.index,
+            rays_cast=chunk.rays_cast,
+        )
+
+    def init_picture(self, chunk: FrameChunkRef) -> SharedFramePicture:
+        self.absorb_chunk_stats(chunk)
+        return SharedFramePicture(
+            width=self.width, height=self.height, merged_chunks=1,
+            covered_rows=chunk.rows,
+        )
+
+    def merge(self, picture: SharedFramePicture, chunk: FrameChunkRef) -> SharedFramePicture:
+        self.absorb_chunk_stats(chunk)
+        return picture.absorb(chunk)
+
+    def merge_cost(self, chunk: Any) -> float:
+        return 0.0  # bookkeeping only
+
+    def write_image(self, picture: SharedFramePicture) -> None:
+        snapshot = self.frame.snapshot()
+        self.saved_images.append(snapshot)
+        self.last_ppm = to_ppm(snapshot)
+
+    def release(self) -> None:
+        """Unlink the shared frame segment (idempotent)."""
+        self.frame.release()
 
 
 class ModelRenderBackend(RenderBackend):

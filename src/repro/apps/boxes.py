@@ -231,8 +231,10 @@ class RayTracingBoxes:
             "merge",
             "(chunk, pic) -> (pic)",
             merge,
-            cost=lambda rec: backend.picture_copy_cost()
-            + backend.chunk_copy_cost(rec.field("chunk")),
+            # the backend owns the merge strategy (copy-per-merge in the
+            # paper's model, in-place or shared-frame bookkeeping on the
+            # executing backends) and therefore also its modelled cost
+            cost=lambda rec: backend.merge_cost(rec.field("chunk")),
             parallel_safe=False,
         )
 

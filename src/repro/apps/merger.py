@@ -27,6 +27,16 @@ picture with one more chunk, merges them, increments the counter, and
 releases the picture once ``<cnt>`` equals the flow-inherited ``<tasks>``.
 The bypass branch inside the star forwards chunks that are not consumed by
 the current unrolling to the next one (the star does not feed records back).
+
+A structural property this network guarantees — and the backends exploit —
+is that the ``pic`` token is *linear*: at any instant exactly one live
+``pic`` record exists (init creates it, each synchrocell joins it with one
+chunk, each merge consumes it and emits its sole successor).  The merge box
+body may therefore mutate the accumulator in place (O(chunk) per merge
+instead of the paper's O(H·W) copy) or reduce to pure bookkeeping when the
+pixels live in a shared frame buffer; see
+:class:`repro.apps.backends.RealRenderBackend` (``copy_on_merge``) and
+:class:`repro.apps.backends.SharedFrameRenderBackend`.
 """
 
 from __future__ import annotations

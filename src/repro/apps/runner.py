@@ -16,6 +16,26 @@ backend you pass in) and the resulting image is read back from the backend
 object after ``genImg`` fired.  For the simulated/virtual-time experiments
 use :mod:`repro.bench.experiments`, which drives the ``dsnet`` backend with
 the model render backend instead.
+
+Data planes
+-----------
+
+``data_plane`` selects how pixels travel between the solver boxes and the
+merger:
+
+``"records"``
+    Rendered chunks ride inside the records (the paper's model and PR 2's
+    behaviour).  On the process backend every chunk is pickled across the
+    pool boundary and the scene is pickled into every batch.
+``"shared"``
+    The frame is allocated in ``multiprocessing.shared_memory`` before the
+    pool forks (:class:`SharedFrameRenderBackend`); solver workers write
+    rows directly into it and only metadata crosses the boundary, with the
+    scene broadcast through the fork-shared registry.
+``"auto"`` (default)
+    ``"shared"`` on the process backend, ``"records"`` elsewhere — the
+    threaded backend keeps its record-passing semantics as the correctness
+    oracle.
 """
 
 from __future__ import annotations
@@ -24,7 +44,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.apps.backends import RealRenderBackend, RenderBackend
+from repro.apps.backends import (
+    RealRenderBackend,
+    RenderBackend,
+    SharedFrameRenderBackend,
+)
 from repro.apps.networks import (
     build_dynamic_network,
     build_static_2cpu_network,
@@ -35,9 +59,9 @@ from repro.raytracer.camera import Camera
 from repro.raytracer.scene import Scene, random_scene
 from repro.scheduling.base import Scheduler
 from repro.snet.records import Record
-from repro.snet.runtime import run_on
+from repro.snet.runtime import get_runtime, run_on
 
-__all__ = ["FarmRun", "run_raytracing_farm", "FARM_VARIANTS"]
+__all__ = ["FarmRun", "run_raytracing_farm", "FARM_VARIANTS", "DATA_PLANES"]
 
 #: variant name -> network builder
 FARM_VARIANTS = {
@@ -45,6 +69,9 @@ FARM_VARIANTS = {
     "static_2cpu": build_static_2cpu_network,
     "dynamic": build_dynamic_network,
 }
+
+#: the selectable solver->merger data planes (see module docstring)
+DATA_PLANES = ("auto", "shared", "records")
 
 
 @dataclass
@@ -54,6 +81,9 @@ class FarmRun:
     ``rays_cast`` is the total number of rays the solver boxes traced,
     aggregated from the per-chunk counters by the merger side (so the count
     is correct even when the solvers executed in forked pool workers).
+    ``bytes_pickled`` is the total bytes serialized across the process-pool
+    boundary during the run (0 on the threaded backend, which passes
+    references) — the quantity the zero-copy data plane minimises.
     """
 
     variant: str
@@ -64,6 +94,33 @@ class FarmRun:
     backend: RenderBackend = field(repr=False)
     render_mode: str = "scalar"
     rays_cast: int = 0
+    data_plane: str = "records"
+    bytes_pickled: int = 0
+
+
+def _resolve_data_plane(data_plane: str, runtime: str, backend: Optional[RenderBackend]) -> str:
+    if data_plane not in DATA_PLANES:
+        raise ValueError(
+            f"unknown data plane {data_plane!r}; available: " + ", ".join(DATA_PLANES)
+        )
+    if backend is not None:
+        # an explicit backend defines its own data plane; reject a
+        # contradictory request instead of silently ignoring it
+        is_shared = isinstance(backend, SharedFrameRenderBackend)
+        if data_plane == "shared" and not is_shared:
+            raise ValueError(
+                "data_plane='shared' requires a SharedFrameRenderBackend; got "
+                f"{type(backend).__name__}"
+            )
+        if data_plane == "records" and is_shared:
+            raise ValueError(
+                "data_plane='records' contradicts the SharedFrameRenderBackend "
+                "passed as backend"
+            )
+        return "shared" if is_shared else "records"
+    if data_plane == "auto":
+        return "shared" if runtime == "process" else "records"
+    return data_plane
 
 
 def run_raytracing_farm(
@@ -83,6 +140,7 @@ def run_raytracing_farm(
     runtime_options: Optional[Dict[str, Any]] = None,
     timeout: float = 300.0,
     render_mode: Optional[str] = None,
+    data_plane: str = "auto",
 ) -> FarmRun:
     """Build one of the paper's farm variants and run it to completion.
 
@@ -91,21 +149,28 @@ def run_raytracing_farm(
     node tokens, defaulting to ``nodes``.  ``render_mode`` selects the solver
     execution strategy (``"scalar"`` per-pixel oracle or the vectorized
     ``"packet"`` path); ``None`` keeps the backend's own mode (``"scalar"``
-    for a freshly created backend).
+    for a freshly created backend).  ``data_plane`` selects how pixels reach
+    the merger (see module docstring); on the process backend it also gates
+    the runtime's fork-shared scene broadcast (``zero_copy``), unless
+    ``runtime_options`` pins that explicitly.
     """
     if variant not in FARM_VARIANTS:
         raise ValueError(
             f"unknown farm variant {variant!r}; available: "
             + ", ".join(sorted(FARM_VARIANTS))
         )
+    plane = _resolve_data_plane(data_plane, runtime, backend)
     if scene is None:
         scene = random_scene(num_spheres=num_spheres, clustering=0.5, seed=seed)
+    release_backend = False
     if backend is None:
-        backend = RealRenderBackend(
+        backend_cls = SharedFrameRenderBackend if plane == "shared" else RealRenderBackend
+        backend = backend_cls(
             scene,
             Camera(width=width, height=height),
             render_mode=render_mode or "scalar",
         )
+        release_backend = plane == "shared"
     network = FARM_VARIANTS[variant](backend, scheduler, render_mode=render_mode)
     if variant == "dynamic":
         inputs = dynamic_input_records(
@@ -114,16 +179,31 @@ def run_raytracing_farm(
     else:
         inputs = [initial_record(scene, nodes=nodes, tasks=tasks)]
 
-    start = time.perf_counter()
-    outputs = run_on(runtime, network, inputs, timeout=timeout, **(runtime_options or {}))
-    seconds = time.perf_counter() - start
+    options = dict(runtime_options or {})
+    if runtime == "process":
+        # the record plane doubles as the PR 2 baseline: no scene broadcast
+        options.setdefault("zero_copy", plane == "shared")
+    runtime_obj = get_runtime(runtime, **options)
+
+    try:
+        start = time.perf_counter()
+        outputs = run_on(runtime_obj, network, inputs, timeout=timeout)
+        seconds = time.perf_counter() - start
+        image = extract_image(backend)
+    finally:
+        if release_backend:
+            # genImg snapshots the frame into backend.saved_images, so the
+            # segment can be unlinked as soon as the run is over
+            backend.release()
     return FarmRun(
         variant=variant,
         runtime=runtime,
-        image=extract_image(backend),
+        image=image,
         outputs=outputs,
         seconds=seconds,
         backend=backend,
         render_mode=getattr(backend, "render_mode", "scalar"),
         rays_cast=getattr(backend, "rays_cast", 0),
+        data_plane=plane,
+        bytes_pickled=getattr(runtime_obj, "bytes_pickled", 0),
     )

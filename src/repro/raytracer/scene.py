@@ -97,6 +97,18 @@ class Scene:
     def bounded_objects(self) -> List[Primitive]:
         return [obj for obj in self.objects if obj.is_bounded]
 
+    def prepare_for_broadcast(self) -> "Scene":
+        """Make the scene ready to be shared read-only across forked workers.
+
+        Called by the process runtime just before it registers the scene in
+        the fork-shared object registry: building the acceleration index
+        *now* means every pool worker inherits the finished BVH through
+        fork's copy-on-write pages instead of re-deriving (or re-unpickling)
+        it per solver invocation.
+        """
+        self.index  # builds lazily if absent
+        return self
+
     def payload_size(self) -> int:
         """Approximate in-memory/wire size of the scene description (bytes).
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.snet.errors import RecordError
 
@@ -259,6 +259,26 @@ class Record(Mapping[Label, Any]):
             BTag(n) for n in tag_names
         }
         return Record({l: v for l, v in self._entries.items() if l in keep})
+
+    def map_field_values(self, fn: "Callable[[Any], Any]") -> "Record":
+        """Return a record with ``fn`` applied to every *field* value.
+
+        Tag values are never touched (they are plain integers owned by the
+        coordination layer).  If ``fn`` returns every value unchanged
+        (identity-wise), ``self`` is returned without allocating a new
+        record — callers on hot paths (the process runtime swapping large
+        payloads for shared-memory handles) rely on this.
+        """
+        changed = False
+        mapped: Dict[Label, Any] = {}
+        for label, value in self._entries.items():
+            if isinstance(label, Field):
+                new_value = fn(value)
+                if new_value is not value:
+                    changed = True
+                value = new_value
+            mapped[label] = value
+        return Record(mapped) if changed else self
 
     def merge(self, other: "Record", override: bool = True) -> "Record":
         """Merge two records.

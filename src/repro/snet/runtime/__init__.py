@@ -40,8 +40,10 @@ Modules:
 from repro.snet.runtime.stream import Stream, StreamClosed, StreamWriter
 from repro.snet.runtime.engine import ThreadedRuntime, drain_stream, run_threaded
 from repro.snet.runtime.process_engine import (
+    BatchAutotuner,
     BoxWorkerError,
     ProcessRuntime,
+    SharedObjectRef,
     run_process,
 )
 from repro.snet.runtime.registry import (
@@ -58,7 +60,9 @@ __all__ = [
     "StreamClosed",
     "ThreadedRuntime",
     "ProcessRuntime",
+    "BatchAutotuner",
     "BoxWorkerError",
+    "SharedObjectRef",
     "run_threaded",
     "run_process",
     "drain_stream",

@@ -90,6 +90,13 @@ class ThreadedRuntime:
         Bound of every internal stream (provides back-pressure/throttling).
     """
 
+    #: bytes serialized across a process boundary during the last run.  The
+    #: threaded engine passes record references through in-process streams,
+    #: so this is always 0 here; :class:`ProcessRuntime` overrides it with
+    #: its measured total.  Kept on the base class so callers can read the
+    #: data-plane cost of any executing backend uniformly.
+    bytes_pickled: int = 0
+
     def __init__(self, tracer: Optional[Tracer] = None, stream_capacity: int = 256):
         self.tracer = tracer or NullTracer()
         self.stream_capacity = stream_capacity

@@ -21,11 +21,33 @@ Design notes
   whose ``func`` attribute is the *same* function object as the registered
   template — pure boxes behave identically, so replicas resolve to the
   template's registry key.
-* **Chunked batches.**  Each box pump submits records in small batches
-  (``chunk_size``) to amortise pool dispatch and pickling overhead.  Batching
-  is *greedy*: a pump never blocks waiting for a batch to fill, otherwise a
+* **Fork-shared payload broadcast (zero-copy layer 1).**  Large field values
+  of the run's *input records* (the scene and its BVH, in the paper's farm)
+  are registered in a second fork-shared registry before the pool forks.
+  When a batch is serialized, any field value that *is* a registered object
+  (identity match) is swapped for a tiny :class:`SharedObjectRef`; workers
+  resolve the ref from their inherited registry.  The broadcast object is
+  pickled exactly zero times per run instead of once per batch.  This relies
+  on the S-Net purity contract: boxes never mutate their input field values,
+  so sharing one copy-on-write instance is indistinguishable from shipping
+  copies.  Objects exposing ``prepare_for_broadcast()`` (e.g.
+  :class:`~repro.raytracer.scene.Scene`, which builds its BVH) are prepared
+  once in the parent so workers inherit the finished structure.
+* **Out-of-band buffers (zero-copy layer 3).**  Batches are serialized
+  explicitly with pickle protocol 5 and ``buffer_callback`` in both
+  directions, so NumPy payloads that still must cross (model mode, custom
+  boxes) travel as out-of-band buffers instead of being copied into the
+  pickle stream.  Every byte serialized either way is accumulated in
+  :attr:`ProcessRuntime.bytes_pickled` — the instrumentation behind the
+  data-plane benchmarks.
+* **Chunked batches, adaptively sized (layer 4).**  Each box pump submits
+  records in small batches to amortise pool dispatch overhead.  Batching is
+  *greedy*: a pump never blocks waiting for a batch to fill, otherwise a
   feedback network (e.g. the token loop of the dynamic ray-tracing farm)
-  could starve itself.
+  could starve itself.  Unless ``chunk_size``/``max_inflight`` are pinned,
+  a per-pump :class:`BatchAutotuner` adapts them to the observed batch
+  service time: micro-boxes coalesce into large batches (dispatch-bound),
+  expensive boxes stay at one record per batch (load-balance-bound).
 * **No result withholding.**  Completed batches are written downstream as
   soon as they are ready, even while the pump waits for more input.  This is
   essential for cyclic dataflow: in the dynamic farm a solver *result*
@@ -41,8 +63,9 @@ Design notes
 
 Stateful primitives (synchrocells), filters, dispatchers and boxes marked
 ``parallel_safe=False`` execute in-process, exactly as on the threaded
-runtime.  On platforms without the ``fork`` start method the runtime degrades
-to threaded execution (same semantics, no extra processes).
+runtime.  On platforms without the ``fork`` start method the runtime
+degrades to threaded execution (same semantics, no extra processes) and
+says so with a :class:`RuntimeWarning`.
 """
 
 from __future__ import annotations
@@ -50,9 +73,14 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
+import threading
+import time
 import traceback
+import warnings
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.snet.base import Entity, PrimitiveEntity
 from repro.snet.boxes import Box
@@ -62,7 +90,15 @@ from repro.snet.runtime.engine import ThreadedRuntime, worker_scope
 from repro.snet.runtime.stream import Stream, StreamWriter
 from repro.snet.runtime.tracing import Tracer
 
-__all__ = ["ProcessRuntime", "BoxWorkerError", "run_process"]
+__all__ = [
+    "ProcessRuntime",
+    "BoxWorkerError",
+    "BatchAutotuner",
+    "SharedObjectRef",
+    "run_process",
+    "dumps_records",
+    "loads_records",
+]
 
 
 class BoxWorkerError(RuntimeError_):
@@ -75,9 +111,81 @@ class BoxWorkerError(RuntimeError_):
 _BOX_REGISTRY: Dict[int, Box] = {}
 _registry_keys = itertools.count(1)
 
+#: broadcast payloads visible to forked pool workers: key -> object, and the
+#: reverse identity index id(object) -> key used when swapping payloads for
+#: refs at the serialization boundary.  Registered objects are kept alive by
+#: the registry, so their ids stay unique for the registration's lifetime.
+_SHARED_OBJECTS: Dict[int, Any] = {}
+_SHARED_BY_ID: Dict[int, int] = {}
+_shared_keys = itertools.count(1)
 
-def _invoke_box_batch(key: int, records: List[Record]) -> List[Record]:
-    """Pool-worker entry point: run one box over a batch of records."""
+
+@dataclass(frozen=True)
+class SharedObjectRef:
+    """Picklable stand-in for an object broadcast via the fork-shared registry."""
+
+    key: int
+
+
+def _swap_shared_out(rec: Record) -> Record:
+    """Replace registered field values with :class:`SharedObjectRef` tokens."""
+    if not _SHARED_BY_ID:
+        return rec
+
+    def swap(value: Any) -> Any:
+        key = _SHARED_BY_ID.get(id(value))
+        return SharedObjectRef(key) if key is not None else value
+
+    return rec.map_field_values(swap)
+
+
+def _resolve_shared_in(rec: Record) -> Record:
+    """Replace :class:`SharedObjectRef` tokens with the registered objects."""
+
+    def resolve(value: Any) -> Any:
+        if isinstance(value, SharedObjectRef):
+            try:
+                return _SHARED_OBJECTS[value.key]
+            except KeyError:
+                raise BoxWorkerError(
+                    f"shared payload key {value.key} missing in this process; "
+                    "the zero-copy data plane requires the 'fork' start method"
+                ) from None
+        return value
+
+    return rec.map_field_values(resolve)
+
+
+def dumps_records(records: Sequence[Record]) -> Tuple[bytes, List[bytes], int]:
+    """Serialize records with protocol 5, buffers out-of-band.
+
+    Returns ``(payload, buffers, nbytes)`` where ``nbytes`` is the total
+    serialized size (payload plus all out-of-band buffers) — the quantity
+    the data-plane instrumentation accumulates.
+    """
+    buffers: List[bytes] = []
+    payload = pickle.dumps(
+        list(records),
+        protocol=5,
+        buffer_callback=lambda buf: buffers.append(buf.raw().tobytes()),
+    )
+    nbytes = len(payload) + sum(len(b) for b in buffers)
+    return payload, buffers, nbytes
+
+
+def loads_records(payload: bytes, buffers: Sequence[bytes]) -> List[Record]:
+    """Inverse of :func:`dumps_records`."""
+    return pickle.loads(payload, buffers=buffers)
+
+
+def _invoke_box_batch(
+    key: int, payload: bytes, buffers: Sequence[bytes]
+) -> Tuple[bytes, List[bytes], float]:
+    """Pool-worker entry point: run one box over a serialized batch.
+
+    Returns the serialized produced records plus the measured box execution
+    time (serialization excluded), which feeds the parent's batch autotuner.
+    """
     template = _BOX_REGISTRY.get(key)
     if template is None:  # pragma: no cover - only reachable without fork
         raise BoxWorkerError(
@@ -85,10 +193,18 @@ def _invoke_box_batch(key: int, records: List[Record]) -> List[Record]:
             "runtime requires the 'fork' start method"
         )
     try:
+        records = [_resolve_shared_in(rec) for rec in loads_records(payload, buffers)]
+        start = time.perf_counter()
         produced: List[Record] = []
         for rec in records:
             produced.extend(template.process(rec))
-        return produced
+        elapsed = time.perf_counter() - start
+        out_payload, out_buffers, _ = dumps_records(
+            [_swap_shared_out(rec) for rec in produced]
+        )
+        return out_payload, out_buffers, elapsed
+    except BoxWorkerError:
+        raise
     except BaseException as exc:
         # user exceptions are not guaranteed to pickle; re-raise a plain-string
         # error carrying the remote traceback instead
@@ -96,6 +212,59 @@ def _invoke_box_batch(key: int, records: List[Record]) -> List[Record]:
             f"box {template.name!r} failed in worker process: "
             f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
         ) from None
+
+
+class BatchAutotuner:
+    """Adapt a pump's ``chunk_size``/``max_inflight`` to batch service time.
+
+    The controller targets ~:data:`TARGET_BATCH_SECONDS` of box work per
+    pool submission: an EWMA of the worker-measured per-record service time
+    sizes the next batch, clamped to ``[1, CHUNK_MAX]`` and to at most 4x
+    growth per observation (one noisy measurement must not cause a wild
+    swing).  ``max_inflight`` follows the same signal: sub-millisecond
+    records need a deep submission pipeline to keep workers busy between
+    pump polls (4x workers), expensive records keep the default shallow
+    bound (2x workers) so work stays available for load balancing.  Pinned
+    values (explicit ``chunk_size=``/``max_inflight=``) are never adapted.
+    """
+
+    TARGET_BATCH_SECONDS = 0.02
+    CHUNK_MAX = 64
+    DEEP_PIPELINE_THRESHOLD = 0.001  # per-record seconds
+    EWMA_ALPHA = 0.5
+
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+    ):
+        self._chunk_pinned = chunk_size is not None
+        self._inflight_pinned = max_inflight is not None
+        self.chunk_size = chunk_size if chunk_size is not None else 1
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else 2 * workers
+        )
+        self._workers = workers
+        self._per_record: Optional[float] = None
+        self.batches_observed = 0
+
+    def observe(self, batch_len: int, elapsed: float) -> None:
+        """Fold one completed batch (``batch_len`` records, box-time ``elapsed``)."""
+        if batch_len < 1:
+            return
+        self.batches_observed += 1
+        sample = max(elapsed, 1e-7) / batch_len
+        if self._per_record is None:
+            self._per_record = sample
+        else:
+            self._per_record += self.EWMA_ALPHA * (sample - self._per_record)
+        if not self._chunk_pinned:
+            ideal = int(self.TARGET_BATCH_SECONDS / self._per_record)
+            self.chunk_size = max(1, min(ideal, self.CHUNK_MAX, self.chunk_size * 4))
+        if not self._inflight_pinned:
+            deep = self._per_record < self.DEEP_PIPELINE_THRESHOLD
+            self.max_inflight = (4 if deep else 2) * self._workers
 
 
 class ProcessRuntime(ThreadedRuntime):
@@ -106,41 +275,69 @@ class ProcessRuntime(ThreadedRuntime):
     workers:
         Size of the worker pool (default: ``os.cpu_count()``).
     chunk_size:
-        Maximum records per pool submission (greedy batching, see module
-        docstring).
+        Records per pool submission.  ``None`` (the default) lets each box
+        pump autotune the batch size from observed service times (see
+        :class:`BatchAutotuner`); an explicit integer pins it.
     max_inflight:
-        Maximum outstanding batches per box pump (default ``2 * workers``).
+        Maximum outstanding batches per box pump.  ``None`` (the default)
+        autotunes between ``2 * workers`` and ``4 * workers``; an explicit
+        integer pins it.
+    zero_copy:
+        Enable the fork-shared payload broadcast: large field values of the
+        input records are registered before the pool forks and cross the
+        boundary as :class:`SharedObjectRef` tokens.  Disable to get the
+        legacy full-record pickling data plane (the conformance baseline).
     tracer / stream_capacity:
         As for :class:`ThreadedRuntime`.
+
+    After a run, :attr:`bytes_pickled` holds the total bytes serialized
+    across the pool boundary in either direction.
     """
 
     #: seconds a pump waits on either its input stream or its oldest pending
     #: result before re-checking the other
     _POLL_INTERVAL = 0.02
 
+    #: input-record field values at least this large (estimated) are
+    #: broadcast through the fork-shared registry instead of being pickled
+    #: into every batch
+    BROADCAST_MIN_BYTES = 1024
+
     def __init__(
         self,
         workers: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         stream_capacity: int = 256,
-        chunk_size: int = 4,
+        chunk_size: Optional[int] = None,
         max_inflight: Optional[int] = None,
+        zero_copy: bool = True,
     ):
         super().__init__(tracer=tracer, stream_capacity=stream_capacity)
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise RuntimeError_("the process runtime needs at least one worker")
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise RuntimeError_("chunk_size must be at least 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise RuntimeError_("max_inflight must be at least 1")
         self.chunk_size = chunk_size
-        self.max_inflight = max_inflight or 2 * self.workers
+        self.max_inflight = max_inflight
+        self.zero_copy = zero_copy
         self._pool = None
         # _template_key(box) -> registry key; the key must survive Entity.copy
         # (which deep-copies everything but function objects) AND distinguish
         # boxes that share one function under different names/signatures
         self._box_keys: Dict[tuple, int] = {}
         self._registered: List[int] = []
+        self._shared_registered: List[int] = []
         self._result_timeout: Optional[float] = None
+        self._stats_lock = threading.Lock()
+        self.bytes_pickled = 0
+        self.batches_dispatched = 0
+        self.records_offloaded = 0
+        #: final per-box (chunk_size, max_inflight) after autotuning, keyed
+        #: by box name — observability for tests and benchmark reports
+        self.batch_plan: Dict[str, Tuple[int, int]] = {}
 
     # -- pool / registry lifecycle -------------------------------------------
     @staticmethod
@@ -169,6 +366,58 @@ class ProcessRuntime(ThreadedRuntime):
         self._registered.clear()
         self._box_keys.clear()
 
+    # -- payload broadcast ----------------------------------------------------
+    @staticmethod
+    def _estimate_nbytes(value: Any) -> Optional[int]:
+        """Best-effort serialized-size estimate of a field value."""
+        nbytes = getattr(value, "nbytes", None)
+        if nbytes is not None:
+            return int(nbytes)
+        payload_size = getattr(value, "payload_size", None)
+        if callable(payload_size):
+            return int(payload_size())
+        if isinstance(value, (bytes, bytearray, str)):
+            return len(value)
+        return None
+
+    def _broadcast_worthy(self, value: Any) -> bool:
+        if value is None or isinstance(
+            value, (bool, int, float, complex, str, bytes, bytearray)
+        ):
+            return False
+        estimate = self._estimate_nbytes(value)
+        # size unknown -> broadcast anyway: registration costs one dict slot
+        # and boxes are pure by the S-Net contract, so sharing is safe
+        return estimate is None or estimate >= self.BROADCAST_MIN_BYTES
+
+    def _register_shared_inputs(self, inputs: Sequence[Record]) -> None:
+        """Broadcast large input-record payloads; must run before the fork."""
+        for rec in inputs:
+            for label in rec.fields():
+                value = rec[label]
+                if id(value) in _SHARED_BY_ID or not self._broadcast_worthy(value):
+                    continue
+                prepare = getattr(value, "prepare_for_broadcast", None)
+                if callable(prepare):
+                    prepare()
+                key = next(_shared_keys)
+                _SHARED_OBJECTS[key] = value
+                _SHARED_BY_ID[id(value)] = key
+                self._shared_registered.append(key)
+
+    def _unregister_shared(self) -> None:
+        for key in self._shared_registered:
+            value = _SHARED_OBJECTS.pop(key, None)
+            if value is not None:
+                _SHARED_BY_ID.pop(id(value), None)
+        self._shared_registered.clear()
+
+    def _count_pickled(self, nbytes: int, batches: int = 0, records: int = 0) -> None:
+        with self._stats_lock:
+            self.bytes_pickled += nbytes
+            self.batches_dispatched += batches
+            self.records_offloaded += records
+
     # -- compilation ----------------------------------------------------------
     def _compile_primitive(
         self, entity: PrimitiveEntity, in_stream: Stream, out_writer: StreamWriter
@@ -190,25 +439,38 @@ class ProcessRuntime(ThreadedRuntime):
     ):
         pool = self._pool
         tracer = self.tracer
-        chunk_size = self.chunk_size
-        max_inflight = self.max_inflight
+        runtime = self
+        batcher = BatchAutotuner(
+            self.workers, chunk_size=self.chunk_size, max_inflight=self.max_inflight
+        )
         poll = self._POLL_INTERVAL
         result_timeout = self._result_timeout
 
-        def collect(async_result) -> List[Record]:
-            """Bounded wait on a pool result.
+        def submit(batch: List[Record]):
+            """Serialize one batch (payloads swapped for refs) and dispatch it."""
+            payload, buffers, nbytes = dumps_records(
+                [_swap_shared_out(rec) for rec in batch]
+            )
+            runtime._count_pickled(nbytes, batches=1, records=len(batch))
+            return pool.apply_async(_invoke_box_batch, (key, payload, buffers))
+
+        def collect(async_result, batch_len: int) -> List[Record]:
+            """Bounded wait on a pool result; feeds the autotuner.
 
             A worker killed abruptly (segfault, OOM killer) never completes
             its AsyncResult; an unbounded ``get()`` would then hang the pump
             and mask the cause behind the generic stream timeout.
             """
             try:
-                return async_result.get(result_timeout)
+                payload, buffers, elapsed = async_result.get(result_timeout)
             except multiprocessing.TimeoutError:
                 raise BoxWorkerError(
                     f"box {entity.name!r}: the worker pool returned no result "
                     f"within {result_timeout}s; a worker process may have died"
                 ) from None
+            runtime._count_pickled(len(payload) + sum(len(b) for b in buffers))
+            batcher.observe(batch_len, elapsed)
+            return [_resolve_shared_in(rec) for rec in loads_records(payload, buffers)]
 
         def emit(batch_result: List[Record]) -> None:
             for produced in batch_result:
@@ -221,11 +483,11 @@ class ProcessRuntime(ThreadedRuntime):
                 at_eos = False
                 while not at_eos:
                     # 1. forward whatever has completed, oldest first
-                    while inflight and inflight[0].ready():
-                        emit(collect(inflight.popleft()))
+                    while inflight and inflight[0][0].ready():
+                        emit(collect(*inflight.popleft()))
                     # 2. respect the in-flight bound before taking more input
-                    if len(inflight) >= max_inflight:
-                        inflight[0].wait(poll)
+                    if len(inflight) >= batcher.max_inflight:
+                        inflight[0][0].wait(poll)
                         continue
                     # 3. take one record (bounded wait so completed batches
                     #    keep flowing even while the input stream is idle —
@@ -239,18 +501,23 @@ class ProcessRuntime(ThreadedRuntime):
                         break
                     # 4. greedily batch whatever else is immediately available
                     batch = [rec]
-                    while len(batch) < chunk_size:
+                    while len(batch) < batcher.chunk_size:
                         extra = in_stream.try_get()
                         if extra is None:
                             break
                         batch.append(extra)
                     for item in batch:
                         tracer.record(entity.name, "consume", record=repr(item))
-                    inflight.append(pool.apply_async(_invoke_box_batch, (key, batch)))
+                    inflight.append((submit(batch), len(batch)))
                 while inflight:
-                    emit(collect(inflight.popleft()))
+                    emit(collect(*inflight.popleft()))
                 for produced in entity.flush():  # boxes are stateless: usually []
                     emit([produced])
+            with runtime._stats_lock:
+                runtime.batch_plan[entity.name] = (
+                    batcher.chunk_size,
+                    batcher.max_inflight,
+                )
 
         return pump
 
@@ -267,15 +534,30 @@ class ProcessRuntime(ThreadedRuntime):
         # pool results share the run's patience budget: a batch that takes
         # longer than the whole run is allowed to would time the run out anyway
         self._result_timeout = timeout
+        with self._stats_lock:
+            self.bytes_pickled = 0
+            self.batches_dispatched = 0
+            self.records_offloaded = 0
+            self.batch_plan = {}
         try:
             if self.fork_available():
                 self._register_boxes(target)
                 if self._box_keys:
+                    if self.zero_copy:
+                        self._register_shared_inputs(inputs)
                     # the pool MUST fork after registration and before any
-                    # worker thread starts, so children inherit the registry
+                    # worker thread starts, so children inherit the registries
                     # from a quiescent parent
                     ctx = multiprocessing.get_context("fork")
                     pool = ctx.Pool(processes=self.workers)
+            else:
+                warnings.warn(
+                    "ProcessRuntime: the 'fork' start method is unavailable on "
+                    "this platform; degrading to threaded in-process execution "
+                    "(identical semantics, no wall-clock parallelism)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self._pool = pool
             return super().run(target, inputs, fresh=False, timeout=timeout)
         finally:
@@ -284,6 +566,7 @@ class ProcessRuntime(ThreadedRuntime):
                 pool.terminate()
                 pool.join()
             self._unregister_boxes()
+            self._unregister_shared()
 
 
 def run_process(
@@ -292,7 +575,7 @@ def run_process(
     workers: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     stream_capacity: int = 256,
-    chunk_size: int = 4,
+    chunk_size: Optional[int] = None,
     timeout: Optional[float] = 60.0,
 ) -> List[Record]:
     """Convenience wrapper: run ``network`` on a fresh process runtime."""

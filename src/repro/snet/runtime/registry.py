@@ -78,18 +78,30 @@ def get_runtime(name: str, **options: Any) -> Any:
 
 
 def run_on(
-    name: str,
+    name: Any,
     network: Entity,
     inputs: Sequence[Record],
     timeout: Optional[float] = 60.0,
     **options: Any,
 ) -> List[Record]:
-    """Run ``network`` to completion on the named backend; return the outputs.
+    """Run ``network`` to completion on a backend; return the outputs.
 
+    ``name`` is either a registered backend name (a runtime is instantiated
+    with ``options``) or an already-constructed runtime instance — callers
+    that need to read post-run instrumentation (e.g. the process backend's
+    ``bytes_pickled``) construct the runtime themselves and pass it in.
     Normalises over backend result types: the simulated backend's
     ``SimRunResult`` is unwrapped to its output records.
     """
-    runtime = get_runtime(name, **options)
+    if isinstance(name, str):
+        runtime = get_runtime(name, **options)
+    else:
+        if options:
+            raise RuntimeError_(
+                "backend options are only accepted together with a backend "
+                "name; configure the runtime instance directly instead"
+            )
+        runtime = name
     if "timeout" in inspect.signature(runtime.run).parameters:
         result = runtime.run(network, inputs, timeout=timeout)
     else:

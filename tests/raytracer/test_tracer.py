@@ -171,6 +171,13 @@ class TestSectionsAndImages:
         assert merged[2:4].sum() == 2 * 8 * 3
         assert image.sum() == 0  # original untouched
 
+    def test_merge_chunk_into_in_place(self):
+        image = blank_image(8, 8)
+        chunk = ImageChunk(2, np.ones((2, 8, 3)))
+        merged = merge_chunk_into(image, chunk, copy=False)
+        assert merged is image  # O(chunk): no fresh accumulator allocated
+        assert image[2:4].sum() == 2 * 8 * 3
+
     def test_ppm_output(self):
         image = blank_image(4, 2)
         image[0, 0] = vec3(1.0, 0.0, 0.0)

@@ -150,3 +150,91 @@ class TestRecordOperations:
     def test_duplicate_label_rejected(self):
         with pytest.raises(RecordError):
             Record({Field("a"): 1, "a": 2})
+
+
+class TestMapFieldValues:
+    def test_maps_fields_only(self):
+        rec = Record({"a": 1, "b": 2, "<t>": 3})
+        mapped = rec.map_field_values(lambda v: v * 10)
+        assert mapped.field("a") == 10
+        assert mapped.field("b") == 20
+        assert mapped.tag("t") == 3  # tags untouched
+
+    def test_identity_mapping_returns_self(self):
+        rec = Record({"a": "x", "<t>": 1})
+        assert rec.map_field_values(lambda v: v) is rec
+
+    def test_partial_change_allocates_new_record(self):
+        payload = object()
+        rec = Record({"a": payload, "b": 5})
+        mapped = rec.map_field_values(lambda v: "swapped" if v is payload else v)
+        assert mapped is not rec
+        assert mapped.field("a") == "swapped"
+        assert mapped.field("b") == 5
+        assert rec.field("a") is payload  # original untouched
+
+
+class TestRecordPickle:
+    """Records with NumPy payloads survive pickling with full fidelity.
+
+    The process runtime ships records across the pool boundary with pickle
+    protocol 5 and out-of-band buffers; these tests pin dtype, shape and
+    value fidelity (no silent float64 upcast) under both the default
+    protocol and the out-of-band path.
+    """
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64", "int16", "uint8"])
+    def test_default_protocol_round_trip(self, dtype):
+        import pickle
+
+        import numpy as np
+
+        payload = (np.arange(24).reshape(2, 4, 3) % 7).astype(dtype)
+        rec = Record({"chunk": payload, "<node>": 3})
+        clone = pickle.loads(pickle.dumps(rec))
+        value = clone.field("chunk")
+        assert value.dtype == np.dtype(dtype)  # no silent upcast
+        assert value.shape == payload.shape
+        np.testing.assert_array_equal(value, payload)
+        assert clone.tag("node") == 3
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_protocol5_out_of_band_round_trip(self, dtype):
+        import pickle
+
+        import numpy as np
+
+        payload = np.linspace(0.0, 1.0, 3000).astype(dtype).reshape(10, 100, 3)
+        rec = Record({"pixels": payload, "label": "chunk-7"})
+        buffers = []
+        data = pickle.dumps(
+            rec, protocol=5, buffer_callback=lambda b: buffers.append(b.raw().tobytes())
+        )
+        # the array data really went out-of-band, not into the stream
+        assert buffers, "expected at least one out-of-band buffer"
+        assert len(data) < payload.nbytes
+        clone = pickle.loads(data, buffers=buffers)
+        value = clone.field("pixels")
+        assert value.dtype == np.dtype(dtype)
+        assert value.shape == payload.shape
+        np.testing.assert_array_equal(value, payload)
+        assert clone.field("label") == "chunk-7"
+
+    def test_runtime_batch_helpers_round_trip(self):
+        import numpy as np
+
+        from repro.snet.runtime.process_engine import dumps_records, loads_records
+
+        records = [
+            Record({"pixels": np.full((4, 8, 3), i, dtype=np.float32), "<k>": i})
+            for i in range(5)
+        ]
+        payload, buffers, nbytes = dumps_records(records)
+        assert nbytes == len(payload) + sum(len(b) for b in buffers)
+        clones = loads_records(payload, buffers)
+        assert len(clones) == 5
+        for i, clone in enumerate(clones):
+            value = clone.field("pixels")
+            assert value.dtype == np.float32
+            np.testing.assert_array_equal(value, np.full((4, 8, 3), i, dtype=np.float32))
+            assert clone.tag("k") == i

@@ -283,6 +283,168 @@ class TestProcessBackendSpecifics:
             runtime.run(boom, [Record({"a": 1})], timeout=15.0)
         assert "remote failure detail" in str(excinfo.value.__cause__)
 
+    def test_degrades_to_threaded_with_warning_without_fork(self, monkeypatch):
+        """No fork -> threaded execution, announced, semantically identical."""
+        monkeypatch.setattr(ProcessRuntime, "fork_available", staticmethod(lambda: False))
+        runtime = ProcessRuntime(workers=2)
+        inputs = [Record({"a": i}) for i in range(5)]
+        with pytest.warns(RuntimeWarning, match="degrading to threaded"):
+            outs = runtime.run(make_inc(), inputs, timeout=15.0)
+        assert sorted(r.field("b") for r in outs) == [1, 2, 3, 4, 5]
+        assert runtime.bytes_pickled == 0  # nothing crossed a process boundary
+
+    def test_fork_path_emits_no_degradation_warning(self):
+        if not ProcessRuntime.fork_available():
+            pytest.skip("needs fork start method")
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            outs = run_on("process", make_inc(), [Record({"a": 1})],
+                          timeout=15.0, workers=2)
+        assert len(outs) == 1
+
+
+class TestZeroCopyDataPlane:
+    """The fork-shared payload broadcast (zero-copy layer 1) specifics."""
+
+    class BigPayload:
+        """A broadcast-worthy stand-in (size estimate above the threshold)."""
+
+        def __init__(self, token):
+            self.token = token
+            self.prepared = 0
+
+        def payload_size(self):
+            return 1 << 20
+
+        def prepare_for_broadcast(self):
+            self.prepared += 1
+            return self
+
+    @pytest.mark.skipif(
+        not ProcessRuntime.fork_available(), reason="needs fork start method"
+    )
+    def test_broadcast_payload_is_never_pickled(self):
+        class Unpicklable(self.BigPayload):
+            def __reduce__(self):
+                raise TypeError("this payload must not cross by value")
+
+        payload = Unpicklable("scene")
+
+        @box("(scene, a) -> (b)")
+        def use_scene(scene, a):
+            # the worker sees the fork-inherited object, fully usable
+            return {"b": f"{scene.token}-{a}"}
+
+        inputs = [Record({"scene": payload, "a": i}) for i in range(6)]
+        outs = run_on("process", use_scene, inputs, timeout=30.0, workers=2)
+        assert sorted(r.field("b") for r in outs) == [f"scene-{i}" for i in range(6)]
+        assert payload.prepared == 1  # prepared exactly once, pre-fork
+
+    @pytest.mark.skipif(
+        not ProcessRuntime.fork_available(), reason="needs fork start method"
+    )
+    def test_flow_inherited_payload_resolves_to_parent_object(self):
+        """A broadcast value flow-inherited through an offloaded box comes
+        back as the *same* parent-side object, not a pickled copy."""
+        payload = self.BigPayload("shared")
+
+        @box("(a) -> (b)")  # does not consume 'big' -> flow inheritance
+        def passthrough(a):
+            return {"b": a + 1}
+
+        inputs = [Record({"a": 1, "big": payload})]
+        outs = run_on("process", passthrough, inputs, timeout=30.0, workers=2)
+        assert len(outs) == 1
+        assert outs[0].field("big") is payload
+
+    def test_shared_registry_cleaned_up_after_run(self):
+        from repro.snet.runtime import process_engine
+
+        payload = self.BigPayload("transient")
+        before_objects = dict(process_engine._SHARED_OBJECTS)
+        before_ids = dict(process_engine._SHARED_BY_ID)
+        run_on(
+            "process",
+            make_inc(),
+            [Record({"a": 1, "big": payload})],
+            timeout=30.0,
+            workers=2,
+        )
+        assert process_engine._SHARED_OBJECTS == before_objects
+        assert process_engine._SHARED_BY_ID == before_ids
+
+    @pytest.mark.skipif(
+        not ProcessRuntime.fork_available(), reason="needs fork start method"
+    )
+    def test_zero_copy_disabled_matches_semantics(self):
+        net = Serial(make_inc("a", "b"), make_inc("b", "c"))
+        inputs = [Record({"a": i}) for i in range(10)]
+        expected = multiset(run_network(net, inputs))
+        outs = run_on(
+            "process", net, inputs, timeout=30.0, workers=2, zero_copy=False
+        )
+        assert multiset(outs) == expected
+
+    def test_small_values_are_not_broadcast(self):
+        runtime = ProcessRuntime(workers=2)
+        assert not runtime._broadcast_worthy(7)
+        assert not runtime._broadcast_worthy("short string")
+        assert not runtime._broadcast_worthy(None)
+        assert not runtime._broadcast_worthy(b"x" * 100)
+        assert runtime._broadcast_worthy(self.BigPayload("big"))
+
+
+class TestBatchAutotuning:
+    def test_cheap_records_grow_batches_and_pipeline(self):
+        from repro.snet.runtime import BatchAutotuner
+
+        tuner = BatchAutotuner(workers=4)
+        assert (tuner.chunk_size, tuner.max_inflight) == (1, 8)
+        for batch_len in (1, 4, 16, 64, 64):
+            tuner.observe(batch_len, elapsed=batch_len * 1e-5)  # 10us/record
+        assert tuner.chunk_size == BatchAutotuner.CHUNK_MAX
+        assert tuner.max_inflight == 16  # deep pipeline: 4x workers
+
+    def test_expensive_records_stay_single(self):
+        from repro.snet.runtime import BatchAutotuner
+
+        tuner = BatchAutotuner(workers=4)
+        for _ in range(5):
+            tuner.observe(1, elapsed=0.25)  # a solver-sized record
+        assert tuner.chunk_size == 1
+        assert tuner.max_inflight == 8  # shallow: 2x workers
+
+    def test_growth_is_bounded_per_observation(self):
+        from repro.snet.runtime import BatchAutotuner
+
+        tuner = BatchAutotuner(workers=2)
+        tuner.observe(1, elapsed=1e-6)  # one absurdly fast sample
+        assert tuner.chunk_size <= 4  # at most 4x growth per step
+
+    def test_pinned_values_never_adapt(self):
+        from repro.snet.runtime import BatchAutotuner
+
+        tuner = BatchAutotuner(workers=4, chunk_size=3, max_inflight=5)
+        for _ in range(10):
+            tuner.observe(3, elapsed=1e-6)
+        assert (tuner.chunk_size, tuner.max_inflight) == (3, 5)
+
+    @pytest.mark.skipif(
+        not ProcessRuntime.fork_available(), reason="needs fork start method"
+    )
+    def test_autotuned_run_conforms_and_reports_plan(self):
+        net = make_inc()
+        inputs = [Record({"a": i}) for i in range(200)]
+        runtime = ProcessRuntime(workers=2)  # chunk_size=None -> autotune
+        outs = runtime.run(net, inputs, timeout=30.0)
+        assert sorted(r.field("b") for r in outs) == list(range(1, 201))
+        (plan,) = runtime.batch_plan.values()
+        chunk_size, max_inflight = plan
+        assert chunk_size >= 1
+        assert max_inflight >= 2
+
 
 class TestRayTracingFarmConformance:
     """The paper's farm renders the identical image on every backend.
