@@ -8,7 +8,7 @@ variants run on the same runtime backend, selectable by name, so the
 comparison also demonstrates that the choice of execution strategy is
 orthogonal to the coordination structure.
 
-Run with:  python examples/raytracing_dynamic.py [runtime]
+Run with:  python examples/raytracing_dynamic.py [runtime] [width] [height]
 
 where ``runtime`` is ``threaded`` (default) or ``process``.
 """
@@ -21,14 +21,14 @@ from repro.raytracer.image import image_rms_difference
 from repro.scheduling import FactoringScheduler
 
 
-def main(runtime: str = "threaded") -> None:
+def main(runtime: str = "threaded", width: int = 64, height: int = 64) -> None:
     scene = random_scene(num_spheres=30, clustering=0.7, seed=13)
-    camera = Camera(width=64, height=64)
+    camera = Camera(width=width, height=height)
     reference = render(scene, camera)
 
     # static variant: every section is pre-assigned to a node
     static = run_raytracing_farm(
-        "static", runtime=runtime, width=64, height=64, nodes=4, tasks=8, scene=scene
+        "static", runtime=runtime, width=width, height=height, nodes=4, tasks=8, scene=scene
     )
 
     # dynamic variant: 8 sections, only 4 initial tokens; sections queue for
@@ -36,8 +36,8 @@ def main(runtime: str = "threaded") -> None:
     dynamic = run_raytracing_farm(
         "dynamic",
         runtime=runtime,
-        width=64,
-        height=64,
+        width=width,
+        height=height,
         nodes=4,
         tasks=8,
         tokens=4,
@@ -53,4 +53,8 @@ def main(runtime: str = "threaded") -> None:
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "threaded")
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "threaded",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 64,
+        int(sys.argv[3]) if len(sys.argv) > 3 else 64,
+    )

@@ -15,6 +15,9 @@
   extraction helpers.
 * :mod:`repro.apps.runner` -- run any farm variant on a named runtime
   backend (``threaded`` / ``process``) via the runtime registry.
+* :mod:`repro.apps.service` -- the persistent render-farm service: warm
+  runtime reuse, a content-hash scene cache and priority job scheduling
+  with backpressure.
 """
 
 from repro.apps.backends import (
@@ -35,7 +38,21 @@ from repro.apps.networks import (
 )
 from repro.apps.mpi_baseline import mpi_raytracer_program, run_mpi_raytracer
 from repro.apps.runner import FARM_VARIANTS, FarmRun, run_raytracing_farm
-from repro.apps.workloads import initial_record, dynamic_input_records, extract_image
+from repro.apps.service import (
+    JobResult,
+    RenderJob,
+    RenderService,
+    ServiceClosed,
+    ServiceMetrics,
+    ServiceOverloaded,
+    scene_content_key,
+)
+from repro.apps.workloads import (
+    animation_scenes,
+    dynamic_input_records,
+    extract_image,
+    initial_record,
+)
 
 __all__ = [
     "RenderBackend",
@@ -55,7 +72,15 @@ __all__ = [
     "FarmRun",
     "FARM_VARIANTS",
     "run_raytracing_farm",
+    "RenderService",
+    "RenderJob",
+    "JobResult",
+    "ServiceMetrics",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "scene_content_key",
     "initial_record",
     "dynamic_input_records",
+    "animation_scenes",
     "extract_image",
 ]

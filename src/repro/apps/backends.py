@@ -120,7 +120,20 @@ class PicturePlaceholder:
 
 
 class RenderBackend:
-    """Interface between the coordination code and the rendering substrate."""
+    """Interface between the coordination code and the rendering substrate.
+
+    A backend may serve many runs (a warm service reuses one backend per
+    cached scene); call :meth:`begin_job` before each reuse run.  The
+    rendered result of a run is read back with
+    :func:`repro.apps.workloads.extract_image` after ``genImg`` fired.
+
+    >>> from repro.raytracer.camera import Camera
+    >>> from repro.raytracer.scene import random_scene
+    >>> backend = ModelRenderBackend(random_scene(num_spheres=2), Camera(width=8, height=8))
+    >>> chunk = backend.render_section(Section(index=0, y_start=0, y_end=4))
+    >>> (chunk.rows, chunk.width), backend.section_cost(Section(0, 0, 4)) > 0
+    ((4, 8), True)
+    """
 
     def __init__(self, scene: Scene, camera: Camera):
         self.scene = scene
@@ -128,6 +141,17 @@ class RenderBackend:
         self.saved_images: List[Any] = []
         self._stats_lock = threading.Lock()
         self.rays_cast = 0
+
+    # -- reuse across runs ----------------------------------------------------
+    def begin_job(self) -> None:
+        """Reset per-job observable state before reusing this backend.
+
+        Long-lived callers (the render service) run many jobs against one
+        backend; without this, ``saved_images`` would retain every frame ever
+        rendered.  ``rays_cast`` is a lifetime counter and is *not* reset —
+        per-job counts are obtained by snapshotting it around the run.
+        """
+        self.saved_images.clear()
 
     # -- tracing stats ---------------------------------------------------------
     def add_rays_cast(self, count: int) -> None:

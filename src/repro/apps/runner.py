@@ -61,7 +61,15 @@ from repro.scheduling.base import Scheduler
 from repro.snet.records import Record
 from repro.snet.runtime import get_runtime, run_on
 
-__all__ = ["FarmRun", "run_raytracing_farm", "FARM_VARIANTS", "DATA_PLANES"]
+__all__ = [
+    "FarmRun",
+    "run_raytracing_farm",
+    "resolve_data_plane",
+    "build_farm_backend",
+    "farm_inputs",
+    "FARM_VARIANTS",
+    "DATA_PLANES",
+]
 
 #: variant name -> network builder
 FARM_VARIANTS = {
@@ -98,7 +106,33 @@ class FarmRun:
     bytes_pickled: int = 0
 
 
-def _resolve_data_plane(data_plane: str, runtime: str, backend: Optional[RenderBackend]) -> str:
+def resolve_data_plane(
+    data_plane: str, runtime: str, backend: Optional[RenderBackend] = None
+) -> str:
+    """Resolve a ``data_plane`` request to the concrete plane of a run.
+
+    Parameters
+    ----------
+    data_plane:
+        One of :data:`DATA_PLANES` — ``"auto"``, ``"shared"`` or
+        ``"records"``.
+    runtime:
+        The runtime backend name the run targets (``"auto"`` resolves to
+        ``"shared"`` only on ``"process"``).
+    backend:
+        Optional explicit render backend; when given, the backend's own
+        nature decides the plane and a contradictory request raises
+        :class:`ValueError`.
+
+    Returns the resolved plane name, always ``"shared"`` or ``"records"``.
+
+    >>> resolve_data_plane("auto", "process")
+    'shared'
+    >>> resolve_data_plane("auto", "threaded")
+    'records'
+    >>> resolve_data_plane("records", "process")
+    'records'
+    """
     if data_plane not in DATA_PLANES:
         raise ValueError(
             f"unknown data plane {data_plane!r}; available: " + ", ".join(DATA_PLANES)
@@ -121,6 +155,65 @@ def _resolve_data_plane(data_plane: str, runtime: str, backend: Optional[RenderB
     if data_plane == "auto":
         return "shared" if runtime == "process" else "records"
     return data_plane
+
+
+def build_farm_backend(
+    scene: Scene,
+    width: int,
+    height: int,
+    plane: str,
+    render_mode: Optional[str] = None,
+) -> RenderBackend:
+    """Construct the render backend matching a resolved data plane.
+
+    ``plane`` must already be concrete (``"shared"`` or ``"records"``, see
+    :func:`resolve_data_plane`).  The shared plane allocates the frame in
+    ``multiprocessing.shared_memory`` — callers own the returned backend and
+    must eventually call ``release()`` on it.
+
+    >>> from repro.raytracer.scene import random_scene
+    >>> backend = build_farm_backend(random_scene(num_spheres=2), 16, 16, "records")
+    >>> type(backend).__name__, backend.width, backend.height
+    ('RealRenderBackend', 16, 16)
+    """
+    backend_cls = SharedFrameRenderBackend if plane == "shared" else RealRenderBackend
+    return backend_cls(
+        scene,
+        Camera(width=width, height=height),
+        render_mode=render_mode or "scalar",
+    )
+
+
+def farm_inputs(
+    variant: str,
+    scene: Scene,
+    *,
+    nodes: int,
+    tasks: int,
+    tokens: Optional[int] = None,
+) -> List[Record]:
+    """Build the input records of one farm job.
+
+    The static variants take a single ``{scene, <nodes>, <tasks>}`` record;
+    the dynamic variant additionally carries ``<tokens>`` (defaulting to
+    ``nodes``).  Raises :class:`ValueError` for an unknown ``variant``.
+
+    >>> from repro.raytracer.scene import random_scene
+    >>> recs = farm_inputs("dynamic", random_scene(num_spheres=2), nodes=2, tasks=4)
+    >>> len(recs), recs[0].tag("tasks"), recs[0].tag("tokens")
+    (1, 4, 2)
+    """
+    if variant not in FARM_VARIANTS:
+        raise ValueError(
+            f"unknown farm variant {variant!r}; available: "
+            + ", ".join(sorted(FARM_VARIANTS))
+        )
+    if variant == "dynamic":
+        return dynamic_input_records(
+            scene, nodes=nodes, tasks=tasks,
+            tokens=tokens if tokens is not None else nodes,
+        )
+    return [initial_record(scene, nodes=nodes, tasks=tasks)]
 
 
 def run_raytracing_farm(
@@ -153,31 +246,32 @@ def run_raytracing_farm(
     the merger (see module docstring); on the process backend it also gates
     the runtime's fork-shared scene broadcast (``zero_copy``), unless
     ``runtime_options`` pins that explicitly.
+
+    Returns a :class:`FarmRun` carrying the rendered ``image`` (a
+    ``(height, width, 3)`` float64 array), the raw output records, the
+    wall-clock ``seconds`` and the run's instrumentation counters.
+
+    >>> run = run_raytracing_farm("static", width=16, height=16, nodes=2,
+    ...                           tasks=2, num_spheres=4, render_mode="packet")
+    >>> run.image.shape, run.data_plane, run.rays_cast > 0
+    ((16, 16, 3), 'records', True)
+
+    One-shot calls pay full runtime construction every time; to amortise
+    setup across many renders of the same scene, use
+    :class:`repro.apps.service.RenderService` instead.
     """
-    if variant not in FARM_VARIANTS:
-        raise ValueError(
-            f"unknown farm variant {variant!r}; available: "
-            + ", ".join(sorted(FARM_VARIANTS))
-        )
-    plane = _resolve_data_plane(data_plane, runtime, backend)
+    plane = resolve_data_plane(data_plane, runtime, backend)
     if scene is None:
         scene = random_scene(num_spheres=num_spheres, clustering=0.5, seed=seed)
+    # farm_inputs validates the variant and the dynamic token bounds; doing it
+    # before backend construction means an invalid job cannot leak a
+    # shared-memory frame segment
+    inputs = farm_inputs(variant, scene, nodes=nodes, tasks=tasks, tokens=tokens)
     release_backend = False
     if backend is None:
-        backend_cls = SharedFrameRenderBackend if plane == "shared" else RealRenderBackend
-        backend = backend_cls(
-            scene,
-            Camera(width=width, height=height),
-            render_mode=render_mode or "scalar",
-        )
+        backend = build_farm_backend(scene, width, height, plane, render_mode)
         release_backend = plane == "shared"
     network = FARM_VARIANTS[variant](backend, scheduler, render_mode=render_mode)
-    if variant == "dynamic":
-        inputs = dynamic_input_records(
-            scene, nodes=nodes, tasks=tasks, tokens=tokens if tokens is not None else nodes
-        )
-    else:
-        inputs = [initial_record(scene, nodes=nodes, tasks=tasks)]
 
     options = dict(runtime_options or {})
     if runtime == "process":

@@ -1,0 +1,626 @@
+"""A persistent render-farm service with warm-runtime job scheduling.
+
+:func:`repro.apps.runner.run_raytracing_farm` is the paper's evaluation
+shape: one shot, full runtime construction per call — process-pool fork,
+scene broadcast into the fork-shared registry, shared-memory frame
+registration — all paid before the first ray is cast.  A render farm that
+serves many jobs cannot afford that; :class:`RenderService` keeps the
+expensive parts alive *between* jobs:
+
+* **runtime lifecycle reuse** — per cached scene the service holds a *warm
+  slot*: the render backend (including its shared frame buffer), the built
+  network, and a runtime set up once via the engines' ``setup()``/
+  ``teardown()`` split (:meth:`ProcessRuntime.setup
+  <repro.snet.runtime.process_engine.ProcessRuntime.setup>` forks the pool
+  once, with the scene already broadcast);
+* **a job scheduler** — ``submit(job)`` returns a
+  :class:`concurrent.futures.Future`; queued jobs execute FIFO within
+  priority (higher ``RenderJob.priority`` first), and a bounded queue
+  applies backpressure with a selectable ``overflow`` policy (``"block"``
+  the submitter, or ``"reject"`` with :class:`ServiceOverloaded`);
+* **a scene cache** — warm slots are keyed by *content hash*
+  (:func:`scene_content_key`), so a content-identical scene object — e.g.
+  a replayed animation keyframe from
+  :func:`repro.apps.workloads.animation_scenes` — skips scene preparation,
+  broadcast registration and pool re-fork entirely;
+* **service metrics** — :meth:`RenderService.metrics` reports jobs served,
+  queue depth, warm-hit rate and the setup seconds the cache saved,
+  surfaced the same way ``FarmRun.bytes_pickled`` surfaces the data-plane
+  cost.
+
+The service boundary and the ``try_get`` contract
+-------------------------------------------------
+
+The job queue is a real S-Net :class:`~repro.snet.runtime.stream.Stream` of
+job records, and the scheduler loop leans on the two distinct ``None``
+meanings of the stream API (see :meth:`Stream.try_get
+<repro.snet.runtime.stream.Stream.try_get>`):
+
+* ``try_get() -> None`` means **"empty right now"** — the service uses it
+  only to *top up* the priority heap with whatever is already queued, so an
+  idle moment must never be mistaken for shutdown;
+* ``get() -> None`` is the **definitive end-of-stream** — it fires only
+  once :meth:`close` has closed the writer *and* the queue has drained, so
+  every job accepted before ``close()`` still executes (drain-then-stop).
+
+``tests/apps/test_render_service.py`` pins both halves of this contract.
+
+Example
+-------
+
+>>> from repro.raytracer.scene import random_scene
+>>> scene = random_scene(num_spheres=3)
+>>> with RenderService(width=16, height=16, render_mode="packet") as service:
+...     first = service.submit(RenderJob(scene, nodes=2, tasks=2)).result(60)
+...     second = service.submit(RenderJob(scene, nodes=2, tasks=2)).result(60)
+>>> first.image.shape, first.warm, second.warm
+((16, 16, 3), False, True)
+>>> service.metrics().warm_hits
+1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.backends import RenderBackend
+from repro.apps.runner import (
+    FARM_VARIANTS,
+    build_farm_backend,
+    farm_inputs,
+    resolve_data_plane,
+)
+from repro.apps.workloads import extract_image
+from repro.raytracer.materials import Material
+from repro.raytracer.scene import Scene
+from repro.scheduling.base import Scheduler
+from repro.snet.records import Record
+from repro.snet.runtime import get_runtime, run_on
+from repro.snet.runtime.stream import Stream
+
+__all__ = [
+    "RenderService",
+    "RenderJob",
+    "JobResult",
+    "ServiceMetrics",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "scene_content_key",
+]
+
+
+class ServiceClosed(RuntimeError):
+    """Submitting to (or waiting on) a service that has been closed."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """The bounded job queue is full and the overflow policy is ``"reject"``."""
+
+
+# -- scene content hashing ----------------------------------------------------
+_KEY_ATTR = "_repro_content_key"
+
+
+def _canonical(value: Any) -> Any:
+    """A picklable, content-deterministic description of one scene value.
+
+    NumPy arrays hash by shape/dtype/bytes; objects with a ``__dict__``
+    (primitives, materials, lights) hash by their sorted attributes with the
+    global ``primitive_id`` counter excluded — two scenes built from the
+    same description must produce the same key even though their primitive
+    ids differ.
+    """
+    if isinstance(value, np.ndarray):
+        return ("nd", value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, (type(None), bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, Material) or hasattr(value, "__dict__"):
+        attrs = {
+            name: attr
+            for name, attr in vars(value).items()
+            if name != "primitive_id" and not name.startswith("_")
+        }
+        return (
+            type(value).__name__,
+            tuple((name, _canonical(attr)) for name, attr in sorted(attrs.items())),
+        )
+    return repr(value)
+
+
+def scene_content_key(scene: Scene) -> str:
+    """Content hash of a scene: equal for content-identical scene objects.
+
+    The key covers everything that determines the rendered image — objects
+    (geometry + material), lights, background, recursion depth and the
+    acceleration-structure choice — and deliberately excludes derived state
+    (the lazily built BVH) and the process-global ``primitive_id`` counters.
+
+    The key is memoised on the scene object, so repeated submissions of the
+    same object are O(1).  Scenes are treated as immutable job payloads (the
+    S-Net purity contract); mutating a scene after it has been keyed is
+    unsupported — build a new :class:`Scene` instead.
+
+    >>> from repro.raytracer.scene import random_scene
+    >>> a, b = random_scene(num_spheres=3), random_scene(num_spheres=3)
+    >>> a is not b and scene_content_key(a) == scene_content_key(b)
+    True
+    >>> scene_content_key(random_scene(num_spheres=4)) == scene_content_key(a)
+    False
+    """
+    cached = getattr(scene, _KEY_ATTR, None)
+    if cached is not None:
+        return cached
+    description = (
+        tuple(_canonical(obj) for obj in scene.objects),
+        tuple(_canonical(light) for light in scene.lights),
+        _canonical(scene.background),
+        scene.max_ray_depth,
+        scene.use_bvh,
+    )
+    key = hashlib.sha256(pickle.dumps(description, protocol=5)).hexdigest()[:16]
+    try:
+        setattr(scene, _KEY_ATTR, key)
+    except AttributeError:  # __slots__ scenes: just recompute next time
+        pass
+    return key
+
+
+# -- jobs and results ---------------------------------------------------------
+@dataclass
+class RenderJob:
+    """One unit of work for the service: render ``scene`` once.
+
+    ``variant``/``nodes``/``tasks``/``tokens`` mirror the knobs of
+    :func:`~repro.apps.runner.run_raytracing_farm`.  ``priority`` orders the
+    queue: higher values run earlier, FIFO within equal priority.  ``label``
+    is free-form caller bookkeeping (e.g. a frame number) echoed on the
+    :class:`JobResult`.
+    """
+
+    scene: Scene
+    nodes: int = 2
+    tasks: int = 8
+    tokens: Optional[int] = None
+    variant: str = "static"
+    priority: int = 0
+    label: Optional[str] = None
+
+
+@dataclass
+class JobResult:
+    """Outcome of one served job (the value of the job's future).
+
+    ``warm`` tells whether the job was served from an existing warm slot
+    (scene-cache hit: no scene preparation, no pool fork, no frame-buffer
+    registration).  ``seconds`` is pure execution time; ``queued_seconds``
+    is the time spent waiting in the queue before execution started.
+    """
+
+    job: RenderJob
+    image: Any
+    seconds: float
+    queued_seconds: float
+    warm: bool
+    scene_key: str
+    rays_cast: int
+    bytes_pickled: int
+    outputs: List[Record] = field(repr=False, default_factory=list)
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Snapshot of the service counters (see :meth:`RenderService.metrics`).
+
+    ``queue_depth`` counts jobs accepted but not yet completed (waiting or
+    executing).  ``setup_seconds_saved`` charges, for every warm hit, the
+    measured cold-build cost of the slot that served it — the wall-clock the
+    scene cache avoided.  ``warm_hit_rate`` is warm hits over executed
+    cache lookups (0.0 before the first job).
+    """
+
+    state: str
+    jobs_submitted: int
+    jobs_served: int
+    jobs_failed: int
+    jobs_rejected: int
+    jobs_cancelled: int
+    queue_depth: int
+    warm_hits: int
+    cold_builds: int
+    warm_hit_rate: float
+    setup_seconds_saved: float
+    render_seconds: float
+    bytes_pickled: int
+    scenes_cached: int
+
+
+@dataclass
+class _WarmSlot:
+    """Everything kept alive between jobs on one cached scene."""
+
+    key: Tuple[str, str]
+    scene: Scene
+    backend: RenderBackend
+    network: Any
+    runtime: Any
+    setup_seconds: float
+    jobs_served: int = 0
+
+
+@dataclass
+class _QueuedJob:
+    seq: int
+    job: RenderJob
+    future: Future
+    submitted_at: float
+
+    @property
+    def heap_key(self) -> Tuple[int, int]:
+        # higher priority first, FIFO (submission order) within a priority
+        return (-self.job.priority, self.seq)
+
+
+# -- the service --------------------------------------------------------------
+class RenderService:
+    """A persistent farm: warm runtimes, a scene cache and a job queue.
+
+    Parameters
+    ----------
+    runtime:
+        Runtime backend name executing the jobs (``"threaded"`` or
+        ``"process"``; the simulated backend has no warm resources worth a
+        service).
+    width, height, render_mode, data_plane, scheduler, runtime_options:
+        Fixed per service, exactly as for
+        :func:`~repro.apps.runner.run_raytracing_farm`; every job renders at
+        this resolution.
+    max_queue:
+        Bound of the job queue (jobs accepted but not yet completed).
+    overflow:
+        Backpressure policy when the queue is full: ``"block"`` makes
+        ``submit`` wait for space, ``"reject"`` raises
+        :class:`ServiceOverloaded` immediately.
+    max_scenes:
+        Warm slots kept alive; beyond this the least-recently-used slot is
+        torn down (pool terminated, shared frame released).
+    job_timeout:
+        Per-job wall-clock deadline handed to the runtime.
+
+    The service starts accepting jobs immediately; :meth:`close` drains the
+    queue and releases every warm slot.  Use as a context manager to
+    guarantee teardown.  See the module docstring for a runnable example.
+    """
+
+    _STATES = ("running", "draining", "closed")
+
+    def __init__(
+        self,
+        runtime: str = "threaded",
+        *,
+        width: int = 64,
+        height: int = 64,
+        render_mode: Optional[str] = None,
+        data_plane: str = "auto",
+        scheduler: Optional[Scheduler] = None,
+        runtime_options: Optional[Dict[str, Any]] = None,
+        max_queue: int = 16,
+        overflow: str = "block",
+        max_scenes: int = 4,
+        job_timeout: float = 300.0,
+    ):
+        if overflow not in ("block", "reject"):
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; use 'block' or 'reject'"
+            )
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if max_scenes < 1:
+            raise ValueError("max_scenes must be at least 1")
+        self.runtime_name = runtime
+        self.width = width
+        self.height = height
+        self.render_mode = render_mode
+        self.scheduler = scheduler
+        self.runtime_options = dict(runtime_options or {})
+        self.max_queue = max_queue
+        self.overflow = overflow
+        self.max_scenes = max_scenes
+        self.job_timeout = job_timeout
+        self._plane = resolve_data_plane(data_plane, runtime)
+
+        # the service boundary: a bounded S-Net stream of job records.  Its
+        # capacity exceeds max_queue so writer.put never blocks while the
+        # submit-side condition variable enforces the *policy* bound.
+        self._jobs = Stream(name="render-service-jobs", capacity=max_queue + 2)
+        self._writer = self._jobs.open_writer()
+        self._cv = threading.Condition()
+        self._seq = itertools.count()
+        self._depth = 0
+        self._closing = False
+        self._cancel_pending = False
+        self._state = "running"
+
+        self._slots: "OrderedDict[Tuple[str, str], _WarmSlot]" = OrderedDict()
+
+        # counters (all mutated under _cv)
+        self._jobs_submitted = 0
+        self._jobs_served = 0
+        self._jobs_failed = 0
+        self._jobs_rejected = 0
+        self._jobs_cancelled = 0
+        self._warm_hits = 0
+        self._cold_builds = 0
+        self._setup_seconds_saved = 0.0
+        self._render_seconds = 0.0
+        self._bytes_pickled = 0
+
+        self._thread = threading.Thread(
+            target=self._scheduler_loop, name="render-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # -- public API ----------------------------------------------------------
+    def submit(self, job: RenderJob) -> "Future[JobResult]":
+        """Queue ``job`` and return a future resolving to its :class:`JobResult`.
+
+        Raises :class:`ServiceClosed` after :meth:`close`, and — queue full —
+        either blocks (``overflow="block"``) or raises
+        :class:`ServiceOverloaded` (``overflow="reject"``).  The future
+        supports ``cancel()`` while the job is still queued.
+        """
+        if job.variant not in FARM_VARIANTS:
+            raise ValueError(
+                f"unknown farm variant {job.variant!r}; available: "
+                + ", ".join(sorted(FARM_VARIANTS))
+            )
+        if not isinstance(job.scene, Scene):
+            raise TypeError(f"RenderJob.scene must be a Scene, got {job.scene!r}")
+        future: "Future[JobResult]" = Future()
+        with self._cv:
+            while True:
+                if self._closing:
+                    raise ServiceClosed("submit on a closed RenderService")
+                if self._depth < self.max_queue:
+                    break
+                if self.overflow == "reject":
+                    self._jobs_rejected += 1
+                    raise ServiceOverloaded(
+                        f"job queue is full ({self.max_queue} jobs pending) and "
+                        "the overflow policy is 'reject'"
+                    )
+                self._cv.wait()
+            self._depth += 1
+            self._jobs_submitted += 1
+            entry = _QueuedJob(
+                seq=next(self._seq),
+                job=job,
+                future=future,
+                submitted_at=time.perf_counter(),
+            )
+            # priority rides as a tag so the queue reads like any S-Net stream
+            self._writer.put(Record({"job": entry, "<priority>": int(job.priority)}))
+        return future
+
+    def render(self, job: RenderJob, timeout: Optional[float] = None) -> JobResult:
+        """Synchronous convenience: ``submit(job).result(timeout)``."""
+        return self.submit(job).result(timeout)
+
+    def metrics(self) -> ServiceMetrics:
+        """A consistent snapshot of the service counters."""
+        with self._cv:
+            lookups = self._warm_hits + self._cold_builds
+            return ServiceMetrics(
+                state=self._state,
+                jobs_submitted=self._jobs_submitted,
+                jobs_served=self._jobs_served,
+                jobs_failed=self._jobs_failed,
+                jobs_rejected=self._jobs_rejected,
+                jobs_cancelled=self._jobs_cancelled,
+                queue_depth=self._depth,
+                warm_hits=self._warm_hits,
+                cold_builds=self._cold_builds,
+                warm_hit_rate=self._warm_hits / lookups if lookups else 0.0,
+                setup_seconds_saved=self._setup_seconds_saved,
+                render_seconds=self._render_seconds,
+                bytes_pickled=self._bytes_pickled,
+                scenes_cached=len(self._slots),
+            )
+
+    @property
+    def state(self) -> str:
+        """``"running"`` → (``close()``) → ``"draining"`` → ``"closed"``."""
+        with self._cv:
+            return self._state
+
+    def close(
+        self, *, cancel_pending: bool = False, timeout: Optional[float] = None
+    ) -> None:
+        """Stop accepting jobs, drain the queue, release every warm slot.
+
+        Closing closes the job stream's writer; the scheduler keeps serving
+        until its blocking ``get()`` returns the *definitive* end-of-stream
+        ``None`` (writer closed **and** queue drained), so jobs accepted
+        before ``close`` still complete.  With ``cancel_pending=True`` the
+        not-yet-started jobs are cancelled instead of executed (their
+        futures raise :class:`~concurrent.futures.CancelledError`).
+        Idempotent; blocks up to ``timeout`` for the drain to finish.
+        """
+        with self._cv:
+            if not self._closing:
+                self._closing = True
+                self._state = "draining" if self._state == "running" else self._state
+                self._writer.close()
+            if cancel_pending:
+                self._cancel_pending = True
+            self._cv.notify_all()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "RenderService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- scheduler loop -------------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        heap: List[Tuple[Tuple[int, int], _QueuedJob]] = []
+        try:
+            while True:
+                if not heap:
+                    # blocking read: this None is the definitive end-of-stream
+                    # (writer closed by close() AND the queue fully drained)
+                    rec = self._jobs.get()
+                    if rec is None:
+                        break
+                    heapq.heappush(heap, self._heap_entry(rec))
+                # top-up: admit everything already queued so priorities
+                # compete.  try_get's None means "empty right now" — with
+                # writers still open it is NOT end-of-stream, so an idle
+                # service must keep waiting in get() above, never shut down
+                while True:
+                    extra = self._jobs.try_get()
+                    if extra is None:
+                        break
+                    heapq.heappush(heap, self._heap_entry(extra))
+                _, entry = heapq.heappop(heap)
+                self._execute(entry)
+        finally:
+            self._shutdown_slots()
+            with self._cv:
+                self._state = "closed"
+                self._cv.notify_all()
+
+    @staticmethod
+    def _heap_entry(rec: Record) -> Tuple[Tuple[int, int], _QueuedJob]:
+        entry: _QueuedJob = rec.field("job")
+        return (entry.heap_key, entry)
+
+    # -- job execution --------------------------------------------------------
+    def _execute(self, entry: _QueuedJob) -> None:
+        with self._cv:
+            cancel = self._cancel_pending
+        if cancel or not entry.future.set_running_or_notify_cancel():
+            if cancel:
+                entry.future.cancel()
+            self._job_done("cancelled")
+            return
+        try:
+            job = entry.job
+            started = time.perf_counter()
+            slot, warm = self._slot_for(job)
+            slot.backend.begin_job()
+            rays_before = slot.backend.rays_cast
+            inputs = farm_inputs(
+                job.variant, slot.scene, nodes=job.nodes, tasks=job.tasks,
+                tokens=job.tokens,
+            )
+            outputs = run_on(
+                slot.runtime, slot.network, inputs, timeout=self.job_timeout
+            )
+            image = extract_image(slot.backend)
+            seconds = time.perf_counter() - started
+            slot.jobs_served += 1
+            result = JobResult(
+                job=job,
+                image=image,
+                seconds=seconds,
+                queued_seconds=started - entry.submitted_at,
+                warm=warm,
+                scene_key=slot.key[0],
+                rays_cast=slot.backend.rays_cast - rays_before,
+                bytes_pickled=int(getattr(slot.runtime, "bytes_pickled", 0)),
+                outputs=outputs,
+            )
+            with self._cv:
+                if warm:
+                    self._warm_hits += 1
+                    self._setup_seconds_saved += slot.setup_seconds
+                else:
+                    self._cold_builds += 1
+                self._render_seconds += seconds
+                self._bytes_pickled += result.bytes_pickled
+            self._job_done("served")
+            entry.future.set_result(result)
+        except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            self._job_done("failed")
+            entry.future.set_exception(exc)
+
+    def _job_done(self, outcome: str) -> None:
+        with self._cv:
+            self._depth -= 1
+            if outcome == "served":
+                self._jobs_served += 1
+            elif outcome == "failed":
+                self._jobs_failed += 1
+            elif outcome == "cancelled":
+                self._jobs_cancelled += 1
+            self._cv.notify_all()
+
+    # -- warm slots -----------------------------------------------------------
+    def _slot_for(self, job: RenderJob) -> Tuple[_WarmSlot, bool]:
+        """Return the warm slot serving ``job`` (building it cold on a miss)."""
+        key = (scene_content_key(job.scene), job.variant)
+        slot = self._slots.get(key)
+        if slot is not None:
+            self._slots.move_to_end(key)
+            return slot, True
+
+        started = time.perf_counter()
+        scene = job.scene
+        prepare = getattr(scene, "prepare_for_broadcast", None)
+        if callable(prepare):
+            prepare()  # build the BVH once; warm jobs inherit it
+        backend = build_farm_backend(
+            scene, self.width, self.height, self._plane, self.render_mode
+        )
+        network = FARM_VARIANTS[job.variant](
+            backend, self.scheduler, render_mode=self.render_mode
+        )
+        options = dict(self.runtime_options)
+        if self.runtime_name == "process":
+            options.setdefault("zero_copy", self._plane == "shared")
+        runtime = get_runtime(self.runtime_name, **options)
+        setup = getattr(runtime, "setup", None)
+        if callable(setup):
+            # register boxes + broadcast the scene, then fork the pool — once
+            runtime.setup(network, broadcast=(scene,))
+        slot = _WarmSlot(
+            key=key,
+            scene=scene,
+            backend=backend,
+            network=network,
+            runtime=runtime,
+            setup_seconds=time.perf_counter() - started,
+        )
+        self._slots[key] = slot
+        while len(self._slots) > self.max_scenes:
+            _, evicted = self._slots.popitem(last=False)
+            self._release_slot(evicted)
+        return slot, False
+
+    @staticmethod
+    def _release_slot(slot: _WarmSlot) -> None:
+        teardown = getattr(slot.runtime, "teardown", None)
+        if callable(teardown):
+            teardown()
+        release = getattr(slot.backend, "release", None)
+        if callable(release):
+            release()
+
+    def _shutdown_slots(self) -> None:
+        while self._slots:
+            _, slot = self._slots.popitem(last=False)
+            self._release_slot(slot)

@@ -1,16 +1,32 @@
-"""Input-record construction and result extraction for the S-Net variants."""
+"""Input-record construction, workloads and result extraction for the farms.
+
+Besides the paper's one-shot inputs (:func:`initial_record`,
+:func:`dynamic_input_records`), this module defines the *animation* workload
+driving the persistent render service: :func:`animation_scenes` produces the
+keyframes of a looping animation as content-deterministic scenes, so a
+service replaying the loop hits its scene cache from the second pass on.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
 from repro.apps.backends import RenderBackend
-from repro.raytracer.scene import Scene
+from repro.raytracer.geometry.primitives import Sphere
+from repro.raytracer.materials import Material
+from repro.raytracer.scene import Scene, random_scene
+from repro.raytracer.vec import vec3
 from repro.snet.records import Record
 
-__all__ = ["initial_record", "dynamic_input_records", "extract_image"]
+__all__ = [
+    "initial_record",
+    "dynamic_input_records",
+    "animation_scenes",
+    "extract_image",
+]
 
 
 def initial_record(scene: Scene, nodes: int, tasks: int) -> Record:
@@ -39,6 +55,52 @@ def dynamic_input_records(
             {"scene": scene, "<nodes>": nodes, "<tasks>": tasks, "<tokens>": tokens}
         )
     ]
+
+
+def animation_scenes(
+    frames: int,
+    *,
+    num_spheres: int = 60,
+    clustering: float = 0.5,
+    seed: int = 11,
+    orbit_radius: float = 1.6,
+    orbit_depth: float = 1.5,
+) -> List[Scene]:
+    """Keyframe scenes of a looping animation: a mirror sphere orbits the set.
+
+    Frame ``i`` is the deterministic base scene (``random_scene`` with the
+    given ``num_spheres``/``clustering``/``seed``) plus one large reflective
+    sphere at phase ``2*pi*i/frames`` of a circular orbit in front of the
+    camera.  Every call builds *fresh* scene objects, but frame ``i`` is
+    content-identical across calls — so a render service streaming the loop
+    repeatedly (``frames`` distinct cache keys) pays one cold setup per
+    keyframe on the first pass and serves every later pass warm.
+
+    Returns a list of ``frames`` independent :class:`Scene` objects.
+
+    >>> a, b = animation_scenes(2, num_spheres=3)
+    >>> len(a.objects) == len(b.objects) and a is not b
+    True
+    >>> from repro.apps.service import scene_content_key
+    >>> scene_content_key(animation_scenes(2, num_spheres=3)[1]) == scene_content_key(b)
+    True
+    """
+    if frames < 1:
+        raise ValueError("an animation needs at least one frame")
+    scenes: List[Scene] = []
+    for i in range(frames):
+        scene = random_scene(
+            num_spheres=num_spheres, clustering=clustering, seed=seed
+        )
+        phase = 2.0 * math.pi * i / frames
+        center = vec3(
+            orbit_radius * math.cos(phase),
+            0.4 + 0.5 * math.sin(phase),
+            -orbit_depth + 0.8 * math.sin(phase),
+        )
+        scene.add(Sphere(center, 0.45, Material.mirror(0.9)))
+        scenes.append(scene)
+    return scenes
 
 
 def extract_image(backend: RenderBackend) -> Any:

@@ -88,6 +88,25 @@ class ThreadedRuntime:
         Optional :class:`Tracer` receiving runtime events.
     stream_capacity:
         Bound of every internal stream (provides back-pressure/throttling).
+
+    Runtime instances are **reusable**: :meth:`run` resets all per-run state
+    (worker bookkeeping, collected errors) on entry, so a long-lived service
+    can execute many jobs on one runtime object.  The threaded engine has no
+    expensive resources to keep warm — :meth:`setup` and :meth:`teardown`
+    exist as no-ops so callers can drive every executing backend through the
+    same warm lifecycle (:class:`~repro.snet.runtime.process_engine.ProcessRuntime`
+    overrides them to keep its worker pool and fork-shared registries alive
+    between runs)::
+
+        runtime = ThreadedRuntime()
+        runtime.setup(network)            # no-op here, forks the pool there
+        try:
+            for job_inputs in jobs:
+                outputs = runtime.run(network, job_inputs)
+        finally:
+            runtime.teardown()
+
+    The same lifecycle is available as a context manager (``with runtime:``).
     """
 
     #: bytes serialized across a process boundary during the last run.  The
@@ -105,6 +124,44 @@ class ThreadedRuntime:
         self._started = False
         self._lock = threading.Lock()
         self.errors: List[BaseException] = []
+        self._warm = False
+
+    # -- warm lifecycle ------------------------------------------------------
+    def setup(self, network: Entity, broadcast: Iterable[object] = ()) -> "ThreadedRuntime":
+        """Acquire long-lived execution resources for ``network`` (no-op here).
+
+        The threaded engine compiles fresh worker threads per run and owns
+        nothing worth keeping warm, so this only marks the runtime warm to
+        give every executing backend one lifecycle API.  The process engine
+        overrides it to register boxes/broadcast payloads and fork its worker
+        pool once.  Returns ``self`` so call sites can chain
+        ``get_runtime(...).setup(...)``.
+        """
+        self._warm = True
+        return self
+
+    def teardown(self) -> None:
+        """Release resources acquired by :meth:`setup` (no resources here; idempotent)."""
+        self._warm = False
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether :meth:`setup` has been called without a matching :meth:`teardown`."""
+        return self._warm
+
+    def __enter__(self) -> "ThreadedRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.teardown()
+
+    def _reset_run_state(self) -> None:
+        """Forget the previous run's workers and errors (start of every run)."""
+        with self._lock:
+            self._threads = []
+            self._pending = []
+            self._started = False
+            self.errors = []
 
     # -- thread management -------------------------------------------------
     def _spawn(self, fn: Callable[[], None], name: str) -> None:
@@ -302,7 +359,12 @@ class ThreadedRuntime:
         per output record, so a network trickling one record just under the
         timeout apiece could stall arbitrarily long without ever timing
         out.)  ``None`` disables the deadline.
+
+        ``run`` may be called repeatedly on the same runtime instance; each
+        call starts from a clean per-run state (fresh worker bookkeeping, no
+        carried-over errors from an earlier failed run).
         """
+        self._reset_run_state()
         target = network.copy() if fresh else network
         in_stream = self._new_stream("network-in")
         out_stream = self._new_stream("network-out")

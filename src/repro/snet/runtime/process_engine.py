@@ -61,6 +61,15 @@ Design notes
   :meth:`ThreadedRuntime.run`; the pump drains its input first so upstream
   workers shut down cleanly instead of hanging until the harness timeout.
 
+* **Warm lifecycle (setup/teardown split).**  A one-shot :meth:`ProcessRuntime.run`
+  builds and tears down everything per call: box registration, payload
+  broadcast, pool fork, pool termination.  :meth:`ProcessRuntime.setup`
+  hoists that out of the per-run path — register once, fork once — so a
+  persistent service (:class:`repro.apps.service.RenderService`) can run many
+  jobs against one warm pool and pay the setup cost once per *scene*, not
+  once per *frame*.  :meth:`ProcessRuntime.teardown` restores the cold
+  state.
+
 Stateful primitives (synchrocells), filters, dispatchers and boxes marked
 ``parallel_safe=False`` execute in-process, exactly as on the threaded
 runtime.  On platforms without the ``fork`` start method the runtime
@@ -324,6 +333,9 @@ class ProcessRuntime(ThreadedRuntime):
         self.max_inflight = max_inflight
         self.zero_copy = zero_copy
         self._pool = None
+        #: pool kept alive across runs by setup()/teardown() (warm mode);
+        #: the _warm flag itself lives on the base class
+        self._persistent_pool = None
         # _template_key(box) -> registry key; the key must survive Entity.copy
         # (which deep-copies everything but function objects) AND distinguish
         # boxes that share one function under different names/signatures
@@ -343,6 +355,78 @@ class ProcessRuntime(ThreadedRuntime):
     @staticmethod
     def fork_available() -> bool:
         return "fork" in multiprocessing.get_all_start_methods()
+
+    # -- warm lifecycle ------------------------------------------------------
+    def setup(self, network: Entity, broadcast: Sequence[Any] = ()) -> "ProcessRuntime":
+        """Fork the worker pool once and keep it warm across :meth:`run` calls.
+
+        The one-shot :meth:`run` path pays the full construction cost per
+        call: box registration, broadcast-payload registration, pool fork and
+        pool teardown.  ``setup`` hoists all of that out of the per-run path
+        so a persistent service can amortise it across many jobs:
+
+        * every ``parallel_safe`` box of ``network`` is registered in the
+          fork-shared box registry (copies made later by ``run(fresh=True)``
+          resolve to the same templates, so the network may be re-run or
+          re-copied freely);
+        * each object in ``broadcast`` (e.g. the scene) is registered in the
+          fork-shared payload registry — with ``zero_copy`` enabled, records
+          referencing it cross the pool boundary as tiny
+          :class:`SharedObjectRef` tokens in every subsequent run;
+        * the pool is forked *once*, after both registrations, so workers
+          inherit everything.
+
+        Payloads registered per run by the cold path are *not* re-registered
+        in warm mode (the pool has already forked; workers could not see
+        them).  Unregistered large payloads still work — they are simply
+        pickled per batch — so jobs on a not-broadcast scene are correct,
+        just slower.
+
+        Returns ``self``.  Call :meth:`teardown` (or use the runtime as a
+        context manager) to terminate the pool and release the registries.
+        On platforms without ``fork`` the runtime warms up in degraded
+        threaded mode, with the same :class:`RuntimeWarning` as the cold
+        path.
+        """
+        if self._warm:
+            raise RuntimeError_(
+                "setup() called on an already-warm ProcessRuntime; call "
+                "teardown() first to rebuild the pool"
+            )
+        if self.fork_available():
+            self._register_boxes(network)
+            if self._box_keys:
+                if self.zero_copy:
+                    for value in broadcast:
+                        self._register_shared_value(value)
+                ctx = multiprocessing.get_context("fork")
+                self._persistent_pool = ctx.Pool(processes=self.workers)
+        else:
+            warnings.warn(
+                "ProcessRuntime: the 'fork' start method is unavailable on "
+                "this platform; degrading to threaded in-process execution "
+                "(identical semantics, no wall-clock parallelism)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._warm = True
+        return self
+
+    def teardown(self) -> None:
+        """Terminate the warm pool and release the fork-shared registries.
+
+        Idempotent; a no-op on a runtime that was never :meth:`setup`.  After
+        teardown the runtime is cold again — :meth:`run` works as one-shot,
+        and :meth:`setup` may be called again (the new pool re-inherits
+        whatever is registered at that point).
+        """
+        pool, self._persistent_pool = self._persistent_pool, None
+        self._warm = False
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self._unregister_boxes()
+        self._unregister_shared()
 
     @staticmethod
     def _template_key(ent: Box) -> tuple:
@@ -390,20 +474,29 @@ class ProcessRuntime(ThreadedRuntime):
         # and boxes are pure by the S-Net contract, so sharing is safe
         return estimate is None or estimate >= self.BROADCAST_MIN_BYTES
 
+    def _register_shared_value(self, value: Any) -> None:
+        """Broadcast one payload object; must run before the pool forks.
+
+        Values already registered (identity match) or not worth broadcasting
+        are skipped.  Objects exposing ``prepare_for_broadcast()`` are
+        prepared here, in the parent, so forked workers inherit the finished
+        structure (e.g. a scene's BVH).
+        """
+        if id(value) in _SHARED_BY_ID or not self._broadcast_worthy(value):
+            return
+        prepare = getattr(value, "prepare_for_broadcast", None)
+        if callable(prepare):
+            prepare()
+        key = next(_shared_keys)
+        _SHARED_OBJECTS[key] = value
+        _SHARED_BY_ID[id(value)] = key
+        self._shared_registered.append(key)
+
     def _register_shared_inputs(self, inputs: Sequence[Record]) -> None:
         """Broadcast large input-record payloads; must run before the fork."""
         for rec in inputs:
             for label in rec.fields():
-                value = rec[label]
-                if id(value) in _SHARED_BY_ID or not self._broadcast_worthy(value):
-                    continue
-                prepare = getattr(value, "prepare_for_broadcast", None)
-                if callable(prepare):
-                    prepare()
-                key = next(_shared_keys)
-                _SHARED_OBJECTS[key] = value
-                _SHARED_BY_ID[id(value)] = key
-                self._shared_registered.append(key)
+                self._register_shared_value(rec[label])
 
     def _unregister_shared(self) -> None:
         for key in self._shared_registered:
@@ -539,6 +632,14 @@ class ProcessRuntime(ThreadedRuntime):
             self.batches_dispatched = 0
             self.records_offloaded = 0
             self.batch_plan = {}
+        if self._warm:
+            # warm path: the pool and both registries were built by setup()
+            # and survive this run; nothing is registered or torn down here
+            self._pool = self._persistent_pool
+            try:
+                return super().run(target, inputs, fresh=False, timeout=timeout)
+            finally:
+                self._pool = None
         try:
             if self.fork_available():
                 self._register_boxes(target)

@@ -57,7 +57,11 @@ def register_backend(
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Names of all registered runtime backends, sorted."""
+    """Names of all registered runtime backends, sorted.
+
+    >>> available_backends()
+    ('dsnet', 'process', 'simulated', 'threaded')
+    """
     return tuple(sorted(_FACTORIES))
 
 
@@ -66,7 +70,13 @@ def get_runtime(name: str, **options: Any) -> Any:
 
     ``options`` are passed to the backend factory (e.g. ``workers=4`` for the
     process backend, ``stream_capacity=...`` for both executing backends, or
-    ``cluster=...`` for the simulated one).
+    ``cluster=...`` for the simulated one).  Unknown names raise
+    :class:`~repro.snet.errors.RuntimeError_` listing the alternatives.
+
+    >>> type(get_runtime("threaded")).__name__
+    'ThreadedRuntime'
+    >>> get_runtime("threaded", stream_capacity=8).stream_capacity
+    8
     """
     key = name.strip().lower()
     if key not in _FACTORIES:
@@ -89,9 +99,18 @@ def run_on(
     ``name`` is either a registered backend name (a runtime is instantiated
     with ``options``) or an already-constructed runtime instance — callers
     that need to read post-run instrumentation (e.g. the process backend's
-    ``bytes_pickled``) construct the runtime themselves and pass it in.
-    Normalises over backend result types: the simulated backend's
-    ``SimRunResult`` is unwrapped to its output records.
+    ``bytes_pickled``), or that keep a *warm* runtime alive across jobs
+    (``runtime.setup(...)``, see the render service), construct the runtime
+    themselves and pass it in.  Normalises over backend result types: the
+    simulated backend's ``SimRunResult`` is unwrapped to its output records.
+
+    >>> from repro.snet import Record, box
+    >>> @box("(x) -> (y)")
+    ... def double(x):
+    ...     return {"y": 2 * x}
+    >>> outputs = run_on("threaded", double, [Record({"x": 21})])
+    >>> outputs[0].field("y")
+    42
     """
     if isinstance(name, str):
         runtime = get_runtime(name, **options)

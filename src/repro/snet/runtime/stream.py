@@ -7,7 +7,22 @@ the paper describes) and the stream only signals end-of-stream to its readers
 once every registered writer has been closed.
 
 Readers obtain records with :meth:`Stream.get`, which returns ``None`` once
-the stream is exhausted (empty *and* all writers closed).
+the stream is exhausted (empty *and* all writers closed).  The two read
+methods give ``None`` two different meanings — this contract matters to
+every consumer that must distinguish "idle" from "finished" (the process
+runtime's greedy batcher, the render service's job queue):
+
+>>> from repro.snet.records import Record
+>>> stream = Stream(name="demo", capacity=4)
+>>> writer = stream.open_writer()
+>>> stream.try_get() is None   # "empty right now" -- NOT end-of-stream
+True
+>>> writer.put(Record({"x": 1}))
+>>> stream.try_get().field("x")
+1
+>>> writer.close()
+>>> stream.get() is None       # definitive end-of-stream (drained + closed)
+True
 """
 
 from __future__ import annotations

@@ -1,0 +1,137 @@
+"""The engines' warm lifecycle: setup/teardown split out of the per-run path.
+
+PR 4 makes runtime instances reusable (the render service runs many jobs on
+one runtime): ``ThreadedRuntime.run`` resets per-run state on entry, and
+``ProcessRuntime.setup()`` hoists box registration, payload broadcast and
+the pool fork out of ``run()`` so consecutive runs share one warm pool.
+"""
+
+import numpy as np
+import pytest
+
+import repro.snet.runtime.process_engine as process_engine
+from repro.apps.backends import RealRenderBackend, SharedFrameRenderBackend
+from repro.apps.networks import build_static_network
+from repro.apps.workloads import extract_image, initial_record
+from repro.raytracer import Camera, render
+from repro.raytracer.scene import random_scene
+from repro.snet.boxes import box
+from repro.snet.errors import RuntimeError_
+from repro.snet.records import Record
+from repro.snet.runtime import ProcessRuntime, ThreadedRuntime
+
+fork_only = pytest.mark.skipif(
+    not ProcessRuntime.fork_available(),
+    reason="warm pool tests need the fork start method",
+)
+
+
+@pytest.fixture
+def farm():
+    scene = random_scene(num_spheres=10, seed=3)
+    camera = Camera(width=24, height=24)
+    reference = render(scene, camera, mode="packet")
+    return scene, camera, reference
+
+
+def test_threaded_runtime_instance_is_reusable(farm):
+    scene, camera, reference = farm
+    backend = RealRenderBackend(scene, camera, render_mode="packet")
+    network = build_static_network(backend)
+    runtime = ThreadedRuntime()
+    for _ in range(3):
+        backend.begin_job()
+        runtime.run(network, [initial_record(scene, nodes=2, tasks=4)], timeout=30.0)
+        np.testing.assert_allclose(extract_image(backend), reference, atol=1e-9)
+
+
+def test_threaded_runtime_forgets_previous_errors():
+    @box("(x) -> (y)")
+    def boom(x):
+        raise ValueError("kaboom")
+
+    @box("(x) -> (y)")
+    def ok(x):
+        return {"y": x + 1}
+
+    runtime = ThreadedRuntime()
+    with pytest.raises(RuntimeError_):
+        runtime.run(boom, [Record({"x": 1})], timeout=10.0)
+    # a failed run must not poison the next one on the same instance
+    outputs = runtime.run(ok, [Record({"x": 1})], timeout=10.0)
+    assert [rec.field("y") for rec in outputs] == [2]
+    assert runtime.errors == []
+
+
+def test_threaded_lifecycle_tracks_warm_state_without_resources():
+    runtime = ThreadedRuntime()
+    assert not runtime.is_warm
+    with runtime as same:
+        assert same is runtime
+        assert runtime.setup(None) is runtime
+        assert runtime.is_warm
+    # the context manager exit tears down: warm flag cleared, nothing held
+    assert not runtime.is_warm
+    runtime.teardown()  # idempotent
+
+
+@fork_only
+def test_warm_process_runtime_serves_repeated_runs(farm):
+    scene, camera, reference = farm
+    backend = SharedFrameRenderBackend(scene, camera, render_mode="packet")
+    network = build_static_network(backend)
+    runtime = ProcessRuntime(workers=2)
+    try:
+        runtime.setup(network, broadcast=(scene,))
+        assert runtime.is_warm
+        per_run_bytes = []
+        for _ in range(3):
+            backend.begin_job()
+            runtime.run(
+                network, [initial_record(scene, nodes=2, tasks=4)], timeout=60.0
+            )
+            np.testing.assert_allclose(extract_image(backend), reference, atol=1e-9)
+            per_run_bytes.append(runtime.bytes_pickled)
+        # stats are per run, and the warm plane ships metadata only: the
+        # broadcast scene must never be re-pickled into a warm batch
+        assert all(0 < b < 64_000 for b in per_run_bytes), per_run_bytes
+    finally:
+        runtime.teardown()
+        backend.release()
+    assert not runtime.is_warm
+
+
+@fork_only
+def test_setup_twice_rejected_and_teardown_cleans_registries(farm):
+    scene, camera, _ = farm
+    backend = SharedFrameRenderBackend(scene, camera, render_mode="packet")
+    network = build_static_network(backend)
+    boxes_before = dict(process_engine._BOX_REGISTRY)
+    shared_before = dict(process_engine._SHARED_OBJECTS)
+    runtime = ProcessRuntime(workers=1)
+    try:
+        runtime.setup(network, broadcast=(scene,))
+        with pytest.raises(RuntimeError_):
+            runtime.setup(network)
+    finally:
+        runtime.teardown()
+        runtime.teardown()  # idempotent
+        backend.release()
+    assert process_engine._BOX_REGISTRY == boxes_before
+    assert process_engine._SHARED_OBJECTS == shared_before
+
+
+def test_setup_degrades_with_warning_without_fork(farm, monkeypatch):
+    scene, camera, reference = farm
+    monkeypatch.setattr(ProcessRuntime, "fork_available", staticmethod(lambda: False))
+    backend = RealRenderBackend(scene, camera, render_mode="packet")
+    network = build_static_network(backend)
+    runtime = ProcessRuntime(workers=2)
+    with pytest.warns(RuntimeWarning, match="fork"):
+        runtime.setup(network, broadcast=(scene,))
+    try:
+        assert runtime.is_warm
+        runtime.run(network, [initial_record(scene, nodes=2, tasks=4)], timeout=30.0)
+        np.testing.assert_allclose(extract_image(backend), reference, atol=1e-9)
+    finally:
+        runtime.teardown()

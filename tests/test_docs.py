@@ -1,0 +1,54 @@
+"""Markdown documentation checks: links resolve, the architecture tour exists.
+
+A cheap, deterministic link check over the repo's markdown: every relative
+link target must exist on disk (external URLs are not fetched — CI must not
+depend on the network).  Also pins the documentation-overhaul invariants:
+``docs/architecture.md`` exists and is reachable from the README.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+#: [text](target) — excluding images; targets split off #fragments
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _relative_targets(markdown_path):
+    for match in _LINK.finditer(markdown_path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(doc):
+    missing = [
+        target
+        for target in _relative_targets(doc)
+        if not (doc.parent / target).exists()
+    ]
+    assert not missing, f"{doc.name}: broken relative link(s): {missing}"
+
+
+def test_architecture_doc_exists_and_is_linked_from_readme():
+    assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/architecture.md" in readme, (
+        "README must link the architecture tour (docs/architecture.md)"
+    )
+
+
+def test_readme_documents_the_service_layer():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "RenderService" in readme
+    assert "animation" in readme.lower()
