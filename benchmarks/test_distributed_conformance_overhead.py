@@ -1,0 +1,156 @@
+"""E9 — distributed-backend conformance and cross-partition wire cost.
+
+PR 5 turns the placement combinators into a real distributed runtime: the
+farm's ``solver !@ <node>`` partitions execute on forked compute-node
+worker processes and the rendered chunks come back over a pipe transport.
+This benchmark pins the two properties that make that backend trustworthy
+on a one-core CI container (a parallel-speedup bar would be meaningless
+here — the process-backend benchmarks already cover the overlap story):
+
+* **conformance** — the frame rendered across ≥ 2 real node workers is
+  pixel-identical (``atol=1e-9``) to the threaded oracle;
+* **wire discipline** — the 2000-sphere scene (≈1.1 MB serialized, BVH
+  included) crosses the partition boundary **zero** times: it rides the
+  fork-shared broadcast registry, so the bytes on the wire stay in
+  pixels-plus-metadata territory (≈100 KB for a 64x64 frame, measured)
+  instead of re-shipping the scene per batch.  Disabling the broadcast
+  multiplies the wire volume by ~38x (measured) — the benchmark pins a
+  conservative 8x.
+
+Acceptance bars (measured values leave >=10% headroom on a loaded runner):
+
+* distributed frame == threaded frame to 1e-9, with two distinct node
+  worker pids distinct from the parent;
+* wire bytes with the broadcast <= 2x the raw frame size (measured ~1.03x);
+* wire bytes without the broadcast >= 8x the broadcast plane (measured ~38x);
+* end-to-end wall clock <= 2.5x the threaded oracle (measured ~1.05x — the
+  solver escaping the GIL roughly offsets the transport cost even on one
+  core).
+
+Timings go to the ``bench_json`` CI artifact when ``BENCH_RESULTS_DIR`` is
+set, *and* to ``BENCH_5.json`` at the repository root so the perf
+trajectory is readable straight from the checkout.
+"""
+
+import json
+import os
+import pathlib
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.networks import build_static_network
+from repro.apps.runner import build_farm_backend, farm_inputs
+from repro.apps.workloads import extract_image
+from repro.raytracer.scene import paper_scene
+from repro.snet.runtime import DistributedRuntime, ThreadedRuntime
+
+WIDTH = HEIGHT = 64
+NUM_SPHERES = 2000
+TASKS = 8
+NODES = 2
+MAX_WIRE_VS_FRAME = 2.0
+MIN_BROADCAST_REDUCTION = 8.0
+MAX_OVERHEAD_FACTOR = 2.5
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+fork_only = pytest.mark.skipif(
+    not DistributedRuntime.fork_available(), reason="needs the fork start method"
+)
+
+
+def _build_farm(scene):
+    """One static-farm instance: (backend, network, inputs)."""
+    backend = build_farm_backend(scene, WIDTH, HEIGHT, "records", "packet")
+    network = build_static_network(backend, render_mode="packet")
+    inputs = farm_inputs("static", scene, nodes=NODES, tasks=TASKS)
+    return backend, network, inputs
+
+
+def _render(runtime, backend, network, inputs):
+    """One frame on ``runtime``; returns (image, seconds, wire bytes)."""
+    backend.begin_job()
+    start = time.perf_counter()
+    runtime.run(network, inputs, timeout=150.0)
+    seconds = time.perf_counter() - start
+    return extract_image(backend), seconds, runtime.bytes_pickled
+
+
+@fork_only
+def test_distributed_conformance_and_wire_bytes(bench_json):
+    scene = paper_scene(num_spheres=NUM_SPHERES)
+    scene.prepare_for_broadcast()  # build the BVH once, outside every timing
+    scene_bytes = len(pickle.dumps(scene, protocol=5))
+    frame_bytes = WIDTH * HEIGHT * 3 * 8
+
+    oracle_image, threaded_seconds, _ = _render(ThreadedRuntime(), *_build_farm(scene))
+
+    # warm lifecycle on the *same* network object that setup() partitioned
+    # (warm distribution is keyed to the network handed to setup)
+    backend, network, inputs = _build_farm(scene)
+    runtime = DistributedRuntime(nodes=NODES)
+    runtime.setup(network, broadcast=(scene,))
+    try:
+        pids = list(runtime.worker_pids)
+        image, distributed_seconds, wire_bytes = _render(
+            runtime, backend, network, inputs
+        )
+    finally:
+        runtime.teardown()
+
+    # conformance: the partitioned render is the threaded render, and it
+    # really ran on two worker processes
+    np.testing.assert_allclose(image, oracle_image, atol=1e-9)
+    assert len(set(pids)) == 2 and os.getpid() not in pids
+
+    # wire discipline: pixels and metadata cross, the broadcast scene does
+    # not (a single scene crossing alone would blow this bound)
+    assert wire_bytes <= MAX_WIRE_VS_FRAME * frame_bytes, (wire_bytes, frame_bytes)
+    assert wire_bytes < scene_bytes
+
+    # the broadcast registry is what keeps it that way
+    no_broadcast = DistributedRuntime(nodes=NODES, zero_copy=False)
+    image_nb, _, wire_bytes_no_broadcast = _render(no_broadcast, *_build_farm(scene))
+    np.testing.assert_allclose(image_nb, oracle_image, atol=1e-9)
+    reduction = wire_bytes_no_broadcast / max(wire_bytes, 1)
+    assert reduction >= MIN_BROADCAST_REDUCTION, (
+        wire_bytes_no_broadcast,
+        wire_bytes,
+    )
+
+    # overhead, not speedup: one core, so only the transport cost is visible
+    overhead = distributed_seconds / threaded_seconds
+    assert overhead <= MAX_OVERHEAD_FACTOR, (distributed_seconds, threaded_seconds)
+
+    payload = {
+        "benchmark": "distributed_conformance_overhead",
+        "width": WIDTH,
+        "height": HEIGHT,
+        "tasks": TASKS,
+        "nodes": NODES,
+        "num_spheres": NUM_SPHERES,
+        "render_mode": "packet",
+        "cpu_count": os.cpu_count(),
+        "scene_bytes": scene_bytes,
+        "frame_bytes": frame_bytes,
+        "threaded_seconds": threaded_seconds,
+        "distributed_seconds": distributed_seconds,
+        "overhead_factor": overhead,
+        "wire_bytes_broadcast": wire_bytes,
+        "wire_bytes_no_broadcast": wire_bytes_no_broadcast,
+        "broadcast_reduction": reduction,
+        "worker_pids": len(set(pids)),
+    }
+    bench_json("distributed_conformance_overhead", payload)
+    (REPO_ROOT / "BENCH_5.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"\ndistributed vs threaded: {distributed_seconds:.2f}s vs "
+        f"{threaded_seconds:.2f}s (overhead x{overhead:.2f}); wire "
+        f"{wire_bytes / 1024:.0f} KiB broadcast vs "
+        f"{wire_bytes_no_broadcast / 1024:.0f} KiB without (x{reduction:.1f})"
+    )

@@ -7,9 +7,12 @@ the result against a sequential render and writes the picture to
 
 Run with:  python examples/raytracing_static.py [width] [height] [runtime] [mode]
 
-where ``runtime`` is ``threaded`` (default) or ``process``; the process
-backend executes the solver boxes on a forked worker pool and is the one
-that shows real wall-clock speedup on a multi-core host.  ``mode`` is
+where ``runtime`` is ``threaded`` (default), ``process`` or
+``distributed``; the process backend executes the solver boxes on a forked
+worker pool and is the one that shows real wall-clock speedup on a
+multi-core host, while the distributed backend honours the network's
+``solver !@ <node>`` placement for real — each ``<node>`` tag value's
+solver replica runs on its own forked compute-node process.  ``mode`` is
 ``scalar`` (default, one ray at a time) or ``packet`` (NumPy ray packets,
 an order of magnitude faster per solver invocation).
 """
@@ -57,6 +60,8 @@ def main(
     note = {
         "threaded": "threaded runtime; the GIL prevents real speed-ups in pure Python",
         "process": process_note,
+        "distributed": "distributed runtime; solver partitions run on forked "
+        "compute-node processes, one per <node> tag value",
     }.get(runtime, runtime)
     print(f"sequential render : {sequential_time:6.2f} s ({mode} mode)")
     print(f"S-Net coordinated : {run.seconds:6.2f} s ({note})")

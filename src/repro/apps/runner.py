@@ -10,12 +10,16 @@ them::
                               height=64, runtime_options={"workers": 4})
     print(run.seconds, run.image.shape)
 
-Only the *executing* backends make sense here (``threaded``, ``process``):
-the farm renders real pixels through a :class:`RealRenderBackend` (or any
-backend you pass in) and the resulting image is read back from the backend
-object after ``genImg`` fired.  For the simulated/virtual-time experiments
-use :mod:`repro.bench.experiments`, which drives the ``dsnet`` backend with
-the model render backend instead.
+Only the *executing* backends make sense here (``threaded``, ``process``,
+``distributed``): the farm renders real pixels through a
+:class:`RealRenderBackend` (or any backend you pass in) and the resulting
+image is read back from the backend object after ``genImg`` fired.  On the
+``distributed`` backend the farm's placement combinators are honoured for
+real: every ``solver !@ <node>`` replica executes on the compute-node
+worker process selected by its ``<node>`` tag (the runtime's ``nodes``
+option defaults to the farm's ``nodes`` knob).  For the simulated/
+virtual-time experiments use :mod:`repro.bench.experiments`, which drives
+the ``dsnet`` backend with the model render backend instead.
 
 Data planes
 -----------
@@ -129,6 +133,8 @@ def resolve_data_plane(
     >>> resolve_data_plane("auto", "process")
     'shared'
     >>> resolve_data_plane("auto", "threaded")
+    'records'
+    >>> resolve_data_plane("auto", "distributed")
     'records'
     >>> resolve_data_plane("records", "process")
     'records'
@@ -277,6 +283,10 @@ def run_raytracing_farm(
     if runtime == "process":
         # the record plane doubles as the PR 2 baseline: no scene broadcast
         options.setdefault("zero_copy", plane == "shared")
+    elif runtime == "distributed":
+        # one compute-node worker per farm node, so every <node> tag value
+        # maps to its own OS process (override via runtime_options)
+        options.setdefault("nodes", nodes)
     runtime_obj = get_runtime(runtime, **options)
 
     try:

@@ -280,9 +280,11 @@ class RenderService:
     Parameters
     ----------
     runtime:
-        Runtime backend name executing the jobs (``"threaded"`` or
-        ``"process"``; the simulated backend has no warm resources worth a
-        service).
+        Runtime backend name executing the jobs (``"threaded"``,
+        ``"process"`` or ``"distributed"``; the simulated backend has no
+        warm resources worth a service).  The distributed backend keeps one
+        set of compute-node worker processes warm per cached scene — pass
+        ``runtime_options={"nodes": N}`` to size it.
     width, height, render_mode, data_plane, scheduler, runtime_options:
         Fixed per service, exactly as for
         :func:`~repro.apps.runner.run_raytracing_farm`; every job renders at

@@ -11,14 +11,21 @@ abstract compute nodes:
   ``placed=True``).
 
 Both are *conservative* extensions: the functional behaviour of the network
-is unchanged — placement only tells the distributed runtime where entities
-execute.  The sequential and threaded runtimes therefore treat
-:class:`StaticPlacement` as a transparent wrapper.
+is unchanged — placement only tells the distributed runtimes where entities
+execute.  The sequential, threaded and process runtimes therefore treat
+:class:`StaticPlacement` as a transparent wrapper (a property pinned by the
+hypothesis transparency suite in ``tests/test_properties.py``), while
+:class:`~repro.snet.runtime.distributed_engine.DistributedRuntime` honours
+it for real: :func:`iter_placement_roots` yields the partition boundaries,
+each partition executes on the compute-node worker selected by
+:func:`placement_of` (statically) or by the index tag value (dynamically),
+and the simulated ``dsnet`` backend models the same mapping in virtual
+time.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Iterator, List, Optional
 
 from repro.snet.base import Entity
 from repro.snet.combinators import Combinator, IndexSplit, _end, _feed
@@ -26,7 +33,13 @@ from repro.snet.errors import PlacementError
 from repro.snet.records import Record
 from repro.snet.types import TypeSignature
 
-__all__ = ["StaticPlacement", "placed_split", "placement_of", "assign_default_placement"]
+__all__ = [
+    "StaticPlacement",
+    "placed_split",
+    "placement_of",
+    "assign_default_placement",
+    "iter_placement_roots",
+]
 
 
 class StaticPlacement(Combinator):
@@ -87,6 +100,23 @@ def placement_of(entity: Entity, default: int = 0) -> int:
         if isinstance(child, StaticPlacement):
             return child.node
     return default
+
+
+def iter_placement_roots(entity: Entity) -> Iterator[Entity]:
+    """Yield every placement combinator in ``entity``, outermost first.
+
+    These are the partition boundaries of the distributed runtime: each
+    :class:`StaticPlacement` is one static partition, each placed index
+    split (``!@``) a family of dynamically placed partitions.  Placements
+    nested *inside* another placement are still yielded (depth-first), but
+    the distributed runtime treats them as transparent — the outermost
+    placement wins.
+    """
+    for ent in entity.iter_entities():
+        if isinstance(ent, StaticPlacement) or (
+            isinstance(ent, IndexSplit) and ent.placed
+        ):
+            yield ent
 
 
 def assign_default_placement(entity: Entity, node: int = 0) -> None:

@@ -1,25 +1,35 @@
-"""S-Net runtime backends: one entity graph, three execution strategies.
+"""S-Net runtime backends: one entity graph, four execution strategies.
 
 Networks are *built* once (combinators over boxes, filters and synchrocells)
 and *executed* by interchangeable backends selected by name through
-:func:`get_runtime` / :func:`run_on`:
+:func:`get_runtime` / :func:`run_on`.  Everything that executes shares one
+engine — :class:`~repro.snet.runtime.core.EngineCore` — behind a
+:class:`~repro.snet.runtime.core.Transport` seam; the backends differ only
+in where records go:
 
 ``threaded`` — the correctness backend
-    :class:`ThreadedRuntime` compiles the graph into worker threads connected
-    by bounded :class:`Stream` objects (one worker per primitive entity,
-    dispatchers for the dynamic combinators).  Boxes execute for real, in
-    process, which makes it the reference for observable semantics — but the
-    CPython GIL serialises CPU-bound box code, so it cannot demonstrate
-    wall-clock speedup.
+    :class:`ThreadedRuntime` = the core + the inline transport: worker
+    threads connected by bounded :class:`Stream` objects (one worker per
+    primitive entity, dispatchers for the dynamic combinators).  Boxes
+    execute for real, in process, which makes it the reference for
+    observable semantics — but the CPython GIL serialises CPU-bound box
+    code, so it cannot demonstrate wall-clock speedup.
 
 ``process`` — the wall-clock parallel backend
-    :class:`ProcessRuntime` reuses the threaded compilation scheme but
-    offloads invocations of ``parallel_safe`` boxes to a forked
-    ``multiprocessing`` pool in chunked record batches.  CPU-bound boxes (the
-    ray-tracing solver) run outside the GIL, so a multi-core host shows the
-    real speedup the paper measures.  Semantics are pinned to the threaded
+    :class:`ProcessRuntime` = the core + the pool transport: invocations of
+    ``parallel_safe`` boxes are offloaded to a forked ``multiprocessing``
+    pool in chunked record batches.  CPU-bound boxes (the ray-tracing
+    solver) run outside the GIL, so a multi-core host shows the real
+    speedup the paper measures.  Semantics are pinned to the threaded
     backend by the cross-backend conformance suite
     (``tests/snet/test_runtime_conformance.py``).
+
+``distributed`` — the scale-out backend
+    :class:`DistributedRuntime` = the core + the partition transport: the
+    placement combinators of Distributed S-Net (``A @ num``, ``A !@ <tag>``)
+    are honoured for real — each placement partition executes in a worker
+    process ("compute node") and records cross partitions over a pipe
+    transport with the protocol-5 out-of-band data plane.
 
 ``simulated`` (alias ``dsnet``) — the performance-model backend
     :class:`~repro.dsnet.simruntime.SimulatedDSNetRuntime` executes the graph
@@ -31,20 +41,39 @@ Modules:
 
 * :mod:`repro.snet.runtime.stream` — bounded thread-safe streams with
   multi-writer reference counting,
+* :mod:`repro.snet.runtime.core` — :class:`EngineCore` and the
+  :class:`Transport` seam,
+* :mod:`repro.snet.runtime.data_plane` — protocol-5 out-of-band
+  serialization and the fork-shared payload broadcast registry,
 * :mod:`repro.snet.runtime.engine` — :class:`ThreadedRuntime`,
 * :mod:`repro.snet.runtime.process_engine` — :class:`ProcessRuntime`,
+* :mod:`repro.snet.runtime.distributed_engine` — :class:`DistributedRuntime`,
 * :mod:`repro.snet.runtime.registry` — backend registration/selection,
 * :mod:`repro.snet.runtime.tracing` — event tracing for tests and benchmarks.
 """
 
 from repro.snet.runtime.stream import Stream, StreamClosed, StreamWriter
-from repro.snet.runtime.engine import ThreadedRuntime, drain_stream, run_threaded
+from repro.snet.runtime.core import (
+    EngineCore,
+    InlineTransport,
+    Transport,
+    drain_stream,
+    worker_scope,
+)
+from repro.snet.runtime.data_plane import SharedObjectRef, dumps_records, loads_records
+from repro.snet.runtime.engine import ThreadedRuntime, run_threaded
 from repro.snet.runtime.process_engine import (
     BatchAutotuner,
     BoxWorkerError,
+    PoolTransport,
     ProcessRuntime,
-    SharedObjectRef,
     run_process,
+)
+from repro.snet.runtime.distributed_engine import (
+    DistributedRuntime,
+    DistributedWorkerError,
+    PartitionTransport,
+    run_distributed,
 )
 from repro.snet.runtime.registry import (
     available_backends,
@@ -58,14 +87,25 @@ __all__ = [
     "Stream",
     "StreamWriter",
     "StreamClosed",
+    "EngineCore",
+    "Transport",
+    "InlineTransport",
+    "PoolTransport",
+    "PartitionTransport",
     "ThreadedRuntime",
     "ProcessRuntime",
+    "DistributedRuntime",
     "BatchAutotuner",
     "BoxWorkerError",
+    "DistributedWorkerError",
     "SharedObjectRef",
     "run_threaded",
     "run_process",
+    "run_distributed",
     "drain_stream",
+    "worker_scope",
+    "dumps_records",
+    "loads_records",
     "register_backend",
     "available_backends",
     "get_runtime",

@@ -1,0 +1,791 @@
+"""Distributed execution engine: placement combinators on real OS processes.
+
+Distributed S-Net maps an *unchanged* logical network onto compute nodes
+with two placement combinators — static placement ``A @ num`` and indexed
+dynamic placement ``A !@ <tag>`` (see :mod:`repro.snet.placement`).  The
+simulated runtime (:mod:`repro.dsnet.simruntime`) models that mapping in
+virtual time; :class:`DistributedRuntime` *executes* it: every placement
+partition runs in a real worker process ("compute node"), and records
+cross partition boundaries over a pipe/socket transport using the shared
+protocol-5 out-of-band data plane (:mod:`repro.snet.runtime.data_plane`).
+
+How a network is partitioned
+----------------------------
+
+The network is annotated with :func:`~repro.snet.placement.assign_default_placement`
+and split at its placement combinators:
+
+* every ``A @ num`` subtree becomes one **static partition** executing on
+  compute node ``placement_of(A @ num) % nodes``;
+* every placed index split ``A !@ <tag>`` becomes a family of **dynamic
+  partitions**: the replica for tag value *v* executes on node
+  ``v % nodes``, instantiated lazily when *v* is first observed — exactly
+  the paper's indexed placement;
+* everything *not* under a placement combinator (dispatchers, the merger's
+  synchrocell chain, ``genImg``) runs in the coordinating parent process
+  with ordinary threaded semantics, so stateful primitives keep their
+  single-home guarantee;
+* a network with **no placement combinators at all** is wrapped in an
+  implicit ``@ 0``, so the whole network executes on compute node 0 — any
+  S-Net program runs distributed unchanged.
+
+Placement combinators *nested inside* a partition are transparent (the
+outermost placement wins): a shipped subtree executes sequentially on its
+node with the reference interpreter semantics
+(:meth:`~repro.snet.combinators.Combinator.feed`), which the conformance
+suite pins against the threaded engine.
+
+The wire protocol
+-----------------
+
+Workers are forked (inheriting the partition-template and broadcast
+registries, so unpicklable box closures and the scene never cross by
+value) and speak a small framed protocol over a duplex
+``multiprocessing`` pipe — a Unix socket pair under the hood:
+
+====================  ====================================================
+``OPEN key``          instantiate a fresh copy of partition template
+                      ``key`` for a new channel
+``DATA payload``      a record batch for the channel (protocol 5, buffers
+                      out-of-band, broadcast payloads as
+                      :class:`~repro.snet.runtime.data_plane.SharedObjectRef`)
+``EOS``               channel input finished → worker flushes the
+                      partition and answers ``EOS_ACK``
+``RESULT payload``    records produced by a partition (worker → parent)
+``ERROR message``     a partition raised; the message embeds the remote
+                      traceback (worker → parent)
+``SHUTDOWN``          the run/runtime is over; the worker exits
+====================  ====================================================
+
+Every frame byte in either direction is accumulated in
+:attr:`DistributedRuntime.bytes_pickled` — the cross-partition
+bytes-on-the-wire metric the distributed benchmarks pin.
+
+Each parent-side channel gets a *forwarder* thread (batching records off
+the partition's input stream), each link a *sender* thread (so a slow
+worker can never deadlock the duplex pipe: frames queue in the parent
+instead of blocking mid-send) and a *receiver* thread (demultiplexing
+``RESULT`` frames onto the partitions' output streams, where the bounded
+streams apply normal back-pressure).  Worker errors surface through the
+core's collector with drain-on-error semantics, exactly like a failing
+box on any other backend.
+
+The warm lifecycle mirrors the process engine: :meth:`DistributedRuntime.setup`
+registers partitions and broadcast payloads, then forks the node workers
+once; :meth:`DistributedRuntime.run` reuses them until
+:meth:`DistributedRuntime.teardown`.  On platforms without ``fork`` the
+runtime degrades to threaded in-process execution with a
+:class:`RuntimeWarning`, treating every placement as transparent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import threading
+import traceback
+import warnings
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.snet.base import Entity
+from repro.snet.combinators import IndexSplit, _end, _feed
+from repro.snet.errors import RuntimeError_
+from repro.snet.placement import (
+    StaticPlacement,
+    assign_default_placement,
+    iter_placement_roots,
+    placement_of,
+)
+from repro.snet.records import Record
+from repro.snet.runtime.core import (
+    EngineCore,
+    Transport,
+    drain_stream,
+    warn_fork_degraded,
+    worker_scope,
+)
+from repro.snet.runtime.data_plane import (
+    BROADCAST_MIN_BYTES,
+    dumps_records,
+    loads_records,
+    register_shared_inputs,
+    register_shared_value,
+    resolve_shared_in,
+    swap_shared_out,
+    unregister_shared,
+)
+from repro.snet.runtime.stream import Stream, StreamClosed, StreamWriter
+from repro.snet.runtime.tracing import Tracer
+
+__all__ = [
+    "DistributedRuntime",
+    "PartitionTransport",
+    "DistributedWorkerError",
+    "run_distributed",
+]
+
+
+class DistributedWorkerError(RuntimeError_):
+    """A partition raised inside a node worker (message embeds the remote traceback)."""
+
+
+#: partition templates visible to forked node workers, keyed by registration
+#: id.  Populated in the parent *before* the workers fork, like the process
+#: engine's box registry; the key rides on the placement entity as an
+#: attribute so it survives ``Entity.copy`` (star unrolling deep-copies
+#: placed subtrees mid-run, long after the fork).
+_PARTITION_REGISTRY: Dict[int, Entity] = {}
+_partition_keys = itertools.count(1)
+_KEY_ATTR = "_dist_partition_key"
+
+# frame kinds (parent -> worker: OPEN/DATA/EOS/SHUTDOWN; worker -> parent:
+# RESULT/EOS_ACK/ERROR)
+_OPEN, _DATA, _EOS, _SHUTDOWN, _RESULT, _EOS_ACK, _ERROR = range(7)
+
+
+def _encode_frame(
+    kind: int,
+    channel: int,
+    meta: Any = None,
+    payload: Optional[bytes] = None,
+    buffers: Sequence[bytes] = (),
+) -> List[bytes]:
+    """Encode one protocol frame as its multipart wire representation.
+
+    The record ``payload`` and its out-of-band ``buffers`` are already
+    serialized by :func:`~repro.snet.runtime.data_plane.dumps_records`;
+    sending them as separate pipe messages (after a tiny pickled header)
+    keeps them out-of-band end to end — re-pickling them into an envelope
+    would copy every wire byte a second time.  ``meta`` carries the small
+    control values (template key for ``OPEN``, message text for ``ERROR``).
+    """
+    header = pickle.dumps(
+        (kind, channel, meta, payload is not None, len(buffers)), protocol=5
+    )
+    parts = [header]
+    if payload is not None:
+        parts.append(payload)
+    parts.extend(buffers)
+    return parts
+
+
+def _send_frame(conn, parts: Sequence[bytes]) -> None:
+    for part in parts:
+        conn.send_bytes(part)
+
+
+def _recv_frame(conn) -> Tuple[int, int, Any, Optional[bytes], List[bytes], int]:
+    """Receive one multipart frame; returns (..., total wire bytes).
+
+    The peer writes all parts of a frame back-to-back from a single
+    thread, so reading header-then-parts never interleaves.
+    """
+    header = conn.recv_bytes()
+    kind, channel, meta, has_payload, n_buffers = pickle.loads(header)
+    nbytes = len(header)
+    payload: Optional[bytes] = None
+    if has_payload:
+        payload = conn.recv_bytes()
+        nbytes += len(payload)
+    buffers: List[bytes] = []
+    for _ in range(n_buffers):
+        buf = conn.recv_bytes()
+        buffers.append(buf)
+        nbytes += len(buf)
+    return kind, channel, meta, payload, buffers, nbytes
+
+
+def _partition_worker_main(conn, node_index: int) -> None:
+    """Entry point of one forked node worker ("compute node").
+
+    Serves partition channels until ``SHUTDOWN`` (or the parent dies and
+    the pipe reports EOF).  Each channel is a fresh copy of a fork-inherited
+    partition template, executed with the sequential reference semantics —
+    node-level parallelism comes from running many workers, exactly as in
+    the paper's one-runtime-per-node prototype.
+    """
+    channels: Dict[int, Entity] = {}
+    dead_channels: Set[int] = set()
+
+    def send_results(channel: int, produced: Sequence[Record]) -> None:
+        if not produced:
+            return
+        payload, buffers, _ = dumps_records([swap_shared_out(r) for r in produced])
+        _send_frame(conn, _encode_frame(_RESULT, channel, payload=payload, buffers=buffers))
+
+    try:
+        while True:
+            try:
+                kind, channel, meta, payload, buffers, _ = _recv_frame(conn)
+            except (EOFError, OSError):
+                break
+            if kind == _SHUTDOWN:
+                break
+            try:
+                if kind == _OPEN:
+                    template = _PARTITION_REGISTRY.get(meta)
+                    if template is None:
+                        raise DistributedWorkerError(
+                            f"partition template {meta} missing on compute node "
+                            f"{node_index}; the distributed runtime requires "
+                            "the 'fork' start method"
+                        )
+                    channels[channel] = template.copy()
+                elif kind == _DATA:
+                    if channel in dead_channels:
+                        continue
+                    entity = channels[channel]
+                    produced: List[Record] = []
+                    for rec in loads_records(payload, buffers):
+                        produced.extend(_feed(entity, resolve_shared_in(rec)))
+                    send_results(channel, produced)
+                elif kind == _EOS:
+                    entity = channels.pop(channel, None)
+                    if entity is not None and channel not in dead_channels:
+                        send_results(channel, _end(entity))
+                    dead_channels.discard(channel)
+                    _send_frame(conn, _encode_frame(_EOS_ACK, channel))
+            except BaseException as exc:  # noqa: BLE001 - reported to the parent
+                # user exceptions are not guaranteed to pickle; ship a plain
+                # string with the remote traceback, like the pool engine
+                dead_channels.add(channel)
+                channels.pop(channel, None)
+                try:
+                    _send_frame(
+                        conn,
+                        _encode_frame(
+                            _ERROR,
+                            channel,
+                            meta=(
+                                f"partition failed on compute node {node_index}: "
+                                f"{type(exc).__name__}: {exc}\n"
+                                f"{traceback.format_exc()}"
+                            ),
+                        ),
+                    )
+                except (OSError, ValueError):
+                    break
+    finally:
+        conn.close()
+
+
+class _NodeLink:
+    """Parent-side endpoint of one node worker: process, pipe, I/O threads.
+
+    The sender thread drains an unbounded outbox so no engine thread ever
+    blocks inside ``send`` while holding a lock (a full duplex pipe with
+    both sides mid-``send`` would otherwise deadlock cyclic networks); the
+    receiver thread demultiplexes worker frames onto the per-channel output
+    writers, where bounded streams restore normal back-pressure.
+    """
+
+    def __init__(self, transport: "PartitionTransport", index: int, ctx) -> None:
+        self.transport = transport
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_partition_worker_main,
+            args=(child_conn, index),
+            name=f"dsnet-node-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self._cv = threading.Condition()
+        self._outbox: Deque[Optional[Sequence[bytes]]] = deque()
+        self._writers: Dict[int, StreamWriter] = {}
+        self._open_channels = 0
+        self.dead = False
+        self._sender: Optional[threading.Thread] = None
+        self._receiver: Optional[threading.Thread] = None
+
+    def start_io(self) -> None:
+        """Start the I/O threads (after *all* node workers have forked)."""
+        self._sender = threading.Thread(
+            target=self._sender_loop, name=f"dist-send-{self.index}", daemon=True
+        )
+        self._receiver = threading.Thread(
+            target=self._receiver_loop, name=f"dist-recv-{self.index}", daemon=True
+        )
+        self._sender.start()
+        self._receiver.start()
+
+    # -- channel bookkeeping -------------------------------------------------
+    def register_channel(self, channel: int, out_writer: StreamWriter) -> bool:
+        """Adopt ``out_writer`` for ``channel``; refused on a dead link.
+
+        A writer registered after the receiver has exited would never be
+        closed (nothing will deliver its ``EOS_ACK``), which would stall the
+        run until the wall-clock deadline instead of failing promptly — the
+        caller must close the writer itself on refusal.
+        """
+        with self._cv:
+            if self.dead:
+                return False
+            self._writers[channel] = out_writer
+            self._open_channels += 1
+            return True
+
+    def _pop_writer(self, channel: int) -> Optional[StreamWriter]:
+        with self._cv:
+            writer = self._writers.pop(channel, None)
+            if writer is not None:
+                self._open_channels -= 1
+            return writer
+
+    def _writer_for(self, channel: int) -> Optional[StreamWriter]:
+        with self._cv:
+            return self._writers.get(channel)
+
+    # -- sending -------------------------------------------------------------
+    def post(self, parts: Sequence[bytes]) -> None:
+        """Queue one multipart frame for the worker (never blocks, drops when dead).
+
+        The outbox is deliberately unbounded: an engine thread blocked
+        mid-``send`` on a full duplex pipe can deadlock cyclic networks
+        (the dynamic farm's token loop), so forward-path back-pressure is
+        traded for deadlock freedom.  Real workloads self-throttle — the
+        farm admits at most ``tokens`` sections at a time — and the
+        return path keeps normal bounded-stream back-pressure.
+        """
+        self.transport._count_wire(sum(len(part) for part in parts))
+        with self._cv:
+            if self.dead:
+                return
+            self._outbox.append(parts)
+            self._cv.notify()
+
+    def _sender_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._outbox:
+                    self._cv.wait()
+                parts = self._outbox.popleft()
+            if parts is None:  # shutdown sentinel
+                try:
+                    _send_frame(self.conn, _encode_frame(_SHUTDOWN, 0))
+                except (OSError, ValueError):
+                    pass
+                return
+            try:
+                _send_frame(self.conn, parts)
+            except (OSError, ValueError) as exc:
+                self._fail(
+                    DistributedWorkerError(
+                        f"compute node {self.index}: worker pipe closed while "
+                        f"sending ({exc!r}); the worker process may have died"
+                    )
+                )
+                return
+
+    # -- receiving -----------------------------------------------------------
+    def _receiver_loop(self) -> None:
+        while True:
+            try:
+                kind, channel, meta, payload, buffers, nbytes = _recv_frame(self.conn)
+            except (EOFError, OSError):
+                break
+            self.transport._count_wire(nbytes)
+            if kind == _RESULT:
+                writer = self._writer_for(channel)
+                if writer is None:
+                    continue  # post-error tail of a closed channel
+                try:
+                    for rec in loads_records(payload, buffers):
+                        writer.put(resolve_shared_in(rec))
+                except StreamClosed:
+                    continue
+            elif kind == _EOS_ACK:
+                writer = self._pop_writer(channel)
+                if writer is not None:
+                    writer.close()
+            elif kind == _ERROR:
+                writer = self._pop_writer(channel)
+                if writer is not None:
+                    writer.close()
+                self.transport._report_error(DistributedWorkerError(meta))
+        # pipe gone: if partitions were still executing this is a mid-run
+        # worker death; close their writers so downstream sees EOS and the
+        # collected error (not a hang) ends the run
+        with self._cv:
+            dangling = list(self._writers.values())
+            self._writers.clear()
+            open_channels, self._open_channels = self._open_channels, 0
+            was_dead = self.dead
+            self.dead = True
+        for writer in dangling:
+            writer.close()
+        if open_channels and not was_dead:
+            self.transport._report_error(
+                DistributedWorkerError(
+                    f"compute node {self.index}: worker process exited with "
+                    f"{open_channels} partition channel(s) still open"
+                )
+            )
+
+    def _fail(self, exc: DistributedWorkerError) -> None:
+        with self._cv:
+            if self.dead:
+                return
+            self.dead = True
+            dangling = list(self._writers.values())
+            self._writers.clear()
+            self._open_channels = 0
+        self.transport._report_error(exc)
+        for writer in dangling:
+            writer.close()
+
+    # -- shutdown ------------------------------------------------------------
+    def shutdown(self) -> None:
+        with self._cv:
+            self._outbox.append(None)
+            self._cv.notify()
+        if self._sender is not None:
+            self._sender.join(timeout=5.0)
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if self._receiver is not None:
+            self._receiver.join(timeout=5.0)
+
+
+class PartitionTransport(Transport):
+    """Run placement partitions on forked node workers over pipe links."""
+
+    name = "partition"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._links: List[_NodeLink] = []
+        self._live_keys: Set[int] = set()
+        self._registered_keys: List[int] = []
+        self._shared_registered: List[int] = []
+        self._channel_ids = itertools.count(1)
+        self._stats_lock = threading.Lock()
+        self._bytes_on_wire = 0
+        #: partition name -> compute node (static) or "!@<tag>" (dynamic);
+        #: populated by the partitioning pass, kept for introspection
+        self.partition_plan: Dict[str, Any] = {}
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def bytes_pickled(self) -> int:
+        return self._bytes_on_wire
+
+    def _count_wire(self, nbytes: int) -> None:
+        with self._stats_lock:
+            self._bytes_on_wire += nbytes
+
+    def _report_error(self, exc: BaseException) -> None:
+        if self.runtime is not None:
+            self.runtime._record_error(exc, source="distributed-link")
+
+    def _warn_degraded(self) -> None:
+        warn_fork_degraded(
+            "DistributedRuntime", "placement combinators treated as transparent"
+        )
+
+    # -- partitioning --------------------------------------------------------
+    def _prepare(self, network: Entity, wrap_unplaced: bool = True) -> Entity:
+        """Partition ``network``: register every placement subtree pre-fork.
+
+        Registers the operand of each placement combinator in the
+        fork-shared template registry and stamps the combinator with its
+        registration key (the stamp survives ``Entity.copy``, so replicas
+        made by stars/splits after the fork still resolve their template).
+        An entirely unplaced network is wrapped in an implicit ``@ 0``.
+        """
+        roots = list(iter_placement_roots(network))
+        if not roots and wrap_unplaced:
+            network = StaticPlacement(network, 0, name=f"{network.name}@0")
+            roots = [network]
+        # annotate the whole tree (entities under a placement inherit its
+        # node; entities under !@ are dynamically placed) — the inspection
+        # surface placement_of()/``.placement`` readers rely on
+        assign_default_placement(network, 0)
+        plan: Dict[str, Any] = {}
+        for root in roots:
+            key = next(_partition_keys)
+            setattr(root, _KEY_ATTR, key)
+            _PARTITION_REGISTRY[key] = root.operand
+            self._registered_keys.append(key)
+            self._live_keys.add(key)
+            if isinstance(root, StaticPlacement):
+                plan[root.name] = placement_of(root)
+            else:
+                plan[root.name] = f"!@<{root.tag}>"
+        self.partition_plan = plan
+        return network
+
+    def _unregister(self) -> None:
+        for key in self._registered_keys:
+            _PARTITION_REGISTRY.pop(key, None)
+        self._registered_keys.clear()
+        self._live_keys.clear()
+
+    # -- link lifecycle ------------------------------------------------------
+    def _fork_links(self) -> None:
+        ctx = multiprocessing.get_context("fork")
+        # fork every node worker before starting any I/O thread, so each
+        # child inherits a quiescent parent (complete registries, no frames)
+        self._links = [
+            _NodeLink(self, index, ctx) for index in range(self.runtime.nodes)
+        ]
+        for link in self._links:
+            link.start_io()
+
+    def _shutdown_links(self) -> None:
+        links, self._links = self._links, []
+        for link in links:
+            link.shutdown()
+
+    def _check_links(self) -> None:
+        for link in self._links:
+            if link.dead or not link.process.is_alive():
+                raise RuntimeError_(
+                    f"distributed compute node {link.index} is no longer "
+                    "alive; call teardown() and setup() to rebuild the links"
+                )
+
+    @property
+    def worker_pids(self) -> List[int]:
+        return [link.process.pid for link in self._links]
+
+    # -- warm lifecycle ------------------------------------------------------
+    def setup(self, network: Optional[Entity], broadcast: Sequence[Any] = ()) -> None:
+        runtime = self.runtime
+        if runtime.is_warm:
+            raise RuntimeError_(
+                "setup() called on an already-warm DistributedRuntime; call "
+                "teardown() first to rebuild the node workers"
+            )
+        if not runtime.fork_available():
+            self._warn_degraded()
+            return
+        # warm distribution is keyed to the *network object handed to setup*:
+        # its placement combinators are stamped with their registered template
+        # keys, and run(fresh=True) copies carry the stamps along.  Running a
+        # different (even structurally identical) network on a warm runtime
+        # executes in-process — its combinators carry no stamps and the
+        # forked workers never inherited its templates.
+        # No wrapping here either: run() compiles the caller's network
+        # object, so a wrapper made now would be unreachable — an unplaced
+        # network simply executes in-process when warm
+        self._prepare(network, wrap_unplaced=False)
+        if not self._live_keys:
+            warnings.warn(
+                "DistributedRuntime.setup: the network has no placement "
+                "combinators (@ / !@); warm runs will execute in-process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        if runtime.zero_copy:
+            for value in broadcast:
+                register_shared_value(
+                    value, self._shared_registered, runtime.BROADCAST_MIN_BYTES
+                )
+        self._fork_links()
+
+    def teardown(self) -> None:
+        self._shutdown_links()
+        self._unregister()
+        unregister_shared(self._shared_registered)
+
+    # -- per-run lifecycle ---------------------------------------------------
+    def begin_run(
+        self, network: Entity, inputs: Sequence[Record], timeout: Optional[float]
+    ) -> Entity:
+        with self._stats_lock:
+            self._bytes_on_wire = 0
+        runtime = self.runtime
+        if runtime.is_warm:
+            if self._links:
+                self._check_links()
+            return network
+        if not runtime.fork_available():
+            self._warn_degraded()
+            return network
+        network = self._prepare(network)
+        if runtime.zero_copy:
+            register_shared_inputs(
+                inputs, self._shared_registered, runtime.BROADCAST_MIN_BYTES
+            )
+        self._fork_links()
+        return network
+
+    def end_run(self) -> None:
+        if self.runtime.is_warm:
+            return  # links and registrations persist until teardown()
+        self._shutdown_links()
+        self._unregister()
+        unregister_shared(self._shared_registered)
+
+    # -- compilation seam ----------------------------------------------------
+    def compile_entity(
+        self, entity: Entity, in_stream: Stream, out_writer: StreamWriter
+    ) -> bool:
+        if not self._links or not isinstance(entity, StaticPlacement):
+            return False
+        key = getattr(entity, _KEY_ATTR, None)
+        if key not in self._live_keys:
+            return False
+        node = placement_of(entity)
+        self._open_channel(key, node, in_stream, out_writer, entity.name)
+        return True
+
+    def compile_split_instance(
+        self, entity: IndexSplit, value: int, inst_in: Stream, out_writer: StreamWriter
+    ) -> bool:
+        if not self._links or not entity.placed:
+            return False
+        key = getattr(entity, _KEY_ATTR, None)
+        if key not in self._live_keys:
+            return False
+        # indexed placement: the replica for tag value v runs on node v
+        self._open_channel(key, value, inst_in, out_writer, f"{entity.name}-{value}")
+        return True
+
+    # -- channels ------------------------------------------------------------
+    def _open_channel(
+        self,
+        key: int,
+        node: int,
+        in_stream: Stream,
+        out_writer: StreamWriter,
+        label: str,
+    ) -> None:
+        """Wire one partition instance to its node worker.
+
+        Registers the output writer with the link (the receiver owns it
+        from here: it is closed on ``EOS_ACK``, on a partition error, or
+        when the link dies), announces the channel with ``OPEN`` and spawns
+        the forwarder that batches the partition's input records onto the
+        wire.
+        """
+        runtime = self.runtime
+        link = self._links[node % len(self._links)]
+        channel = next(self._channel_ids)
+        if not link.register_channel(channel, out_writer):
+            # the link already died (error recorded when it did): close the
+            # partition's output immediately so downstream sees EOS, and
+            # drain its input so upstream never hangs on back-pressure —
+            # the run then fails promptly with the link's collected error
+            out_writer.close()
+            runtime._spawn(
+                lambda: drain_stream(in_stream), f"dist-drain-{label}-ch{channel}"
+            )
+            return
+        link.post(_encode_frame(_OPEN, channel, meta=key))
+        runtime.tracer.record(label, "partition-open", node=link.index, channel=channel)
+        chunk = runtime.chunk_size
+
+        def forwarder() -> None:
+            # the receiver owns out_writer; worker_scope still drains the
+            # input on error so upstream workers never hang on back-pressure
+            with worker_scope(in_stream, lambda: ()):
+                try:
+                    while True:
+                        rec = in_stream.get()
+                        if rec is None:
+                            break
+                        batch = [rec]
+                        while len(batch) < chunk:
+                            extra = in_stream.try_get()
+                            if extra is None:
+                                break
+                            batch.append(extra)
+                        payload, buffers, _ = dumps_records(
+                            [swap_shared_out(r) for r in batch]
+                        )
+                        link.post(
+                            _encode_frame(_DATA, channel, payload=payload, buffers=buffers)
+                        )
+                finally:
+                    link.post(_encode_frame(_EOS, channel))
+
+        runtime._spawn(forwarder, f"dist-fwd-{label}-ch{channel}")
+
+
+class DistributedRuntime(EngineCore):
+    """Execute an S-Net network across real node worker processes.
+
+    Parameters
+    ----------
+    nodes:
+        Number of compute-node worker processes.  Static placements
+        ``A @ num`` map to worker ``num % nodes``; indexed placements
+        ``A !@ <tag>`` map each replica to worker ``value % nodes``.
+    chunk_size:
+        Records per cross-partition ``DATA`` frame (forwarders batch
+        greedily up to this size, never blocking to fill a batch).
+    zero_copy:
+        Broadcast large input-record payloads (and ``setup(broadcast=...)``
+        objects) through the fork-shared registry so they cross the wire as
+        tokens instead of bytes — the scene ships zero times per run.
+    tracer / stream_capacity:
+        As for :class:`~repro.snet.runtime.engine.ThreadedRuntime`.
+
+    After a run, :attr:`bytes_pickled` holds the total frame bytes that
+    crossed partition links in either direction, :attr:`partition_plan`
+    the partition → node mapping of the last partitioning pass, and
+    :attr:`worker_pids` the node workers' OS pids (empty when cold).
+    """
+
+    #: payload threshold for the fork-shared broadcast (the data plane's
+    #: canonical threshold, shared with the process engine)
+    BROADCAST_MIN_BYTES = BROADCAST_MIN_BYTES
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        tracer: Optional[Tracer] = None,
+        stream_capacity: int = 256,
+        chunk_size: int = 16,
+        zero_copy: bool = True,
+    ):
+        super().__init__(
+            tracer=tracer,
+            stream_capacity=stream_capacity,
+            transport=PartitionTransport(),
+        )
+        self.nodes = int(nodes)
+        if self.nodes < 1:
+            raise RuntimeError_("the distributed runtime needs at least one node")
+        if chunk_size < 1:
+            raise RuntimeError_("chunk_size must be at least 1")
+        self.chunk_size = int(chunk_size)
+        self.zero_copy = zero_copy
+
+    @property
+    def partition_plan(self) -> Dict[str, Any]:
+        """Partition name → node (static) or ``"!@<tag>"`` (dynamic)."""
+        return self.transport.partition_plan
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """OS pids of the live node workers (empty before fork/after teardown)."""
+        return self.transport.worker_pids
+
+
+def run_distributed(
+    network: Entity,
+    inputs: Sequence[Record],
+    nodes: int = 2,
+    tracer: Optional[Tracer] = None,
+    stream_capacity: int = 256,
+    timeout: Optional[float] = 60.0,
+) -> List[Record]:
+    """Convenience wrapper: run ``network`` on a fresh distributed runtime."""
+    runtime = DistributedRuntime(
+        nodes=nodes, tracer=tracer, stream_capacity=stream_capacity
+    )
+    return runtime.run(network, inputs, timeout=timeout)

@@ -1,85 +1,42 @@
 """Threaded execution engine.
 
-The engine compiles an entity graph into a network of worker threads
-connected by :class:`~repro.snet.runtime.stream.Stream` objects:
+:class:`ThreadedRuntime` is the :class:`~repro.snet.runtime.core.EngineCore`
+paired with the :class:`~repro.snet.runtime.core.InlineTransport`: the
+compilation scheme, drain-on-error shutdown, wall-clock run deadline and
+warm lifecycle all live in the shared core; the inline transport keeps
+every record on in-memory streams and every primitive in a parent thread.
 
-* every primitive entity (box, filter, synchrocell) becomes one worker that
-  repeatedly takes a record from its input stream, applies the entity and
-  writes the results to its output stream;
-* serial composition allocates an intermediate stream;
-* parallel composition becomes a dispatcher worker that routes records by
-  best type match; both branches write into the same output stream, which
-  gives the nondeterministic in-arrival-order merge of the paper;
-* serial replication (star) spawns one *router* per unrolling level; each
-  router taps the stream in front of "its" replica and extracts records that
-  match the exit pattern, instantiating the next replica lazily;
-* parallel replication (index split) becomes a dispatcher that lazily
-  instantiates one replica pipeline per observed tag value.
+This makes the threaded engine the *correctness* backend: real box
+execution, no extra processes, no serialization — but GIL-bound, so
+CPU-bound boxes show no wall-clock speedup.  The process and distributed
+engines run the very same core with transports that move box invocations
+(respectively whole placement partitions) into real OS processes; the
+cross-backend conformance suite pins their observable semantics to this
+one.
 
-Workers created dynamically (star levels, split instances) are spawned as
-threads immediately; all threads are joined when the run finishes.
+:func:`drain_stream` and :func:`worker_scope` are re-exported from the core
+for backward compatibility — they are the shutdown contract every runtime
+worker follows.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.snet.base import Entity, PrimitiveEntity
-from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
-from repro.snet.errors import RuntimeError_
-from repro.snet.network import Network
-from repro.snet.placement import StaticPlacement
+from repro.snet.base import Entity
 from repro.snet.records import Record
-from repro.snet.runtime.stream import Stream, StreamWriter
-from repro.snet.runtime.tracing import NullTracer, Tracer
+from repro.snet.runtime.core import (
+    EngineCore,
+    InlineTransport,
+    drain_stream,
+    worker_scope,
+)
+from repro.snet.runtime.tracing import Tracer
 
 __all__ = ["ThreadedRuntime", "run_threaded", "drain_stream", "worker_scope"]
 
 
-def drain_stream(stream: Stream) -> None:
-    """Consume and discard everything remaining on ``stream`` until EOS.
-
-    Workers call this when they die on an error: abandoning the input stream
-    would leave upstream producers blocked on back-pressure forever, so the
-    whole run would only fail once the harness timeout fires.  Draining lets
-    every upstream worker finish normally and the run fail promptly with the
-    collected exception.
-    """
-    while stream.get() is not None:
-        pass
-
-
-@contextmanager
-def worker_scope(
-    in_stream: Stream, writers: Callable[[], Iterable[StreamWriter]]
-) -> Iterator[None]:
-    """Shutdown contract shared by every runtime worker.
-
-    On normal exit the worker's output writers are closed.  On error they are
-    closed *first* (so downstream sees EOS immediately), then the input
-    stream is drained (see :func:`drain_stream`), then the error propagates
-    to the runtime's collector.  ``writers`` is a callable because dynamic
-    dispatchers (star, index split) open writers while running.
-    """
-
-    def close_all() -> None:
-        for writer in writers():
-            writer.close()
-
-    try:
-        yield
-    except BaseException:
-        close_all()
-        drain_stream(in_stream)
-        raise
-    finally:
-        close_all()
-
-
-class ThreadedRuntime:
+class ThreadedRuntime(EngineCore):
     """Execute an S-Net network with one thread per runtime component.
 
     Parameters
@@ -89,14 +46,11 @@ class ThreadedRuntime:
     stream_capacity:
         Bound of every internal stream (provides back-pressure/throttling).
 
-    Runtime instances are **reusable**: :meth:`run` resets all per-run state
-    (worker bookkeeping, collected errors) on entry, so a long-lived service
-    can execute many jobs on one runtime object.  The threaded engine has no
-    expensive resources to keep warm — :meth:`setup` and :meth:`teardown`
-    exist as no-ops so callers can drive every executing backend through the
-    same warm lifecycle (:class:`~repro.snet.runtime.process_engine.ProcessRuntime`
-    overrides them to keep its worker pool and fork-shared registries alive
-    between runs)::
+    Runtime instances are **reusable** and expose the same warm lifecycle
+    (:meth:`~repro.snet.runtime.core.EngineCore.setup` /
+    :meth:`~repro.snet.runtime.core.EngineCore.teardown` /
+    ``with runtime:``) as every executing backend; the inline transport has
+    no expensive resources, so warming up only flips the flag::
 
         runtime = ThreadedRuntime()
         runtime.setup(network)            # no-op here, forks the pool there
@@ -105,323 +59,12 @@ class ThreadedRuntime:
                 outputs = runtime.run(network, job_inputs)
         finally:
             runtime.teardown()
-
-    The same lifecycle is available as a context manager (``with runtime:``).
     """
 
-    #: bytes serialized across a process boundary during the last run.  The
-    #: threaded engine passes record references through in-process streams,
-    #: so this is always 0 here; :class:`ProcessRuntime` overrides it with
-    #: its measured total.  Kept on the base class so callers can read the
-    #: data-plane cost of any executing backend uniformly.
-    bytes_pickled: int = 0
-
     def __init__(self, tracer: Optional[Tracer] = None, stream_capacity: int = 256):
-        self.tracer = tracer or NullTracer()
-        self.stream_capacity = stream_capacity
-        self._threads: List[threading.Thread] = []
-        self._pending: List[Callable[[], None]] = []
-        self._started = False
-        self._lock = threading.Lock()
-        self.errors: List[BaseException] = []
-        self._warm = False
-
-    # -- warm lifecycle ------------------------------------------------------
-    def setup(self, network: Entity, broadcast: Iterable[object] = ()) -> "ThreadedRuntime":
-        """Acquire long-lived execution resources for ``network`` (no-op here).
-
-        The threaded engine compiles fresh worker threads per run and owns
-        nothing worth keeping warm, so this only marks the runtime warm to
-        give every executing backend one lifecycle API.  The process engine
-        overrides it to register boxes/broadcast payloads and fork its worker
-        pool once.  Returns ``self`` so call sites can chain
-        ``get_runtime(...).setup(...)``.
-        """
-        self._warm = True
-        return self
-
-    def teardown(self) -> None:
-        """Release resources acquired by :meth:`setup` (no resources here; idempotent)."""
-        self._warm = False
-
-    @property
-    def is_warm(self) -> bool:
-        """Whether :meth:`setup` has been called without a matching :meth:`teardown`."""
-        return self._warm
-
-    def __enter__(self) -> "ThreadedRuntime":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.teardown()
-
-    def _reset_run_state(self) -> None:
-        """Forget the previous run's workers and errors (start of every run)."""
-        with self._lock:
-            self._threads = []
-            self._pending = []
-            self._started = False
-            self.errors = []
-
-    # -- thread management -------------------------------------------------
-    def _spawn(self, fn: Callable[[], None], name: str) -> None:
-        def guarded() -> None:
-            try:
-                fn()
-            except BaseException as exc:  # noqa: BLE001 - collected for reporting
-                with self._lock:
-                    self.errors.append(exc)
-                self.tracer.record(name, "worker-error", error=repr(exc))
-
-        with self._lock:
-            if not self._started:
-                self._pending.append(lambda: self._start_thread(guarded, name))
-                return
-        self._start_thread(guarded, name)
-
-    def _start_thread(self, fn: Callable[[], None], name: str) -> None:
-        thread = threading.Thread(target=fn, name=name, daemon=True)
-        with self._lock:
-            self._threads.append(thread)
-        thread.start()
-
-    def _new_stream(self, name: str) -> Stream:
-        return Stream(name=name, capacity=self.stream_capacity)
-
-    # -- compilation ----------------------------------------------------------
-    def compile(self, entity: Entity, in_stream: Stream, out_writer: StreamWriter) -> None:
-        """Compile ``entity`` reading ``in_stream`` and owning ``out_writer``."""
-        if isinstance(entity, PrimitiveEntity):
-            self._compile_primitive(entity, in_stream, out_writer)
-        elif isinstance(entity, Serial):
-            self._compile_serial(entity, in_stream, out_writer)
-        elif isinstance(entity, Parallel):
-            self._compile_parallel(entity, in_stream, out_writer)
-        elif isinstance(entity, Star):
-            self._compile_star(entity, in_stream, out_writer)
-        elif isinstance(entity, IndexSplit):
-            self._compile_split(entity, in_stream, out_writer)
-        elif isinstance(entity, (Network, StaticPlacement)):
-            inner = entity.body if isinstance(entity, Network) else entity.operand
-            self.compile(inner, in_stream, out_writer)
-        else:
-            raise RuntimeError_(f"cannot compile entity {entity!r}")
-
-    def _compile_primitive(
-        self, entity: PrimitiveEntity, in_stream: Stream, out_writer: StreamWriter
-    ) -> None:
-        tracer = self.tracer
-
-        def worker() -> None:
-            with worker_scope(in_stream, lambda: (out_writer,)):
-                while True:
-                    rec = in_stream.get()
-                    if rec is None:
-                        break
-                    tracer.record(entity.name, "consume", record=repr(rec))
-                    for produced in entity.process(rec):
-                        tracer.record(entity.name, "produce", record=repr(produced))
-                        out_writer.put(produced)
-                for produced in entity.flush():
-                    tracer.record(entity.name, "produce", record=repr(produced))
-                    out_writer.put(produced)
-
-        self._spawn(worker, f"worker-{entity.name}-{entity.entity_id}")
-
-    def _compile_serial(
-        self, entity: Serial, in_stream: Stream, out_writer: StreamWriter
-    ) -> None:
-        mid = self._new_stream(f"{entity.name}-mid")
-        self.compile(entity.left, in_stream, mid.open_writer())
-        self.compile(entity.right, mid, out_writer)
-
-    def _compile_parallel(
-        self, entity: Parallel, in_stream: Stream, out_writer: StreamWriter
-    ) -> None:
-        branch_streams: List[Stream] = []
-        branch_writers: List[StreamWriter] = []
-        for branch in entity.branches:
-            branch_in = self._new_stream(f"{entity.name}-{branch.name}-in")
-            branch_streams.append(branch_in)
-            branch_writers.append(branch_in.open_writer())
-            self.compile(branch, branch_in, out_writer.dup())
-
-        tracer = self.tracer
-        # route() returns one of entity.branches; resolve it to a writer by
-        # identity instead of an O(branches) list search per record
-        writer_of = {id(b): w for b, w in zip(entity.branches, branch_writers)}
-
-        def dispatcher() -> None:
-            with worker_scope(in_stream, lambda: (*branch_writers, out_writer)):
-                while True:
-                    rec = in_stream.get()
-                    if rec is None:
-                        break
-                    branch = entity.route(rec)
-                    tracer.record(entity.name, "route", branch=branch.name)
-                    writer_of[id(branch)].put(rec)
-
-        self._spawn(dispatcher, f"dispatch-{entity.name}-{entity.entity_id}")
-
-    def _compile_star(
-        self, entity: Star, in_stream: Stream, out_writer: StreamWriter
-    ) -> None:
-        tracer = self.tracer
-        runtime = self
-
-        def make_router(level: int, level_in: Stream, writer: StreamWriter) -> Callable[[], None]:
-            def router() -> None:
-                instance_writer: Optional[StreamWriter] = None
-
-                def open_writers():
-                    if instance_writer is not None:
-                        return (instance_writer, writer)
-                    return (writer,)
-
-                with worker_scope(level_in, open_writers):
-                    while True:
-                        rec = level_in.get()
-                        if rec is None:
-                            break
-                        if entity.exit_pattern.matches(rec):
-                            tracer.record(entity.name, "exit", level=level)
-                            writer.put(rec)
-                            continue
-                        if instance_writer is None:
-                            if level >= entity.max_depth:
-                                raise RuntimeError_(
-                                    f"star {entity.name} exceeded max depth {entity.max_depth}"
-                                )
-                            tracer.record(entity.name, "unroll", level=level)
-                            inst_in = runtime._new_stream(f"{entity.name}-L{level}-in")
-                            inst_out = runtime._new_stream(f"{entity.name}-L{level}-out")
-                            instance_writer = inst_in.open_writer()
-                            runtime.compile(
-                                entity.operand.copy(), inst_in, inst_out.open_writer()
-                            )
-                            runtime._spawn(
-                                make_router(level + 1, inst_out, writer.dup()),
-                                f"star-{entity.name}-L{level + 1}",
-                            )
-                        instance_writer.put(rec)
-
-            return router
-
-        self._spawn(make_router(0, in_stream, out_writer), f"star-{entity.name}-L0")
-
-    def _compile_split(
-        self, entity: IndexSplit, in_stream: Stream, out_writer: StreamWriter
-    ) -> None:
-        tracer = self.tracer
-        runtime = self
-
-        def dispatcher() -> None:
-            instance_writers: Dict[int, StreamWriter] = {}
-            with worker_scope(
-                in_stream, lambda: (*instance_writers.values(), out_writer)
-            ):
-                while True:
-                    rec = in_stream.get()
-                    if rec is None:
-                        break
-                    if not rec.has_tag(entity.tag):
-                        raise RuntimeError_(
-                            f"index split {entity.name} requires tag <{entity.tag}> "
-                            f"on every record, got {rec!r}"
-                        )
-                    value = rec.tag(entity.tag)
-                    if value not in instance_writers:
-                        tracer.record(entity.name, "instantiate", index=value)
-                        inst_in = runtime._new_stream(f"{entity.name}-{value}-in")
-                        instance_writers[value] = inst_in.open_writer()
-                        runtime.compile(entity.operand.copy(), inst_in, out_writer.dup())
-                    instance_writers[value].put(rec)
-
-        self._spawn(dispatcher, f"split-{entity.name}-{entity.entity_id}")
-
-    # -- running -------------------------------------------------------------
-    def run(
-        self,
-        network: Entity,
-        inputs: Sequence[Record],
-        fresh: bool = True,
-        timeout: Optional[float] = 60.0,
-    ) -> List[Record]:
-        """Execute ``network`` on a finite input stream and return all outputs.
-
-        The input records are fed from a dedicated feeder thread while the
-        calling thread drains the global output stream, so bounded streams
-        cannot deadlock the harness.
-
-        ``timeout`` is a *wall-clock deadline for the whole run*, not a
-        per-record patience: every read of the output stream waits at most
-        for the time remaining until the deadline.  (It used to be applied
-        per output record, so a network trickling one record just under the
-        timeout apiece could stall arbitrarily long without ever timing
-        out.)  ``None`` disables the deadline.
-
-        ``run`` may be called repeatedly on the same runtime instance; each
-        call starts from a clean per-run state (fresh worker bookkeeping, no
-        carried-over errors from an earlier failed run).
-        """
-        self._reset_run_state()
-        target = network.copy() if fresh else network
-        in_stream = self._new_stream("network-in")
-        out_stream = self._new_stream("network-out")
-        self.compile(target, in_stream, out_stream.open_writer())
-
-        input_writer = in_stream.open_writer()
-
-        def feeder() -> None:
-            try:
-                for rec in inputs:
-                    input_writer.put(rec)
-            finally:
-                input_writer.close()
-
-        self._spawn(feeder, "feeder")
-
-        # start all registered workers
-        with self._lock:
-            self._started = True
-            pending = list(self._pending)
-            self._pending.clear()
-        for start in pending:
-            start()
-
-        deadline = None if timeout is None else time.monotonic() + timeout
-
-        def remaining() -> Optional[float]:
-            if deadline is None:
-                return None
-            return max(0.0, deadline - time.monotonic())
-
-        outputs: List[Record] = []
-        while True:
-            try:
-                # already-buffered records are returned even at a spent
-                # deadline; only *waiting* is bounded by the remaining budget
-                rec = out_stream.get(timeout=remaining())
-            except RuntimeError_:
-                # drain timed out: a collected worker error explains the stall
-                # better than the generic timeout does
-                if self.errors:
-                    break
-                raise
-            if rec is None:
-                break
-            outputs.append(rec)
-
-        # with a collected error, joining stuck threads for the remaining
-        # budget each would delay the report by N_threads x timeout; they are
-        # daemons, so give them only a token grace period
-        for thread in list(self._threads):
-            thread.join(timeout=1.0 if self.errors else remaining())
-        if self.errors:
-            raise RuntimeError_(
-                f"{len(self.errors)} worker(s) failed: {self.errors[0]!r}"
-            ) from self.errors[0]
-        return outputs
+        super().__init__(
+            tracer=tracer, stream_capacity=stream_capacity, transport=InlineTransport()
+        )
 
 
 def run_threaded(

@@ -1,19 +1,21 @@
 """Process-parallel execution engine.
 
-:class:`ProcessRuntime` compiles the same entity graph as
-:class:`~repro.snet.runtime.engine.ThreadedRuntime` — identical stream
-topology, identical dispatchers for the dynamic combinators — but executes
-the *box invocations* on a ``multiprocessing`` worker pool, so CPU-bound box
-code runs outside the GIL and a multi-core host delivers real wall-clock
-speedup (the paper's headline measurement, which the threaded runtime can
-only simulate).
+:class:`ProcessRuntime` pairs the shared
+:class:`~repro.snet.runtime.core.EngineCore` with a :class:`PoolTransport`:
+the compilation scheme, stream topology and dispatchers for the dynamic
+combinators are exactly those of the threaded engine (they live in the
+core), but invocations of ``parallel_safe`` boxes are claimed by the
+transport and executed on a ``multiprocessing`` worker pool, so CPU-bound
+box code runs outside the GIL and a multi-core host delivers real
+wall-clock speedup (the paper's headline measurement, which the threaded
+runtime can only simulate).
 
 Design notes
 ------------
 
 * **Fork-shared box registry.**  Box functions are typically closures over a
   backend object (see :class:`repro.apps.boxes.RayTracingBoxes`) and are not
-  picklable.  Before the pool is forked, the runtime registers every
+  picklable.  Before the pool is forked, the transport registers every
   ``parallel_safe`` box of the network in a module-level registry; the forked
   workers inherit it, so only *records* ever cross the process boundary
   (:class:`~repro.snet.records.Record` pickles structurally).  Dynamically
@@ -23,21 +25,17 @@ Design notes
   template's registry key.
 * **Fork-shared payload broadcast (zero-copy layer 1).**  Large field values
   of the run's *input records* (the scene and its BVH, in the paper's farm)
-  are registered in a second fork-shared registry before the pool forks.
-  When a batch is serialized, any field value that *is* a registered object
-  (identity match) is swapped for a tiny :class:`SharedObjectRef`; workers
-  resolve the ref from their inherited registry.  The broadcast object is
-  pickled exactly zero times per run instead of once per batch.  This relies
-  on the S-Net purity contract: boxes never mutate their input field values,
-  so sharing one copy-on-write instance is indistinguishable from shipping
-  copies.  Objects exposing ``prepare_for_broadcast()`` (e.g.
-  :class:`~repro.raytracer.scene.Scene`, which builds its BVH) are prepared
-  once in the parent so workers inherit the finished structure.
+  are registered in the shared broadcast registry
+  (:mod:`repro.snet.runtime.data_plane`) before the pool forks; they cross
+  the boundary as tiny :class:`SharedObjectRef` tokens and are resolved from
+  the fork-inherited registry in the workers.  The broadcast object is
+  pickled exactly zero times per run instead of once per batch.
 * **Out-of-band buffers (zero-copy layer 3).**  Batches are serialized
   explicitly with pickle protocol 5 and ``buffer_callback`` in both
-  directions, so NumPy payloads that still must cross (model mode, custom
-  boxes) travel as out-of-band buffers instead of being copied into the
-  pickle stream.  Every byte serialized either way is accumulated in
+  directions (:func:`~repro.snet.runtime.data_plane.dumps_records`), so
+  NumPy payloads that still must cross (model mode, custom boxes) travel as
+  out-of-band buffers instead of being copied into the pickle stream.
+  Every byte serialized either way is accumulated in
   :attr:`ProcessRuntime.bytes_pickled` — the instrumentation behind the
   data-plane benchmarks.
 * **Chunked batches, adaptively sized (layer 4).**  Each box pump submits
@@ -58,7 +56,7 @@ Design notes
 * **Error surfacing.**  An exception raised by a box in a pool worker is
   re-raised (as :class:`BoxWorkerError`, carrying the remote traceback) in
   the pump thread, collected by the runtime and reported by
-  :meth:`ThreadedRuntime.run`; the pump drains its input first so upstream
+  :meth:`EngineCore.run`; the pump drains its input first so upstream
   workers shut down cleanly instead of hanging until the harness timeout.
 
 * **Warm lifecycle (setup/teardown split).**  A one-shot :meth:`ProcessRuntime.run`
@@ -82,25 +80,42 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
-import pickle
 import threading
 import time
 import traceback
-import warnings
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.snet.base import Entity, PrimitiveEntity
+from repro.snet.base import Entity
 from repro.snet.boxes import Box
 from repro.snet.errors import RuntimeError_
 from repro.snet.records import Record
-from repro.snet.runtime.engine import ThreadedRuntime, worker_scope
+from repro.snet.runtime import data_plane
+from repro.snet.runtime.core import (
+    EngineCore,
+    Transport,
+    warn_fork_degraded,
+    worker_scope,
+)
+from repro.snet.runtime.data_plane import (
+    BROADCAST_MIN_BYTES,
+    SharedObjectRef,
+    SharedPayloadMissing,
+    broadcast_worthy,
+    dumps_records,
+    loads_records,
+    register_shared_inputs,
+    register_shared_value,
+    resolve_shared_in,
+    swap_shared_out,
+    unregister_shared,
+)
 from repro.snet.runtime.stream import Stream, StreamWriter
 from repro.snet.runtime.tracing import Tracer
 
 __all__ = [
     "ProcessRuntime",
+    "PoolTransport",
     "BoxWorkerError",
     "BatchAutotuner",
     "SharedObjectRef",
@@ -120,71 +135,13 @@ class BoxWorkerError(RuntimeError_):
 _BOX_REGISTRY: Dict[int, Box] = {}
 _registry_keys = itertools.count(1)
 
-#: broadcast payloads visible to forked pool workers: key -> object, and the
-#: reverse identity index id(object) -> key used when swapping payloads for
-#: refs at the serialization boundary.  Registered objects are kept alive by
-#: the registry, so their ids stay unique for the registration's lifetime.
-_SHARED_OBJECTS: Dict[int, Any] = {}
-_SHARED_BY_ID: Dict[int, int] = {}
-_shared_keys = itertools.count(1)
-
-
-@dataclass(frozen=True)
-class SharedObjectRef:
-    """Picklable stand-in for an object broadcast via the fork-shared registry."""
-
-    key: int
-
-
-def _swap_shared_out(rec: Record) -> Record:
-    """Replace registered field values with :class:`SharedObjectRef` tokens."""
-    if not _SHARED_BY_ID:
-        return rec
-
-    def swap(value: Any) -> Any:
-        key = _SHARED_BY_ID.get(id(value))
-        return SharedObjectRef(key) if key is not None else value
-
-    return rec.map_field_values(swap)
-
-
-def _resolve_shared_in(rec: Record) -> Record:
-    """Replace :class:`SharedObjectRef` tokens with the registered objects."""
-
-    def resolve(value: Any) -> Any:
-        if isinstance(value, SharedObjectRef):
-            try:
-                return _SHARED_OBJECTS[value.key]
-            except KeyError:
-                raise BoxWorkerError(
-                    f"shared payload key {value.key} missing in this process; "
-                    "the zero-copy data plane requires the 'fork' start method"
-                ) from None
-        return value
-
-    return rec.map_field_values(resolve)
-
-
-def dumps_records(records: Sequence[Record]) -> Tuple[bytes, List[bytes], int]:
-    """Serialize records with protocol 5, buffers out-of-band.
-
-    Returns ``(payload, buffers, nbytes)`` where ``nbytes`` is the total
-    serialized size (payload plus all out-of-band buffers) — the quantity
-    the data-plane instrumentation accumulates.
-    """
-    buffers: List[bytes] = []
-    payload = pickle.dumps(
-        list(records),
-        protocol=5,
-        buffer_callback=lambda buf: buffers.append(buf.raw().tobytes()),
-    )
-    nbytes = len(payload) + sum(len(b) for b in buffers)
-    return payload, buffers, nbytes
-
-
-def loads_records(payload: bytes, buffers: Sequence[bytes]) -> List[Record]:
-    """Inverse of :func:`dumps_records`."""
-    return pickle.loads(payload, buffers=buffers)
+# backwards-compatible aliases: the payload broadcast moved to the shared
+# data-plane module (the distributed engine uses the same registry); tests
+# and older call sites still reach it through this module
+_SHARED_OBJECTS = data_plane._SHARED_OBJECTS
+_SHARED_BY_ID = data_plane._SHARED_BY_ID
+_swap_shared_out = swap_shared_out
+_resolve_shared_in = resolve_shared_in
 
 
 def _invoke_box_batch(
@@ -202,17 +159,17 @@ def _invoke_box_batch(
             "runtime requires the 'fork' start method"
         )
     try:
-        records = [_resolve_shared_in(rec) for rec in loads_records(payload, buffers)]
+        records = [resolve_shared_in(rec) for rec in loads_records(payload, buffers)]
         start = time.perf_counter()
         produced: List[Record] = []
         for rec in records:
             produced.extend(template.process(rec))
         elapsed = time.perf_counter() - start
         out_payload, out_buffers, _ = dumps_records(
-            [_swap_shared_out(rec) for rec in produced]
+            [swap_shared_out(rec) for rec in produced]
         )
         return out_payload, out_buffers, elapsed
-    except BoxWorkerError:
+    except (BoxWorkerError, SharedPayloadMissing):
         raise
     except BaseException as exc:
         # user exceptions are not guaranteed to pickle; re-raise a plain-string
@@ -276,66 +233,26 @@ class BatchAutotuner:
             self.max_inflight = (4 if deep else 2) * self._workers
 
 
-class ProcessRuntime(ThreadedRuntime):
-    """Execute an S-Net network with box invocations on a process pool.
+class PoolTransport(Transport):
+    """Offload ``parallel_safe`` box invocations to a forked worker pool.
 
-    Parameters
-    ----------
-    workers:
-        Size of the worker pool (default: ``os.cpu_count()``).
-    chunk_size:
-        Records per pool submission.  ``None`` (the default) lets each box
-        pump autotune the batch size from observed service times (see
-        :class:`BatchAutotuner`); an explicit integer pins it.
-    max_inflight:
-        Maximum outstanding batches per box pump.  ``None`` (the default)
-        autotunes between ``2 * workers`` and ``4 * workers``; an explicit
-        integer pins it.
-    zero_copy:
-        Enable the fork-shared payload broadcast: large field values of the
-        input records are registered before the pool forks and cross the
-        boundary as :class:`SharedObjectRef` tokens.  Disable to get the
-        legacy full-record pickling data plane (the conformance baseline).
-    tracer / stream_capacity:
-        As for :class:`ThreadedRuntime`.
-
-    After a run, :attr:`bytes_pickled` holds the total bytes serialized
-    across the pool boundary in either direction.
+    Owns the pool, the fork-shared registrations made on behalf of its
+    runtime, and the data-plane statistics.  The runtime's knobs (worker
+    count, batching, ``zero_copy``) are read from the owning
+    :class:`ProcessRuntime`, which validates them.
     """
+
+    name = "pool"
 
     #: seconds a pump waits on either its input stream or its oldest pending
     #: result before re-checking the other
     _POLL_INTERVAL = 0.02
 
-    #: input-record field values at least this large (estimated) are
-    #: broadcast through the fork-shared registry instead of being pickled
-    #: into every batch
-    BROADCAST_MIN_BYTES = 1024
-
-    def __init__(
-        self,
-        workers: Optional[int] = None,
-        tracer: Optional[Tracer] = None,
-        stream_capacity: int = 256,
-        chunk_size: Optional[int] = None,
-        max_inflight: Optional[int] = None,
-        zero_copy: bool = True,
-    ):
-        super().__init__(tracer=tracer, stream_capacity=stream_capacity)
-        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
-        if self.workers < 1:
-            raise RuntimeError_("the process runtime needs at least one worker")
-        if chunk_size is not None and chunk_size < 1:
-            raise RuntimeError_("chunk_size must be at least 1")
-        if max_inflight is not None and max_inflight < 1:
-            raise RuntimeError_("max_inflight must be at least 1")
-        self.chunk_size = chunk_size
-        self.max_inflight = max_inflight
-        self.zero_copy = zero_copy
-        self._pool = None
-        #: pool kept alive across runs by setup()/teardown() (warm mode);
-        #: the _warm flag itself lives on the base class
-        self._persistent_pool = None
+    def __init__(self) -> None:
+        super().__init__()
+        self._pool = None  # pool used by the current run (warm or cold)
+        self._cold_pool = None  # pool owned by the current cold run only
+        self._persistent_pool = None  # pool kept alive by setup()/teardown()
         # _template_key(box) -> registry key; the key must survive Entity.copy
         # (which deep-copies everything but function objects) AND distinguish
         # boxes that share one function under different names/signatures
@@ -344,90 +261,32 @@ class ProcessRuntime(ThreadedRuntime):
         self._shared_registered: List[int] = []
         self._result_timeout: Optional[float] = None
         self._stats_lock = threading.Lock()
-        self.bytes_pickled = 0
+        self._bytes_pickled = 0
         self.batches_dispatched = 0
         self.records_offloaded = 0
         #: final per-box (chunk_size, max_inflight) after autotuning, keyed
         #: by box name — observability for tests and benchmark reports
         self.batch_plan: Dict[str, Tuple[int, int]] = {}
 
-    # -- pool / registry lifecycle -------------------------------------------
-    @staticmethod
-    def fork_available() -> bool:
-        return "fork" in multiprocessing.get_all_start_methods()
+    # -- accounting ----------------------------------------------------------
+    @property
+    def bytes_pickled(self) -> int:
+        return self._bytes_pickled
 
-    # -- warm lifecycle ------------------------------------------------------
-    def setup(self, network: Entity, broadcast: Sequence[Any] = ()) -> "ProcessRuntime":
-        """Fork the worker pool once and keep it warm across :meth:`run` calls.
+    def _reset_stats(self) -> None:
+        with self._stats_lock:
+            self._bytes_pickled = 0
+            self.batches_dispatched = 0
+            self.records_offloaded = 0
+            self.batch_plan = {}
 
-        The one-shot :meth:`run` path pays the full construction cost per
-        call: box registration, broadcast-payload registration, pool fork and
-        pool teardown.  ``setup`` hoists all of that out of the per-run path
-        so a persistent service can amortise it across many jobs:
+    def _count_pickled(self, nbytes: int, batches: int = 0, records: int = 0) -> None:
+        with self._stats_lock:
+            self._bytes_pickled += nbytes
+            self.batches_dispatched += batches
+            self.records_offloaded += records
 
-        * every ``parallel_safe`` box of ``network`` is registered in the
-          fork-shared box registry (copies made later by ``run(fresh=True)``
-          resolve to the same templates, so the network may be re-run or
-          re-copied freely);
-        * each object in ``broadcast`` (e.g. the scene) is registered in the
-          fork-shared payload registry — with ``zero_copy`` enabled, records
-          referencing it cross the pool boundary as tiny
-          :class:`SharedObjectRef` tokens in every subsequent run;
-        * the pool is forked *once*, after both registrations, so workers
-          inherit everything.
-
-        Payloads registered per run by the cold path are *not* re-registered
-        in warm mode (the pool has already forked; workers could not see
-        them).  Unregistered large payloads still work — they are simply
-        pickled per batch — so jobs on a not-broadcast scene are correct,
-        just slower.
-
-        Returns ``self``.  Call :meth:`teardown` (or use the runtime as a
-        context manager) to terminate the pool and release the registries.
-        On platforms without ``fork`` the runtime warms up in degraded
-        threaded mode, with the same :class:`RuntimeWarning` as the cold
-        path.
-        """
-        if self._warm:
-            raise RuntimeError_(
-                "setup() called on an already-warm ProcessRuntime; call "
-                "teardown() first to rebuild the pool"
-            )
-        if self.fork_available():
-            self._register_boxes(network)
-            if self._box_keys:
-                if self.zero_copy:
-                    for value in broadcast:
-                        self._register_shared_value(value)
-                ctx = multiprocessing.get_context("fork")
-                self._persistent_pool = ctx.Pool(processes=self.workers)
-        else:
-            warnings.warn(
-                "ProcessRuntime: the 'fork' start method is unavailable on "
-                "this platform; degrading to threaded in-process execution "
-                "(identical semantics, no wall-clock parallelism)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        self._warm = True
-        return self
-
-    def teardown(self) -> None:
-        """Terminate the warm pool and release the fork-shared registries.
-
-        Idempotent; a no-op on a runtime that was never :meth:`setup`.  After
-        teardown the runtime is cold again — :meth:`run` works as one-shot,
-        and :meth:`setup` may be called again (the new pool re-inherits
-        whatever is registered at that point).
-        """
-        pool, self._persistent_pool = self._persistent_pool, None
-        self._warm = False
-        if pool is not None:
-            pool.terminate()
-            pool.join()
-        self._unregister_boxes()
-        self._unregister_shared()
-
+    # -- registration --------------------------------------------------------
     @staticmethod
     def _template_key(ent: Box) -> tuple:
         return (id(ent.func), ent.name, repr(ent.box_signature))
@@ -450,91 +309,113 @@ class ProcessRuntime(ThreadedRuntime):
         self._registered.clear()
         self._box_keys.clear()
 
-    # -- payload broadcast ----------------------------------------------------
-    @staticmethod
-    def _estimate_nbytes(value: Any) -> Optional[int]:
-        """Best-effort serialized-size estimate of a field value."""
-        nbytes = getattr(value, "nbytes", None)
-        if nbytes is not None:
-            return int(nbytes)
-        payload_size = getattr(value, "payload_size", None)
-        if callable(payload_size):
-            return int(payload_size())
-        if isinstance(value, (bytes, bytearray, str)):
-            return len(value)
-        return None
+    def _warn_degraded(self) -> None:
+        warn_fork_degraded(
+            "ProcessRuntime", "identical semantics, no wall-clock parallelism"
+        )
 
-    def _broadcast_worthy(self, value: Any) -> bool:
-        if value is None or isinstance(
-            value, (bool, int, float, complex, str, bytes, bytearray)
+    # -- warm lifecycle ------------------------------------------------------
+    def setup(self, network: Optional[Entity], broadcast: Sequence[Any] = ()) -> None:
+        runtime = self.runtime
+        if runtime.is_warm:
+            raise RuntimeError_(
+                "setup() called on an already-warm ProcessRuntime; call "
+                "teardown() first to rebuild the pool"
+            )
+        if runtime.fork_available():
+            self._register_boxes(network)
+            if self._box_keys:
+                if runtime.zero_copy:
+                    for value in broadcast:
+                        register_shared_value(
+                            value, self._shared_registered, runtime.BROADCAST_MIN_BYTES
+                        )
+                # the pool MUST fork after registration so children inherit
+                # the registries from a quiescent parent
+                ctx = multiprocessing.get_context("fork")
+                self._persistent_pool = ctx.Pool(processes=runtime.workers)
+        else:
+            self._warn_degraded()
+
+    def teardown(self) -> None:
+        pool, self._persistent_pool = self._persistent_pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self._unregister_boxes()
+        unregister_shared(self._shared_registered)
+
+    # -- per-run lifecycle ---------------------------------------------------
+    def begin_run(
+        self, network: Entity, inputs: Sequence[Record], timeout: Optional[float]
+    ) -> Entity:
+        # pool results share the run's patience budget: a batch that takes
+        # longer than the whole run is allowed to would time the run out anyway
+        self._result_timeout = timeout
+        self._reset_stats()
+        runtime = self.runtime
+        if runtime.is_warm:
+            # warm path: the pool and both registries were built by setup()
+            # and survive this run; nothing is registered or torn down here
+            self._pool = self._persistent_pool
+            return network
+        if runtime.fork_available():
+            self._register_boxes(network)
+            if self._box_keys:
+                if runtime.zero_copy:
+                    register_shared_inputs(
+                        inputs, self._shared_registered, runtime.BROADCAST_MIN_BYTES
+                    )
+                # the pool MUST fork after registration and before any worker
+                # thread starts, so children inherit the registries from a
+                # quiescent parent
+                ctx = multiprocessing.get_context("fork")
+                self._cold_pool = self._pool = ctx.Pool(processes=runtime.workers)
+        else:
+            self._warn_degraded()
+        return network
+
+    def end_run(self) -> None:
+        pool, self._cold_pool = self._cold_pool, None
+        self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        if not self.runtime.is_warm:
+            self._unregister_boxes()
+            unregister_shared(self._shared_registered)
+
+    # -- compilation seam ----------------------------------------------------
+    def compile_entity(
+        self, entity: Entity, in_stream: Stream, out_writer: StreamWriter
+    ) -> bool:
+        if (
+            self._pool is None
+            or not isinstance(entity, Box)
+            or not entity.parallel_safe
         ):
-            return False
-        estimate = self._estimate_nbytes(value)
-        # size unknown -> broadcast anyway: registration costs one dict slot
-        # and boxes are pure by the S-Net contract, so sharing is safe
-        return estimate is None or estimate >= self.BROADCAST_MIN_BYTES
-
-    def _register_shared_value(self, value: Any) -> None:
-        """Broadcast one payload object; must run before the pool forks.
-
-        Values already registered (identity match) or not worth broadcasting
-        are skipped.  Objects exposing ``prepare_for_broadcast()`` are
-        prepared here, in the parent, so forked workers inherit the finished
-        structure (e.g. a scene's BVH).
-        """
-        if id(value) in _SHARED_BY_ID or not self._broadcast_worthy(value):
-            return
-        prepare = getattr(value, "prepare_for_broadcast", None)
-        if callable(prepare):
-            prepare()
-        key = next(_shared_keys)
-        _SHARED_OBJECTS[key] = value
-        _SHARED_BY_ID[id(value)] = key
-        self._shared_registered.append(key)
-
-    def _register_shared_inputs(self, inputs: Sequence[Record]) -> None:
-        """Broadcast large input-record payloads; must run before the fork."""
-        for rec in inputs:
-            for label in rec.fields():
-                self._register_shared_value(rec[label])
-
-    def _unregister_shared(self) -> None:
-        for key in self._shared_registered:
-            value = _SHARED_OBJECTS.pop(key, None)
-            if value is not None:
-                _SHARED_BY_ID.pop(id(value), None)
-        self._shared_registered.clear()
-
-    def _count_pickled(self, nbytes: int, batches: int = 0, records: int = 0) -> None:
-        with self._stats_lock:
-            self.bytes_pickled += nbytes
-            self.batches_dispatched += batches
-            self.records_offloaded += records
-
-    # -- compilation ----------------------------------------------------------
-    def _compile_primitive(
-        self, entity: PrimitiveEntity, in_stream: Stream, out_writer: StreamWriter
-    ) -> None:
-        key = None
-        if self._pool is not None and isinstance(entity, Box) and entity.parallel_safe:
-            key = self._box_keys.get(self._template_key(entity))
-        if key is None:
             # filters, synchrocells, non-offloadable boxes: threaded semantics
-            super()._compile_primitive(entity, in_stream, out_writer)
-            return
-        self._spawn(
+            return False
+        key = self._box_keys.get(self._template_key(entity))
+        if key is None:
+            return False
+        self.runtime._spawn(
             self._make_pump(entity, key, in_stream, out_writer),
             f"pool-{entity.name}-{entity.entity_id}",
         )
+        return True
 
     def _make_pump(
         self, entity: Box, key: int, in_stream: Stream, out_writer: StreamWriter
     ):
         pool = self._pool
-        tracer = self.tracer
-        runtime = self
+        runtime = self.runtime
+        tracer = runtime.tracer
+        transport = self
         batcher = BatchAutotuner(
-            self.workers, chunk_size=self.chunk_size, max_inflight=self.max_inflight
+            runtime.workers,
+            chunk_size=runtime.chunk_size,
+            max_inflight=runtime.max_inflight,
         )
         poll = self._POLL_INTERVAL
         result_timeout = self._result_timeout
@@ -542,9 +423,9 @@ class ProcessRuntime(ThreadedRuntime):
         def submit(batch: List[Record]):
             """Serialize one batch (payloads swapped for refs) and dispatch it."""
             payload, buffers, nbytes = dumps_records(
-                [_swap_shared_out(rec) for rec in batch]
+                [swap_shared_out(rec) for rec in batch]
             )
-            runtime._count_pickled(nbytes, batches=1, records=len(batch))
+            transport._count_pickled(nbytes, batches=1, records=len(batch))
             return pool.apply_async(_invoke_box_batch, (key, payload, buffers))
 
         def collect(async_result, batch_len: int) -> List[Record]:
@@ -561,9 +442,9 @@ class ProcessRuntime(ThreadedRuntime):
                     f"box {entity.name!r}: the worker pool returned no result "
                     f"within {result_timeout}s; a worker process may have died"
                 ) from None
-            runtime._count_pickled(len(payload) + sum(len(b) for b in buffers))
+            transport._count_pickled(len(payload) + sum(len(b) for b in buffers))
             batcher.observe(batch_len, elapsed)
-            return [_resolve_shared_in(rec) for rec in loads_records(payload, buffers)]
+            return [resolve_shared_in(rec) for rec in loads_records(payload, buffers)]
 
         def emit(batch_result: List[Record]) -> None:
             for produced in batch_result:
@@ -606,68 +487,88 @@ class ProcessRuntime(ThreadedRuntime):
                     emit(collect(*inflight.popleft()))
                 for produced in entity.flush():  # boxes are stateless: usually []
                     emit([produced])
-            with runtime._stats_lock:
-                runtime.batch_plan[entity.name] = (
+            with transport._stats_lock:
+                transport.batch_plan[entity.name] = (
                     batcher.chunk_size,
                     batcher.max_inflight,
                 )
 
         return pump
 
-    # -- running -------------------------------------------------------------
-    def run(
+
+class ProcessRuntime(EngineCore):
+    """Execute an S-Net network with box invocations on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Size of the worker pool (default: ``os.cpu_count()``).
+    chunk_size:
+        Records per pool submission.  ``None`` (the default) lets each box
+        pump autotune the batch size from observed service times (see
+        :class:`BatchAutotuner`); an explicit integer pins it.
+    max_inflight:
+        Maximum outstanding batches per box pump.  ``None`` (the default)
+        autotunes between ``2 * workers`` and ``4 * workers``; an explicit
+        integer pins it.
+    zero_copy:
+        Enable the fork-shared payload broadcast: large field values of the
+        input records are registered before the pool forks and cross the
+        boundary as :class:`SharedObjectRef` tokens.  Disable to get the
+        legacy full-record pickling data plane (the conformance baseline).
+    tracer / stream_capacity:
+        As for :class:`~repro.snet.runtime.engine.ThreadedRuntime`.
+
+    After a run, :attr:`bytes_pickled` holds the total bytes serialized
+    across the pool boundary in either direction.
+    """
+
+    #: input-record field values at least this large (estimated) are
+    #: broadcast through the fork-shared registry instead of being pickled
+    #: into every batch (the data plane's canonical threshold)
+    BROADCAST_MIN_BYTES = BROADCAST_MIN_BYTES
+
+    def __init__(
         self,
-        network: Entity,
-        inputs: Sequence[Record],
-        fresh: bool = True,
-        timeout: Optional[float] = 60.0,
-    ) -> List[Record]:
-        target = network.copy() if fresh else network
-        pool = None
-        # pool results share the run's patience budget: a batch that takes
-        # longer than the whole run is allowed to would time the run out anyway
-        self._result_timeout = timeout
-        with self._stats_lock:
-            self.bytes_pickled = 0
-            self.batches_dispatched = 0
-            self.records_offloaded = 0
-            self.batch_plan = {}
-        if self._warm:
-            # warm path: the pool and both registries were built by setup()
-            # and survive this run; nothing is registered or torn down here
-            self._pool = self._persistent_pool
-            try:
-                return super().run(target, inputs, fresh=False, timeout=timeout)
-            finally:
-                self._pool = None
-        try:
-            if self.fork_available():
-                self._register_boxes(target)
-                if self._box_keys:
-                    if self.zero_copy:
-                        self._register_shared_inputs(inputs)
-                    # the pool MUST fork after registration and before any
-                    # worker thread starts, so children inherit the registries
-                    # from a quiescent parent
-                    ctx = multiprocessing.get_context("fork")
-                    pool = ctx.Pool(processes=self.workers)
-            else:
-                warnings.warn(
-                    "ProcessRuntime: the 'fork' start method is unavailable on "
-                    "this platform; degrading to threaded in-process execution "
-                    "(identical semantics, no wall-clock parallelism)",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            self._pool = pool
-            return super().run(target, inputs, fresh=False, timeout=timeout)
-        finally:
-            self._pool = None
-            if pool is not None:
-                pool.terminate()
-                pool.join()
-            self._unregister_boxes()
-            self._unregister_shared()
+        workers: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        stream_capacity: int = 256,
+        chunk_size: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        zero_copy: bool = True,
+    ):
+        super().__init__(
+            tracer=tracer, stream_capacity=stream_capacity, transport=PoolTransport()
+        )
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise RuntimeError_("the process runtime needs at least one worker")
+        if chunk_size is not None and chunk_size < 1:
+            raise RuntimeError_("chunk_size must be at least 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise RuntimeError_("max_inflight must be at least 1")
+        self.chunk_size = chunk_size
+        self.max_inflight = max_inflight
+        self.zero_copy = zero_copy
+
+    # -- data-plane introspection --------------------------------------------
+    def _broadcast_worthy(self, value: Any) -> bool:
+        return broadcast_worthy(value, self.BROADCAST_MIN_BYTES)
+
+    @property
+    def batch_plan(self) -> Dict[str, Tuple[int, int]]:
+        """Final per-box ``(chunk_size, max_inflight)`` after autotuning."""
+        return self.transport.batch_plan
+
+    @property
+    def batches_dispatched(self) -> int:
+        """Pool submissions during the last run."""
+        return self.transport.batches_dispatched
+
+    @property
+    def records_offloaded(self) -> int:
+        """Records shipped to pool workers during the last run."""
+        return self.transport.records_offloaded
 
 
 def run_process(

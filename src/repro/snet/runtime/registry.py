@@ -11,7 +11,7 @@ so applications, examples and benchmarks pick an execution strategy by name::
     # or, for the common run-to-completion case:
     outputs = run_on("threaded", network, inputs)
 
-Three backends ship with the repository:
+Four backends ship with the repository:
 
 ``threaded``
     :class:`~repro.snet.runtime.engine.ThreadedRuntime` — one thread per
@@ -22,6 +22,12 @@ Three backends ship with the repository:
     :class:`~repro.snet.runtime.process_engine.ProcessRuntime` — same
     compilation scheme, box invocations offloaded to a forked worker pool.
     The *wall-clock parallel* backend.
+``distributed``
+    :class:`~repro.snet.runtime.distributed_engine.DistributedRuntime` —
+    placement combinators (``A @ num``, ``A !@ <tag>``) executed for real:
+    each placement partition runs in a worker process ("compute node") and
+    records cross partitions over a pipe transport.  The *scale-out*
+    backend.
 ``simulated`` (alias ``dsnet``)
     :class:`~repro.dsnet.simruntime.SimulatedDSNetRuntime` — discrete-event
     simulation of Distributed S-Net on a modelled cluster.  The *performance
@@ -32,6 +38,7 @@ Three backends ship with the repository:
 
 from __future__ import annotations
 
+import difflib
 import inspect
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -60,30 +67,57 @@ def available_backends() -> Tuple[str, ...]:
     """Names of all registered runtime backends, sorted.
 
     >>> available_backends()
-    ('dsnet', 'process', 'simulated', 'threaded')
+    ('distributed', 'dsnet', 'process', 'simulated', 'threaded')
     """
     return tuple(sorted(_FACTORIES))
+
+
+def _unknown_backend_error(name: str) -> RuntimeError_:
+    """A helpful error for a backend name that resolves to nothing.
+
+    Lists every registered backend and, for near-misses (``"threded"``,
+    ``"Distributed "``), suggests the closest registered name.
+    """
+    choices = available_backends()
+    message = (
+        f"unknown runtime backend {name!r}; available: " + ", ".join(choices)
+    )
+    close = difflib.get_close_matches(str(name).strip().lower(), choices, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return RuntimeError_(message)
 
 
 def get_runtime(name: str, **options: Any) -> Any:
     """Instantiate the runtime backend registered under ``name``.
 
     ``options`` are passed to the backend factory (e.g. ``workers=4`` for the
-    process backend, ``stream_capacity=...`` for both executing backends, or
-    ``cluster=...`` for the simulated one).  Unknown names raise
-    :class:`~repro.snet.errors.RuntimeError_` listing the alternatives.
+    process backend, ``nodes=3`` for the distributed one,
+    ``stream_capacity=...`` for every executing backend, or ``cluster=...``
+    for the simulated one).  Unknown names raise
+    :class:`~repro.snet.errors.RuntimeError_` listing every registered
+    backend (with a did-you-mean suggestion for near-misses).
 
     >>> type(get_runtime("threaded")).__name__
     'ThreadedRuntime'
     >>> get_runtime("threaded", stream_capacity=8).stream_capacity
     8
+    >>> get_runtime("distributed", nodes=3).nodes
+    3
+    >>> try:
+    ...     get_runtime("threded")
+    ... except Exception as exc:
+    ...     print(exc)
+    unknown runtime backend 'threded'; available: distributed, dsnet, process, simulated, threaded (did you mean 'threaded'?)
     """
+    if not isinstance(name, str):
+        raise RuntimeError_(
+            f"runtime backend names must be strings, got {name!r}; to run on "
+            "an already-constructed runtime instance use run_on(runtime, ...)"
+        )
     key = name.strip().lower()
     if key not in _FACTORIES:
-        raise RuntimeError_(
-            f"unknown runtime backend {name!r}; available: "
-            + ", ".join(available_backends())
-        )
+        raise _unknown_backend_error(name)
     return _FACTORIES[key](**options)
 
 
@@ -121,6 +155,12 @@ def run_on(
                 "name; configure the runtime instance directly instead"
             )
         runtime = name
+        if not callable(getattr(runtime, "run", None)):
+            raise RuntimeError_(
+                f"run_on() needs a backend name or a runtime instance with a "
+                f".run() method, got {runtime!r}; available backends: "
+                + ", ".join(available_backends())
+            )
     if "timeout" in inspect.signature(runtime.run).parameters:
         result = runtime.run(network, inputs, timeout=timeout)
     else:
@@ -143,6 +183,12 @@ def _process_factory(**options: Any):
     return ProcessRuntime(**options)
 
 
+def _distributed_factory(**options: Any):
+    from repro.snet.runtime.distributed_engine import DistributedRuntime
+
+    return DistributedRuntime(**options)
+
+
 def _simulated_factory(cluster: Any = None, **options: Any):
     # imported lazily: repro.dsnet itself depends on repro.snet
     from repro.cluster.topology import paper_cluster
@@ -155,5 +201,6 @@ def _simulated_factory(cluster: Any = None, **options: Any):
 
 register_backend("threaded", _threaded_factory)
 register_backend("process", _process_factory)
+register_backend("distributed", _distributed_factory)
 register_backend("simulated", _simulated_factory)
 register_backend("dsnet", _simulated_factory, replace=False)

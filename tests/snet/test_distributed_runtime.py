@@ -1,0 +1,293 @@
+"""The distributed runtime's placement-specific behaviour.
+
+The cross-backend conformance suite pins *semantics*; this file pins the
+distribution itself: placement combinators map partitions onto real worker
+processes, the wire data plane broadcasts payloads through the fork-shared
+registry, the warm lifecycle keeps node workers alive across runs, and
+failures inside a partition surface promptly with the remote traceback.
+"""
+
+import os
+
+import pytest
+
+import repro.snet.runtime.data_plane as data_plane
+import repro.snet.runtime.distributed_engine as distributed_engine
+from repro.snet.boxes import box
+from repro.snet.combinators import Serial
+from repro.snet.errors import RuntimeError_
+from repro.snet.placement import StaticPlacement, placed_split
+from repro.snet.records import Record
+from repro.snet.runtime import DistributedRuntime, run_distributed, run_on
+
+fork_only = pytest.mark.skipif(
+    not DistributedRuntime.fork_available(), reason="needs the fork start method"
+)
+
+
+def make_pid_box(label_in="a", label_out="b", name="pidbox"):
+    @box(f"({label_in}) -> ({label_out})", name=name)
+    def tag_pid(value):
+        return {label_out: (value, os.getpid())}
+
+    return tag_pid
+
+
+class TestPartitioning:
+    @fork_only
+    def test_static_partitions_run_on_distinct_worker_processes(self):
+        net = Serial(
+            StaticPlacement(make_pid_box("a", "b", "first"), 0),
+            StaticPlacement(make_pid_box("b", "c", "second"), 1),
+        )
+        runtime = DistributedRuntime(nodes=2)
+        outs = runtime.run(net, [Record({"a": i}) for i in range(6)], timeout=30.0)
+        assert len(outs) == 6
+        # c = ((value, pid_of_first_partition), pid_of_second_partition)
+        first_pids = {r.field("c")[0][1] for r in outs}
+        second_pids = {r.field("c")[1] for r in outs}
+        assert len(first_pids) == len(second_pids) == 1
+        assert os.getpid() not in first_pids | second_pids
+        assert first_pids != second_pids  # node 0 and node 1 are real processes
+
+    @fork_only
+    def test_indexed_placement_maps_tag_value_to_node(self):
+        net = placed_split(make_pid_box(), "node")
+        inputs = [Record({"a": i, "<node>": i % 2}) for i in range(10)]
+        runtime = DistributedRuntime(nodes=2)
+        outs = runtime.run(net, inputs, timeout=30.0)
+        pid_of_node = {}
+        for rec in outs:
+            value, pid = rec.field("b")
+            pid_of_node.setdefault(value % 2, set()).add(pid)
+        # every replica of one tag value lives on one worker, and the two
+        # values land on the two distinct workers
+        assert all(len(pids) == 1 for pids in pid_of_node.values())
+        assert pid_of_node[0] != pid_of_node[1]
+        assert os.getpid() not in pid_of_node[0] | pid_of_node[1]
+
+    @fork_only
+    def test_node_ids_beyond_node_count_wrap_modulo(self):
+        net = StaticPlacement(make_pid_box(), 5)  # 5 % 2 == node 1
+        runtime = DistributedRuntime(nodes=2)
+        outs = runtime.run(net, [Record({"a": 1})], timeout=30.0)
+        assert runtime.partition_plan[net.name] == 5
+        assert len(outs) == 1
+
+    @fork_only
+    def test_unplaced_network_runs_wholly_on_node_zero(self):
+        runtime = DistributedRuntime(nodes=2)
+        outs = runtime.run(make_pid_box(), [Record({"a": i}) for i in range(4)], timeout=30.0)
+        pids = {r.field("b")[1] for r in outs}
+        assert len(pids) == 1 and os.getpid() not in pids
+        assert list(runtime.partition_plan.values()) == [0]
+
+    def test_partition_plan_reports_static_and_dynamic_partitions(self):
+        net = Serial(StaticPlacement(make_pid_box("a", "b"), 1), placed_split(make_pid_box("b", "c"), "k"))
+        runtime = DistributedRuntime(nodes=2)
+        runtime.run(net, [Record({"a": 1, "<k>": 0})], timeout=30.0)
+        values = list(runtime.partition_plan.values())
+        assert 1 in values
+        assert "!@<k>" in values
+
+
+class TestDataPlane:
+    @fork_only
+    def test_broadcast_payload_never_crosses_the_wire_by_value(self):
+        class Unpicklable:
+            def __init__(self, token):
+                self.token = token
+                self.prepared = 0
+
+            def payload_size(self):
+                return 1 << 20
+
+            def prepare_for_broadcast(self):
+                self.prepared += 1
+                return self
+
+            def __reduce__(self):
+                raise TypeError("this payload must not cross by value")
+
+        payload = Unpicklable("scene")
+
+        @box("(scene, a) -> (b)")
+        def use_scene(scene, a):
+            return {"b": f"{scene.token}-{a}"}
+
+        net = StaticPlacement(use_scene, 1)
+        inputs = [Record({"scene": payload, "a": i}) for i in range(5)]
+        outs = run_on("distributed", net, inputs, timeout=30.0, nodes=2)
+        assert sorted(r.field("b") for r in outs) == [f"scene-{i}" for i in range(5)]
+        assert payload.prepared == 1  # prepared exactly once, pre-fork
+
+    @fork_only
+    def test_bytes_on_wire_accounted_and_reset_per_run(self):
+        import numpy as np
+
+        @box("(x) -> (y)")
+        def copy_array(x):
+            return {"y": x + 0.0}
+
+        net = StaticPlacement(copy_array, 0)
+        small = [Record({"x": np.zeros(8)})]
+        runtime = DistributedRuntime(nodes=1, zero_copy=False)
+        runtime.run(net, small, timeout=30.0)
+        small_bytes = runtime.bytes_pickled
+        assert small_bytes > 0
+        runtime.run(net, [Record({"x": np.zeros(4096)})], timeout=30.0)
+        big_bytes = runtime.bytes_pickled
+        assert big_bytes > small_bytes  # per-run counter, scales with payload
+        assert big_bytes >= 2 * 4096 * 8  # the array crossed both directions
+
+    def test_registries_are_cleaned_up_after_cold_run(self):
+        templates_before = dict(distributed_engine._PARTITION_REGISTRY)
+        shared_before = dict(data_plane._SHARED_OBJECTS)
+        net = StaticPlacement(make_pid_box(), 0)
+        run_distributed(net, [Record({"a": 1})], nodes=2, timeout=30.0)
+        assert distributed_engine._PARTITION_REGISTRY == templates_before
+        assert data_plane._SHARED_OBJECTS == shared_before
+
+
+class TestWarmLifecycle:
+    @fork_only
+    def test_warm_runs_reuse_the_same_node_workers(self):
+        net = StaticPlacement(make_pid_box(), 0)
+        runtime = DistributedRuntime(nodes=2)
+        runtime.setup(net)
+        try:
+            assert runtime.is_warm
+            pids_before = list(runtime.worker_pids)
+            assert len(pids_before) == 2
+            seen = set()
+            for i in range(3):
+                outs = runtime.run(net, [Record({"a": i})], timeout=30.0)
+                seen.update(rec.field("b")[1] for rec in outs)
+            assert runtime.worker_pids == pids_before  # no re-fork per run
+            assert seen <= set(pids_before)
+        finally:
+            runtime.teardown()
+        assert not runtime.is_warm
+        assert runtime.worker_pids == []
+
+    @fork_only
+    def test_setup_twice_rejected_and_teardown_idempotent(self):
+        net = StaticPlacement(make_pid_box(), 0)
+        runtime = DistributedRuntime(nodes=1)
+        runtime.setup(net)
+        try:
+            with pytest.raises(RuntimeError_, match="already-warm"):
+                runtime.setup(net)
+        finally:
+            runtime.teardown()
+            runtime.teardown()  # idempotent
+
+    @fork_only
+    def test_setup_warns_on_unplaced_network(self):
+        runtime = DistributedRuntime(nodes=2)
+        with pytest.warns(RuntimeWarning, match="no placement combinators"):
+            runtime.setup(make_pid_box())
+        try:
+            # still correct, just in-process: placement is what distributes
+            outs = runtime.run(make_pid_box(), [Record({"a": 1})], timeout=30.0)
+            assert outs[0].field("b") == (1, os.getpid())
+        finally:
+            runtime.teardown()
+
+
+class TestFailureModes:
+    def test_degrades_to_threaded_with_warning_without_fork(self, monkeypatch):
+        monkeypatch.setattr(
+            DistributedRuntime, "fork_available", staticmethod(lambda: False)
+        )
+        runtime = DistributedRuntime(nodes=2)
+        net = StaticPlacement(make_pid_box(), 1)
+        with pytest.warns(RuntimeWarning, match="degrading to threaded"):
+            outs = runtime.run(net, [Record({"a": i}) for i in range(3)], timeout=15.0)
+        # placement transparent: everything executed in this very process
+        assert {r.field("b")[1] for r in outs} == {os.getpid()}
+        assert runtime.bytes_pickled == 0
+
+    @fork_only
+    def test_partition_error_surfaces_with_remote_traceback(self):
+        @box("(a) -> (b)")
+        def boom(a):
+            raise KeyError("remote partition failure detail")
+
+        net = StaticPlacement(boom, 0)
+        runtime = DistributedRuntime(nodes=2)
+        with pytest.raises(RuntimeError_, match="worker") as excinfo:
+            runtime.run(net, [Record({"a": 1})], timeout=15.0)
+        assert "remote partition failure detail" in str(excinfo.value.__cause__)
+
+    @fork_only
+    def test_partition_error_mid_stream_fails_promptly(self):
+        @box("(a) -> (b)")
+        def flaky(a):
+            if a == 7:
+                raise ValueError("partition exploded mid-stream")
+            return {"b": a}
+
+        net = StaticPlacement(flaky, 1)
+        inputs = [Record({"a": i}) for i in range(50)]
+        runtime = DistributedRuntime(nodes=2, stream_capacity=4)
+        with pytest.raises(RuntimeError_, match="worker"):
+            # records exceed the stream capacity on purpose: the run can only
+            # fail promptly because the forwarder keeps draining its input
+            runtime.run(net, inputs, timeout=15.0)
+
+    @fork_only
+    def test_channel_opened_on_dead_link_fails_fast(self):
+        """A channel landing on an already-dead link must not stall the run.
+
+        The receiver closes its writers when the link dies, but a channel
+        opened *afterwards* (late split instantiation) would register a
+        writer nothing ever closes — the open must be refused, the writer
+        closed (downstream EOS) and the input drained instead.
+        """
+        from repro.snet.runtime.stream import Stream
+
+        net = StaticPlacement(make_pid_box(), 0)
+        runtime = DistributedRuntime(nodes=1)
+        runtime.setup(net)
+        try:
+            link = runtime.transport._links[0]
+            link._fail(RuntimeError_("worker gone (test)"))
+            in_stream = Stream(name="late-channel-in", capacity=4)
+            writer = in_stream.open_writer()
+            out_stream = Stream(name="late-channel-out", capacity=4)
+            runtime._reset_run_state()
+            runtime.transport._open_channel(
+                1, 0, in_stream, out_stream.open_writer(), "late"
+            )
+            with runtime._lock:
+                runtime._started = True
+                pending = list(runtime._pending)
+                runtime._pending.clear()
+            for start in pending:
+                start()
+            # downstream sees EOS immediately instead of hanging
+            assert out_stream.get(timeout=5.0) is None
+            # and the input side is drained so upstream writers never block
+            for i in range(10):
+                writer.put(Record({"a": i}))
+            writer.close()
+            for thread in list(runtime._threads):
+                thread.join(timeout=5.0)
+        finally:
+            runtime.teardown()
+
+    @fork_only
+    def test_warm_runtime_detects_dead_worker(self):
+        net = StaticPlacement(make_pid_box(), 0)
+        runtime = DistributedRuntime(nodes=2)
+        runtime.setup(net)
+        try:
+            runtime.run(net, [Record({"a": 1})], timeout=30.0)
+            victim = runtime.transport._links[0].process
+            victim.terminate()
+            victim.join(timeout=5.0)
+            with pytest.raises(RuntimeError_, match="no longer alive"):
+                runtime.run(net, [Record({"a": 2})], timeout=15.0)
+        finally:
+            runtime.teardown()

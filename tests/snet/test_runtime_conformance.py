@@ -1,11 +1,17 @@
 """Cross-backend conformance: every executing runtime, identical semantics.
 
-One set of semantic tests parametrised over the ``threaded`` and ``process``
-backends.  S-Net output ordering is nondeterministic (parallel branches merge
-in arrival order), so conformance is defined on *multisets* of output
-records: for every network and input stream, each backend must produce the
-same records the same number of times — and, where a sequential reference
-exists, the same multiset as the sequential interpreter.
+One set of semantic tests parametrised over the ``threaded``, ``process``
+and ``distributed`` backends.  S-Net output ordering is nondeterministic
+(parallel branches merge in arrival order), so conformance is defined on
+*multisets* of output records: for every network and input stream, each
+backend must produce the same records the same number of times — and, where
+a sequential reference exists, the same multiset as the sequential
+interpreter.
+
+The distributed backend participates with two real node workers: an
+unplaced network executes wholly on compute node 0 (the implicit ``@ 0``
+wrap), so even these placement-free tests exercise the wire protocol
+end-to-end.
 """
 
 from collections import Counter
@@ -17,10 +23,12 @@ from repro.snet.boxes import Box, box
 from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
 from repro.snet.errors import RuntimeError_
 from repro.snet.filters import Filter
+from repro.snet.lang.builder import build_network
 from repro.snet.network import Network, run_network
 from repro.snet.patterns import Guard, Pattern, TagRef
 from repro.snet.records import Record
 from repro.snet.runtime import (
+    DistributedRuntime,
     ProcessRuntime,
     ThreadedRuntime,
     available_backends,
@@ -29,7 +37,7 @@ from repro.snet.runtime import (
 )
 from repro.snet.synchrocell import SyncroCell
 
-BACKENDS = ["threaded", "process"]
+BACKENDS = ["threaded", "process", "distributed"]
 
 
 @pytest.fixture(params=BACKENDS)
@@ -45,6 +53,8 @@ def multiset(records):
 def run_backend(name, network, inputs, timeout=30.0, **options):
     if name == "process":
         options.setdefault("workers", 2)
+    elif name == "distributed":
+        options.setdefault("nodes", 2)
     return run_on(name, network, inputs, timeout=timeout, **options)
 
 
@@ -58,20 +68,46 @@ def make_inc(label_in="a", label_out="b"):
 
 class TestRegistry:
     def test_backends_registered(self):
-        assert {"threaded", "process", "simulated", "dsnet"} <= set(available_backends())
+        assert {"threaded", "process", "distributed", "simulated", "dsnet"} <= set(
+            available_backends()
+        )
 
     def test_get_runtime_types(self):
         assert isinstance(get_runtime("threaded"), ThreadedRuntime)
         assert isinstance(get_runtime("process", workers=2), ProcessRuntime)
+        assert isinstance(get_runtime("distributed", nodes=2), DistributedRuntime)
 
     def test_unknown_backend_lists_choices(self):
         with pytest.raises(RuntimeError_, match="threaded"):
             get_runtime("quantum")
 
+    def test_unknown_backend_suggests_close_match(self):
+        with pytest.raises(RuntimeError_, match="did you mean 'distributed'"):
+            get_runtime("distribted")
+
+    def test_unknown_backend_error_lists_every_backend(self):
+        with pytest.raises(RuntimeError_) as excinfo:
+            get_runtime("quantum")
+        for name in available_backends():
+            assert name in str(excinfo.value)
+
+    def test_run_on_rejects_non_runtime_instance(self):
+        with pytest.raises(RuntimeError_, match="available backends"):
+            run_on(object(), make_inc(), [Record({"a": 1})])
+
+    def test_get_runtime_rejects_non_string_name(self):
+        with pytest.raises(RuntimeError_, match="run_on"):
+            get_runtime(ThreadedRuntime())  # a runtime instance is not a name
+
     def test_process_is_a_distinct_backend(self):
         runtime = get_runtime("process", workers=3, chunk_size=2)
         assert runtime.workers == 3
         assert runtime.chunk_size == 2
+
+    def test_distributed_is_a_distinct_backend(self):
+        runtime = get_runtime("distributed", nodes=3, chunk_size=4)
+        assert runtime.nodes == 3
+        assert runtime.chunk_size == 4
 
 
 class TestConformance:
@@ -200,6 +236,64 @@ class TestConformance:
         inputs = [Record({"a": i}) for i in range(30)]
         outs = run_backend(backend, net, inputs, stream_capacity=1)
         assert sorted(r.field("c") for r in outs) == [i + 2 for i in range(30)]
+
+
+class TestPlacementDSLAcrossBackends:
+    """End-to-end: textual S-Net with ``@`` and ``!@`` runs on every backend.
+
+    The parser has accepted the placement combinators all along; this pins
+    that a program using both runs *unchanged* — identical output multisets
+    — whether placement is transparent (threaded, process) or honoured with
+    real compute-node workers (distributed).
+    """
+
+    SOURCE = """
+    net placed_pipeline
+    {
+      box prep ( (raw, <node>) -> (val, <node>) );
+      box work ( (val, <node>) -> (res, <node>) );
+      box publish ( (res, <node>) -> (done) );
+    } connect
+      prep@1 .. (work!@<node>) .. publish@0
+    """
+
+    @staticmethod
+    def _network():
+        return build_network(
+            TestPlacementDSLAcrossBackends.SOURCE,
+            {
+                "prep": lambda raw, node: {"val": raw * 10, "<node>": node},
+                "work": lambda val, node: {"res": val + node, "<node>": node},
+                "publish": lambda res, node: {"done": res},
+            },
+        ).instantiate()
+
+    @staticmethod
+    def _inputs():
+        return [Record({"raw": i, "<node>": i % 3}) for i in range(12)]
+
+    def test_dsl_placement_program_conforms(self, backend):
+        expected = multiset(run_network(self._network(), self._inputs()))
+        outs = run_backend(backend, self._network(), self._inputs())
+        assert multiset(outs) == expected
+
+    def test_identical_outputs_across_all_three_backends(self):
+        results = {
+            name: multiset(run_backend(name, self._network(), self._inputs()))
+            for name in BACKENDS
+        }
+        assert results["threaded"] == results["process"] == results["distributed"]
+
+    def test_distributed_partitions_the_dsl_program(self):
+        runtime = get_runtime("distributed", nodes=2)
+        outs = runtime.run(self._network(), self._inputs(), timeout=30.0)
+        assert sorted(r.field("done") for r in outs) == sorted(
+            10 * i + (i % 3) for i in range(12)
+        )
+        plan = runtime.partition_plan
+        # two static partitions (@1, @0) and one dynamic (!@<node>) family
+        assert sorted(v for v in plan.values() if isinstance(v, int)) == [0, 1]
+        assert "!@<node>" in plan.values()
 
 
 class TestProcessBackendSpecifics:

@@ -18,7 +18,7 @@ from repro.raytracer.scene import random_scene
 from repro.snet.boxes import box
 from repro.snet.errors import RuntimeError_
 from repro.snet.records import Record
-from repro.snet.runtime import ProcessRuntime, ThreadedRuntime
+from repro.snet.runtime import DistributedRuntime, ProcessRuntime, ThreadedRuntime
 
 fork_only = pytest.mark.skipif(
     not ProcessRuntime.fork_available(),
@@ -119,6 +119,40 @@ def test_setup_twice_rejected_and_teardown_cleans_registries(farm):
         backend.release()
     assert process_engine._BOX_REGISTRY == boxes_before
     assert process_engine._SHARED_OBJECTS == shared_before
+
+
+@fork_only
+def test_warm_distributed_runtime_serves_repeated_runs(farm):
+    """The farm's `solver !@ <node>` partitions render on warm node workers.
+
+    Same shape as the warm process-pool test: one setup, several runs, each
+    pixel-identical, with the broadcast scene never re-shipped (per-run wire
+    bytes stay in metadata territory) and the node workers not re-forked.
+    """
+    scene, camera, reference = farm
+    backend = RealRenderBackend(scene, camera, render_mode="packet")
+    network = build_static_network(backend)
+    runtime = DistributedRuntime(nodes=2)
+    try:
+        runtime.setup(network, broadcast=(scene,))
+        assert runtime.is_warm
+        pids = list(runtime.worker_pids)
+        assert len(pids) == 2
+        per_run_bytes = []
+        for _ in range(3):
+            backend.begin_job()
+            runtime.run(
+                network, [initial_record(scene, nodes=2, tasks=4)], timeout=60.0
+            )
+            np.testing.assert_allclose(extract_image(backend), reference, atol=1e-9)
+            per_run_bytes.append(runtime.bytes_pickled)
+        assert runtime.worker_pids == pids  # the same node workers served all runs
+        # the pixel chunks must cross the wire, the scene must not: per-run
+        # wire volume stays far below a single scene serialization per batch
+        assert all(0 < b < 256_000 for b in per_run_bytes), per_run_bytes
+    finally:
+        runtime.teardown()
+    assert not runtime.is_warm
 
 
 def test_setup_degrades_with_warning_without_fork(farm, monkeypatch):

@@ -22,6 +22,7 @@ AUDITED_MODULES = [
     "repro.apps.workloads",
     "repro.snet.runtime.registry",
     "repro.snet.runtime.stream",
+    "repro.snet.runtime.core",
 ]
 
 

@@ -16,6 +16,7 @@ from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
 from repro.snet.filters import Filter
 from repro.snet.network import run_network
 from repro.snet.patterns import Guard, Pattern, TagRef
+from repro.snet.placement import StaticPlacement
 from repro.snet.records import Field, Record, Tag
 from repro.snet.runtime import ThreadedRuntime
 from repro.snet.types import RecordType, Variant
@@ -313,6 +314,93 @@ class TestRuntimeStreamProperties:
         )
         runtime = ProcessRuntime(workers=2, stream_capacity=capacity, chunk_size=3)
         outputs = runtime.run(graph, inputs, timeout=20.0)
+        assert sorted(r.field("ident") for r in outputs) == [
+            r.field("ident") for r in inputs
+        ]
+
+
+# -- placement transparency ------------------------------------------------------
+#
+# Distributed S-Net's placement combinators are *conservative* extensions:
+# ``A @ num`` and ``A !@ <tag>`` tell the distributed runtime where entities
+# execute but must never change what the network computes.  The strategies
+# below generate a placement *plan* — a structural recipe — and build it
+# twice: once with placements materialised, once with every ``@ num``
+# stripped and every ``!@`` demoted to a plain ``!``.  Both variants must
+# produce identical output multisets, whatever the stream of records.
+
+
+@st.composite
+def placement_plans(draw, depth=0):
+    """A recipe buildable with or without its placement combinators."""
+    choices = ["inc", "identity"]
+    if depth < 3:
+        choices += ["serial", "parallel", "split", "star", "place", "placed_split"]
+    kind = draw(st.sampled_from(choices))
+    if kind in ("serial", "parallel"):
+        return (
+            kind,
+            draw(placement_plans(depth=depth + 1)),
+            draw(placement_plans(depth=depth + 1)),
+        )
+    if kind in ("split", "placed_split"):
+        return (kind, draw(placement_plans(depth=depth + 1)))
+    if kind == "place":
+        return ("place", draw(st.integers(0, 3)), draw(placement_plans(depth=depth + 1)))
+    return (kind,)
+
+
+def build_placement_plan(plan, placed):
+    """Materialise a plan, with (``placed=True``) or without its placements."""
+    kind = plan[0]
+    if kind == "inc":
+        return _inc_box()
+    if kind == "identity":
+        return Filter.identity()
+    if kind == "serial":
+        return Serial(
+            build_placement_plan(plan[1], placed), build_placement_plan(plan[2], placed)
+        )
+    if kind == "parallel":
+        return Parallel(
+            build_placement_plan(plan[1], placed), build_placement_plan(plan[2], placed)
+        )
+    if kind == "split":
+        return IndexSplit(build_placement_plan(plan[1], placed), "k")
+    if kind == "placed_split":
+        return IndexSplit(build_placement_plan(plan[1], placed), "k", placed=placed)
+    if kind == "place":
+        inner = build_placement_plan(plan[2], placed)
+        return StaticPlacement(inner, plan[1]) if placed else inner
+    if kind == "star":
+        return Star(_bump_box(), Pattern(["<n>"], Guard(TagRef("n") >= STAR_EXIT)))
+    raise AssertionError(f"unknown plan node {plan!r}")
+
+
+class TestPlacementTransparency:
+    @settings(max_examples=40, deadline=None)
+    @given(placement_plans(), record_streams())
+    def test_sequential_semantics_ignore_placement(self, plan, inputs):
+        placed = run_network(build_placement_plan(plan, placed=True), inputs)
+        unplaced = run_network(build_placement_plan(plan, placed=False), inputs)
+        assert sorted(repr(r) for r in placed) == sorted(repr(r) for r in unplaced)
+
+    @settings(max_examples=20, deadline=None)
+    @given(placement_plans(), record_streams(), st.sampled_from([2, 16]))
+    def test_threaded_runtime_treats_placement_as_transparent(
+        self, plan, inputs, capacity
+    ):
+        expected = sorted(
+            repr(r) for r in run_network(build_placement_plan(plan, placed=False), inputs)
+        )
+        runtime = ThreadedRuntime(stream_capacity=capacity)
+        outputs = runtime.run(build_placement_plan(plan, placed=True), inputs, timeout=10.0)
+        assert sorted(repr(r) for r in outputs) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(placement_plans(), record_streams())
+    def test_placement_conserves_every_record(self, plan, inputs):
+        outputs = run_network(build_placement_plan(plan, placed=True), inputs)
         assert sorted(r.field("ident") for r in outputs) == [
             r.field("ident") for r in inputs
         ]
