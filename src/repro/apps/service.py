@@ -217,6 +217,7 @@ class JobResult:
     scene_key: str
     rays_cast: int
     bytes_pickled: int
+    node_recoveries: int = 0
     outputs: List[Record] = field(repr=False, default_factory=list)
 
 
@@ -228,7 +229,10 @@ class ServiceMetrics:
     executing).  ``setup_seconds_saved`` charges, for every warm hit, the
     measured cold-build cost of the slot that served it — the wall-clock the
     scene cache avoided.  ``warm_hit_rate`` is warm hits over executed
-    cache lookups (0.0 before the first job).
+    cache lookups (0.0 before the first job).  ``node_recoveries`` counts
+    distributed node workers that died and were failed over or revived
+    while serving jobs — a non-zero value means the service stayed up
+    through node deaths.
     """
 
     state: str
@@ -245,6 +249,7 @@ class ServiceMetrics:
     render_seconds: float
     bytes_pickled: int
     scenes_cached: int
+    node_recoveries: int
 
 
 @dataclass
@@ -258,6 +263,11 @@ class _WarmSlot:
     runtime: Any
     setup_seconds: float
     jobs_served: int = 0
+    #: watermark of the runtime's cumulative ``recoveries`` counter after
+    #: the last served job, so node deaths handled *between* jobs (the
+    #: warm revive path runs on a link receiver thread) are still
+    #: attributed to the next job instead of slipping between two deltas
+    recoveries_seen: int = 0
 
 
 @dataclass
@@ -368,6 +378,7 @@ class RenderService:
         self._setup_seconds_saved = 0.0
         self._render_seconds = 0.0
         self._bytes_pickled = 0
+        self._node_recoveries = 0
 
         self._thread = threading.Thread(
             target=self._scheduler_loop, name="render-service-scheduler", daemon=True
@@ -439,6 +450,7 @@ class RenderService:
                 render_seconds=self._render_seconds,
                 bytes_pickled=self._bytes_pickled,
                 scenes_cached=len(self._slots),
+                node_recoveries=self._node_recoveries,
             )
 
     @property
@@ -535,6 +547,12 @@ class RenderService:
             image = extract_image(slot.backend)
             seconds = time.perf_counter() - started
             slot.jobs_served += 1
+            # node deaths survived since the slot's previous job (distributed
+            # runtimes expose a cumulative failover/revival counter; others
+            # report 0)
+            recoveries_total = int(getattr(slot.runtime, "recoveries", 0))
+            recovered = recoveries_total - slot.recoveries_seen
+            slot.recoveries_seen = recoveries_total
             result = JobResult(
                 job=job,
                 image=image,
@@ -544,6 +562,7 @@ class RenderService:
                 scene_key=slot.key[0],
                 rays_cast=slot.backend.rays_cast - rays_before,
                 bytes_pickled=int(getattr(slot.runtime, "bytes_pickled", 0)),
+                node_recoveries=max(0, recovered),
                 outputs=outputs,
             )
             with self._cv:
@@ -554,6 +573,7 @@ class RenderService:
                     self._cold_builds += 1
                 self._render_seconds += seconds
                 self._bytes_pickled += result.bytes_pickled
+                self._node_recoveries += result.node_recoveries
             self._job_done("served")
             entry.future.set_result(result)
         except BaseException as exc:  # noqa: BLE001 - delivered via the future

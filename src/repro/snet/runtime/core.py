@@ -330,8 +330,18 @@ class EngineCore:
         registers boxes/broadcast payloads and forks its pool once, the
         partition transport forks its node workers once.  Returns ``self``
         so call sites can chain ``get_runtime(...).setup(...)``.
+
+        A transport failing halfway through ``setup`` must not leak what it
+        already acquired (fork-shared registry entries, ``/dev/shm``
+        broadcast segments, half-forked workers): the core tears the
+        transport down unconditionally before re-raising, which is why
+        :meth:`Transport.teardown` is required to be idempotent.
         """
-        self.transport.setup(network, broadcast)
+        try:
+            self.transport.setup(network, broadcast)
+        except BaseException:
+            self.transport.teardown()
+            raise
         self._warm = True
         return self
 

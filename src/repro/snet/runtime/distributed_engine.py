@@ -29,6 +29,14 @@ and split at its placement combinators:
   implicit ``@ 0``, so the whole network executes on compute node 0 — any
   S-Net program runs distributed unchanged.
 
+Partition templates are registered in a fork-shared registry keyed by the
+**structural content hash** of the placed subtree
+(:func:`~repro.snet.placement.structural_key`): two networks built twice
+from the same code hash identically, so a *warm* runtime distributes any
+structurally identical network — not just the exact object handed to
+``setup()``.  A warm run whose partitions match no registered template
+raises loudly instead of silently executing in-process.
+
 Placement combinators *nested inside* a partition are transparent (the
 outermost placement wins): a shipped subtree executes sequentially on its
 node with the reference interpreter semantics
@@ -70,12 +78,37 @@ streams apply normal back-pressure).  Worker errors surface through the
 core's collector with drain-on-error semantics, exactly like a failing
 box on any other backend.
 
+Fault tolerance
+---------------
+
+Node loss is survivable, not just detectable.  The transport journals
+every batch it sends on a channel (the *in-flight* ledger) together with
+the count of result records already delivered downstream.  When a link
+dies mid-run (pipe EOF or send failure), the work the dead node owed is
+re-dispatched: the worker is respawned at its slot (or, if fork fails,
+its slots are re-mapped onto a surviving node), the affected channels are
+re-opened on the replacement from a **fresh template copy**, and their
+full journal is replayed from the start — partitions can be stateful
+(synchrocells), so replaying only the unacknowledged tail would be wrong.
+Replayed results are merged idempotently: the first ``delivered`` records
+of the replayed stream are skipped, and frames still arriving from the
+dead link are dropped once it has been replaced, so no chunk can ever be
+double-counted.  This relies on partitions being deterministic — the
+S-Net box purity contract.  Respawns are budgeted per run
+(``max_respawns``); when the budget is exhausted, or fault tolerance is
+disabled, the dead-node error surfaces promptly and frames posted to the
+dead link are counted in :attr:`DistributedRuntime.frames_dropped` rather
+than vanishing.
+
 The warm lifecycle mirrors the process engine: :meth:`DistributedRuntime.setup`
 registers partitions and broadcast payloads, then forks the node workers
 once; :meth:`DistributedRuntime.run` reuses them until
-:meth:`DistributedRuntime.teardown`.  On platforms without ``fork`` the
-runtime degrades to threaded in-process execution with a
-:class:`RuntimeWarning`, treating every placement as transparent.
+:meth:`DistributedRuntime.teardown`, reviving any worker that died
+between jobs.  Between jobs a warm runtime is also *elastic*:
+:meth:`DistributedRuntime.add_node` / :meth:`DistributedRuntime.remove_node`
+grow or shrink the live node set without a teardown.  On platforms
+without ``fork`` the runtime degrades to threaded in-process execution
+with a :class:`RuntimeWarning`, treating every placement as transparent.
 """
 
 from __future__ import annotations
@@ -97,6 +130,7 @@ from repro.snet.placement import (
     assign_default_placement,
     iter_placement_roots,
     placement_of,
+    structural_key,
 )
 from repro.snet.records import Record
 from repro.snet.runtime.core import (
@@ -131,14 +165,33 @@ class DistributedWorkerError(RuntimeError_):
     """A partition raised inside a node worker (message embeds the remote traceback)."""
 
 
-#: partition templates visible to forked node workers, keyed by registration
-#: id.  Populated in the parent *before* the workers fork, like the process
-#: engine's box registry; the key rides on the placement entity as an
+#: partition templates visible to forked node workers, keyed by the
+#: structural content hash of the placed subtree
+#: (:func:`~repro.snet.placement.structural_key`) and refcounted so two
+#: warm runtimes hosting structurally identical partitions can coexist.
+#: Populated in the parent *before* the workers fork, like the process
+#: engine's box registry; the key also rides on the placement entity as an
 #: attribute so it survives ``Entity.copy`` (star unrolling deep-copies
-#: placed subtrees mid-run, long after the fork).
-_PARTITION_REGISTRY: Dict[int, Entity] = {}
-_partition_keys = itertools.count(1)
+#: placed subtrees mid-run, long after the fork) without re-hashing.
+_PARTITION_REGISTRY: Dict[str, Tuple[int, Entity]] = {}
 _KEY_ATTR = "_dist_partition_key"
+
+
+def _register_template(key: str, template: Entity) -> None:
+    count, existing = _PARTITION_REGISTRY.get(key, (0, None))
+    _PARTITION_REGISTRY[key] = (count + 1, template if existing is None else existing)
+
+
+def _release_template(key: str) -> None:
+    entry = _PARTITION_REGISTRY.get(key)
+    if entry is None:
+        return
+    count, template = entry
+    if count <= 1:
+        _PARTITION_REGISTRY.pop(key, None)
+    else:
+        _PARTITION_REGISTRY[key] = (count - 1, template)
+
 
 # frame kinds (parent -> worker: OPEN/DATA/EOS/SHUTDOWN; worker -> parent:
 # RESULT/EOS_ACK/ERROR)
@@ -180,7 +233,10 @@ def _recv_frame(conn) -> Tuple[int, int, Any, Optional[bytes], List[bytes], int]
     """Receive one multipart frame; returns (..., total wire bytes).
 
     The peer writes all parts of a frame back-to-back from a single
-    thread, so reading header-then-parts never interleaves.
+    thread, so reading header-then-parts never interleaves.  A frame is
+    received atomically or not at all: a pipe dying mid-frame raises
+    before any part is acted on, which is what makes replay-after-death
+    exact — a partially received batch was never counted as delivered.
     """
     header = conn.recv_bytes()
     kind, channel, meta, has_payload, n_buffers = pickle.loads(header)
@@ -204,7 +260,11 @@ def _partition_worker_main(conn, node_index: int) -> None:
     the pipe reports EOF).  Each channel is a fresh copy of a fork-inherited
     partition template, executed with the sequential reference semantics —
     node-level parallelism comes from running many workers, exactly as in
-    the paper's one-runtime-per-node prototype.
+    the paper's one-runtime-per-node prototype.  Because every channel
+    starts from a fresh template copy and consumes its input in order, a
+    replacement worker replaying a dead node's journal reproduces the
+    original result stream exactly (deterministic partitions), which is
+    what the parent's idempotent merge counts on.
     """
     channels: Dict[int, Entity] = {}
     dead_channels: Set[int] = set()
@@ -225,14 +285,14 @@ def _partition_worker_main(conn, node_index: int) -> None:
                 break
             try:
                 if kind == _OPEN:
-                    template = _PARTITION_REGISTRY.get(meta)
-                    if template is None:
+                    entry = _PARTITION_REGISTRY.get(meta)
+                    if entry is None:
                         raise DistributedWorkerError(
                             f"partition template {meta} missing on compute node "
                             f"{node_index}; the distributed runtime requires "
                             "the 'fork' start method"
                         )
-                    channels[channel] = template.copy()
+                    channels[channel] = entry[1].copy()
                 elif kind == _DATA:
                     if channel in dead_channels:
                         continue
@@ -271,14 +331,55 @@ def _partition_worker_main(conn, node_index: int) -> None:
         conn.close()
 
 
+class _Channel:
+    """Parent-side ledger for one partition instance on the wire.
+
+    ``journal`` holds every batch sent since ``OPEN`` (references, not
+    copies) and ``delivered`` the count of result records already put on
+    the output stream — together they are exactly what a replacement node
+    needs to take over: replay the journal from a fresh template copy and
+    skip the first ``delivered`` replayed results.  The journal is freed
+    as soon as the worker acknowledges ``EOS``.  All mutable fields are
+    guarded by the transport's fault lock.
+    """
+
+    __slots__ = (
+        "id",
+        "key",
+        "node",
+        "label",
+        "writer",
+        "journal",
+        "delivered",
+        "replay_skip",
+        "eos_sent",
+        "done",
+    )
+
+    def __init__(
+        self, channel_id: int, key: str, node: int, label: str, writer: StreamWriter
+    ) -> None:
+        self.id = channel_id
+        self.key = key
+        self.node = node  # logical node: resolved to a link modulo live slots
+        self.label = label
+        self.writer = writer
+        self.journal: List[List[Record]] = []
+        self.delivered = 0
+        self.replay_skip = 0
+        self.eos_sent = False
+        self.done = False
+
+
 class _NodeLink:
     """Parent-side endpoint of one node worker: process, pipe, I/O threads.
 
     The sender thread drains an unbounded outbox so no engine thread ever
     blocks inside ``send`` while holding a lock (a full duplex pipe with
     both sides mid-``send`` would otherwise deadlock cyclic networks); the
-    receiver thread demultiplexes worker frames onto the per-channel output
-    writers, where bounded streams restore normal back-pressure.
+    receiver thread hands worker frames to the transport, which owns all
+    channel state — a link knows nothing about channels, so replacing a
+    dead link never orphans bookkeeping.
     """
 
     def __init__(self, transport: "PartitionTransport", index: int, ctx) -> None:
@@ -296,9 +397,12 @@ class _NodeLink:
         self.conn = parent_conn
         self._cv = threading.Condition()
         self._outbox: Deque[Optional[Sequence[bytes]]] = deque()
-        self._writers: Dict[int, StreamWriter] = {}
-        self._open_channels = 0
         self.dead = False
+        #: set (under the transport's fault lock) by the first
+        #: failure-handling pass so send-failure and pipe-EOF — which both
+        #: fire for one death — trigger exactly one failover
+        self.failure_handled = False
+        self._retired = False
         self._sender: Optional[threading.Thread] = None
         self._receiver: Optional[threading.Thread] = None
 
@@ -313,50 +417,27 @@ class _NodeLink:
         self._sender.start()
         self._receiver.start()
 
-    # -- channel bookkeeping -------------------------------------------------
-    def register_channel(self, channel: int, out_writer: StreamWriter) -> bool:
-        """Adopt ``out_writer`` for ``channel``; refused on a dead link.
+    # -- sending -------------------------------------------------------------
+    def post(self, parts: Sequence[bytes]) -> bool:
+        """Queue one multipart frame for the worker (never blocks).
 
-        A writer registered after the receiver has exited would never be
-        closed (nothing will deliver its ``EOS_ACK``), which would stall the
-        run until the wall-clock deadline instead of failing promptly — the
-        caller must close the writer itself on refusal.
+        Returns ``False`` — without queueing or counting wire bytes — when
+        the link is already dead, so the caller can account for the
+        dropped frame instead of letting it vanish.  The outbox is
+        deliberately unbounded: an engine thread blocked mid-``send`` on a
+        full duplex pipe can deadlock cyclic networks (the dynamic farm's
+        token loop), so forward-path back-pressure is traded for deadlock
+        freedom.  Real workloads self-throttle — the farm admits at most
+        ``tokens`` sections at a time — and the return path keeps normal
+        bounded-stream back-pressure.
         """
         with self._cv:
             if self.dead:
                 return False
-            self._writers[channel] = out_writer
-            self._open_channels += 1
-            return True
-
-    def _pop_writer(self, channel: int) -> Optional[StreamWriter]:
-        with self._cv:
-            writer = self._writers.pop(channel, None)
-            if writer is not None:
-                self._open_channels -= 1
-            return writer
-
-    def _writer_for(self, channel: int) -> Optional[StreamWriter]:
-        with self._cv:
-            return self._writers.get(channel)
-
-    # -- sending -------------------------------------------------------------
-    def post(self, parts: Sequence[bytes]) -> None:
-        """Queue one multipart frame for the worker (never blocks, drops when dead).
-
-        The outbox is deliberately unbounded: an engine thread blocked
-        mid-``send`` on a full duplex pipe can deadlock cyclic networks
-        (the dynamic farm's token loop), so forward-path back-pressure is
-        traded for deadlock freedom.  Real workloads self-throttle — the
-        farm admits at most ``tokens`` sections at a time — and the
-        return path keeps normal bounded-stream back-pressure.
-        """
-        self.transport._count_wire(sum(len(part) for part in parts))
-        with self._cv:
-            if self.dead:
-                return
             self._outbox.append(parts)
             self._cv.notify()
+        self.transport._count_wire(sum(len(part) for part in parts))
+        return True
 
     def _sender_loop(self) -> None:
         while True:
@@ -373,11 +454,8 @@ class _NodeLink:
             try:
                 _send_frame(self.conn, parts)
             except (OSError, ValueError) as exc:
-                self._fail(
-                    DistributedWorkerError(
-                        f"compute node {self.index}: worker pipe closed while "
-                        f"sending ({exc!r}); the worker process may have died"
-                    )
+                self.transport._handle_link_failure(
+                    self, f"worker pipe closed while sending ({exc!r})"
                 )
                 return
 
@@ -390,59 +468,40 @@ class _NodeLink:
                 break
             self.transport._count_wire(nbytes)
             if kind == _RESULT:
-                writer = self._writer_for(channel)
-                if writer is None:
-                    continue  # post-error tail of a closed channel
-                try:
-                    for rec in loads_records(payload, buffers):
-                        writer.put(resolve_shared_in(rec))
-                except StreamClosed:
-                    continue
+                self.transport._deliver(self, channel, payload, buffers)
             elif kind == _EOS_ACK:
-                writer = self._pop_writer(channel)
-                if writer is not None:
-                    writer.close()
+                self.transport._finish_channel(self, channel)
             elif kind == _ERROR:
-                writer = self._pop_writer(channel)
-                if writer is not None:
-                    writer.close()
-                self.transport._report_error(DistributedWorkerError(meta))
-        # pipe gone: if partitions were still executing this is a mid-run
-        # worker death; close their writers so downstream sees EOS and the
-        # collected error (not a hang) ends the run
-        with self._cv:
-            dangling = list(self._writers.values())
-            self._writers.clear()
-            open_channels, self._open_channels = self._open_channels, 0
-            was_dead = self.dead
-            self.dead = True
-        for writer in dangling:
-            writer.close()
-        if open_channels and not was_dead:
-            self.transport._report_error(
-                DistributedWorkerError(
-                    f"compute node {self.index}: worker process exited with "
-                    f"{open_channels} partition channel(s) still open"
-                )
-            )
+                self.transport._channel_error(self, channel, meta)
+        self.transport._handle_link_failure(self, "worker process exited")
 
-    def _fail(self, exc: DistributedWorkerError) -> None:
+    def mark_dead(self) -> None:
         with self._cv:
-            if self.dead:
-                return
             self.dead = True
-            dangling = list(self._writers.values())
-            self._writers.clear()
-            self._open_channels = 0
-        self.transport._report_error(exc)
-        for writer in dangling:
-            writer.close()
+            self._cv.notify_all()
 
     # -- shutdown ------------------------------------------------------------
+    def retire(self) -> None:
+        """Stop I/O for a link that has been replaced (idempotent, non-blocking)."""
+        with self._cv:
+            if self._retired:
+                return
+            self._retired = True
+            self.dead = True
+            self._outbox.append(None)
+            self._cv.notify_all()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self.process.join(timeout=0.5)
+
     def shutdown(self) -> None:
         with self._cv:
-            self._outbox.append(None)
-            self._cv.notify()
+            if not self._retired:
+                self._retired = True
+                self._outbox.append(None)
+                self._cv.notify_all()
         if self._sender is not None:
             self._sender.join(timeout=5.0)
         self.process.join(timeout=5.0)
@@ -465,12 +524,24 @@ class PartitionTransport(Transport):
     def __init__(self) -> None:
         super().__init__()
         self._links: List[_NodeLink] = []
-        self._live_keys: Set[int] = set()
-        self._registered_keys: List[int] = []
+        self._live_keys: Set[str] = set()
+        self._registered_keys: List[str] = []
         self._shared_registered: List[int] = []
         self._channel_ids = itertools.count(1)
         self._stats_lock = threading.Lock()
         self._bytes_on_wire = 0
+        #: guards links, channels, journals and the failover counters; an
+        #: RLock because failure handling can be re-entered from a post
+        #: that itself discovered the death
+        self._fault_lock = threading.RLock()
+        self._channels: Dict[int, _Channel] = {}
+        self._run_active = False
+        self._shutting_down = False
+        self._respawns_left = 0
+        #: node failovers + between-job revivals performed (cumulative)
+        self.recoveries = 0
+        #: frames lost on a dead link with no replacement (reset per run)
+        self.frames_dropped = 0
         #: partition name -> compute node (static) or "!@<tag>" (dynamic);
         #: populated by the partitioning pass, kept for introspection
         self.partition_plan: Dict[str, Any] = {}
@@ -483,6 +554,22 @@ class PartitionTransport(Transport):
     def _count_wire(self, nbytes: int) -> None:
         with self._stats_lock:
             self._bytes_on_wire += nbytes
+
+    @property
+    def in_flight(self) -> Dict[str, Dict[str, Any]]:
+        """Per-channel ledger snapshot: what each live partition is owed."""
+        with self._fault_lock:
+            return {
+                ch.label: {
+                    "node": ch.node,
+                    "batches": len(ch.journal),
+                    "records": sum(len(batch) for batch in ch.journal),
+                    "delivered": ch.delivered,
+                    "eos_sent": ch.eos_sent,
+                }
+                for ch in self._channels.values()
+                if not ch.done
+            }
 
     def _report_error(self, exc: BaseException) -> None:
         if self.runtime is not None:
@@ -498,10 +585,11 @@ class PartitionTransport(Transport):
         """Partition ``network``: register every placement subtree pre-fork.
 
         Registers the operand of each placement combinator in the
-        fork-shared template registry and stamps the combinator with its
-        registration key (the stamp survives ``Entity.copy``, so replicas
-        made by stars/splits after the fork still resolve their template).
-        An entirely unplaced network is wrapped in an implicit ``@ 0``.
+        fork-shared template registry under its structural content key and
+        stamps the combinator with that key (the stamp survives
+        ``Entity.copy``, so replicas made by stars/splits after the fork
+        still resolve their template without re-hashing).  An entirely
+        unplaced network is wrapped in an implicit ``@ 0``.
         """
         roots = list(iter_placement_roots(network))
         if not roots and wrap_unplaced:
@@ -513,9 +601,9 @@ class PartitionTransport(Transport):
         assign_default_placement(network, 0)
         plan: Dict[str, Any] = {}
         for root in roots:
-            key = next(_partition_keys)
+            key = structural_key(root)
             setattr(root, _KEY_ATTR, key)
-            _PARTITION_REGISTRY[key] = root.operand
+            _register_template(key, root.operand)
             self._registered_keys.append(key)
             self._live_keys.add(key)
             if isinstance(root, StaticPlacement):
@@ -527,37 +615,380 @@ class PartitionTransport(Transport):
 
     def _unregister(self) -> None:
         for key in self._registered_keys:
-            _PARTITION_REGISTRY.pop(key, None)
+            _release_template(key)
         self._registered_keys.clear()
         self._live_keys.clear()
+
+    def _resolve_key(self, entity: Entity) -> Optional[str]:
+        """Structural key of a placement combinator, if it is one of ours.
+
+        The stamp left by :meth:`_prepare` rides ``Entity.copy``; an
+        unstamped combinator (a structurally identical network built
+        independently and run warm) is hashed on the spot and cached.
+        """
+        key = getattr(entity, _KEY_ATTR, None)
+        if key is None:
+            key = structural_key(entity)
+            try:
+                setattr(entity, _KEY_ATTR, key)
+            except AttributeError:  # pragma: no cover - slots-only entity
+                pass
+        return key if key in self._live_keys else None
+
+    def _check_warm_network(self, network: Entity) -> None:
+        """Refuse loudly when a warm run would not actually distribute.
+
+        A warm runtime distributes any network *structurally identical* to
+        the one it was set up with; anything else must not silently fall
+        back to in-process execution (the PR 5 silent-fallback bug).
+        """
+        roots = list(iter_placement_roots(network))
+        if not roots:
+            warnings.warn(
+                "DistributedRuntime: warm run of a network with no placement "
+                "combinators (@ / !@) — it executes in-process on the "
+                "coordinating node, not on the warm node workers",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return
+        assign_default_placement(network, 0)
+        for root in roots:
+            key = getattr(root, _KEY_ATTR, None)
+            if key is None:
+                key = structural_key(root)
+                try:
+                    setattr(root, _KEY_ATTR, key)
+                except AttributeError:  # pragma: no cover - slots-only entity
+                    pass
+            if key not in self._live_keys:
+                raise RuntimeError_(
+                    f"warm DistributedRuntime: partition {root.name!r} "
+                    f"(structural key {key}) matches no template registered "
+                    "by setup(); a warm runtime only distributes networks "
+                    "structurally identical to the one it was set up with — "
+                    "call teardown() and setup() with this network to "
+                    "redistribute it"
+                )
 
     # -- link lifecycle ------------------------------------------------------
     def _fork_links(self) -> None:
         ctx = multiprocessing.get_context("fork")
         # fork every node worker before starting any I/O thread, so each
-        # child inherits a quiescent parent (complete registries, no frames)
-        self._links = [
-            _NodeLink(self, index, ctx) for index in range(self.runtime.nodes)
-        ]
+        # child inherits a quiescent parent (complete registries, no
+        # frames); append one-by-one so a fork failing halfway leaves the
+        # earlier links on self._links for teardown to reap
+        for index in range(self.runtime.nodes):
+            self._links.append(_NodeLink(self, index, ctx))
         for link in self._links:
             link.start_io()
 
     def _shutdown_links(self) -> None:
-        links, self._links = self._links, []
-        for link in links:
-            link.shutdown()
+        with self._fault_lock:
+            self._shutting_down = True
+            links, self._links = self._links, []
+            channels, self._channels = list(self._channels.values()), {}
+            for ch in channels:
+                ch.done = True
+                ch.journal = []
+        for ch in channels:
+            ch.writer.close()
+        seen: Set[int] = set()
+        try:
+            for link in links:
+                if id(link) in seen:  # an aliased slot after a re-map
+                    continue
+                seen.add(id(link))
+                link.shutdown()
+        finally:
+            with self._fault_lock:
+                self._shutting_down = False
 
-    def _check_links(self) -> None:
-        for link in self._links:
-            if link.dead or not link.process.is_alive():
+    def _revive_links(self) -> None:
+        """Between jobs: respawn any node worker that died while warm.
+
+        Also restores a dedicated worker for slots that were re-mapped
+        (aliased) onto a surviving node during a mid-run failover.  With
+        fault tolerance disabled this keeps the historical contract of
+        refusing to run on a broken warm runtime.
+        """
+        retired: List[_NodeLink] = []
+        with self._fault_lock:
+            seen: Set[int] = set()
+            stale: List[int] = []
+            for i, link in enumerate(self._links):
+                if link.dead or not link.process.is_alive():
+                    stale.append(i)
+                elif id(link) in seen:
+                    stale.append(i)
+                else:
+                    seen.add(id(link))
+            if not stale:
+                return
+            if not self.runtime.fault_tolerance:
                 raise RuntimeError_(
-                    f"distributed compute node {link.index} is no longer "
-                    "alive; call teardown() and setup() to rebuild the links"
+                    f"distributed compute node {self._links[stale[0]].index} "
+                    "is no longer alive; call teardown() and setup() to "
+                    "rebuild the links (fault tolerance is disabled)"
                 )
+            ctx = multiprocessing.get_context("fork")
+            for i in stale:
+                old = self._links[i]
+                fresh = _NodeLink(self, i, ctx)
+                fresh.start_io()
+                self._links[i] = fresh
+                self.recoveries += 1
+                self.runtime.tracer.record(
+                    "distributed-link", "node-revived", node=i
+                )
+                if old.dead and all(l is not old for l in self._links):
+                    retired.append(old)
+        for old in retired:
+            old.retire()
+
+    # -- failover ------------------------------------------------------------
+    def _replace_link(self, link: _NodeLink) -> Optional[_NodeLink]:
+        """Provision a replacement for ``link`` into every slot it holds.
+
+        Called under the fault lock.  Prefers respawning a fresh worker at
+        the dead node's slot (forked now, so it inherits the current
+        registries); if the fork fails, re-maps the slots onto a surviving
+        node — the ``!@ <tag>`` modulo mapping then lands on the survivor
+        set, exactly the paper's node-set contraction.  Returns ``None``
+        when no replacement is possible (fault tolerance off, respawn
+        budget spent, or nothing left alive).
+        """
+        if not self.runtime.fault_tolerance or self._shutting_down:
+            return None
+        if self._respawns_left <= 0:
+            return None
+        slots = [i for i, l in enumerate(self._links) if l is link]
+        if not slots:
+            return None
+        replacement: Optional[_NodeLink] = None
+        try:
+            ctx = multiprocessing.get_context("fork")
+            replacement = _NodeLink(self, link.index, ctx)
+            replacement.start_io()
+        except OSError:  # pragma: no cover - fork exhaustion
+            survivors = [l for l in self._links if l is not link and not l.dead]
+            if not survivors:
+                return None
+            replacement = survivors[slots[0] % len(survivors)]
+        self._respawns_left -= 1
+        for i in slots:
+            self._links[i] = replacement
+        self.recoveries += 1
+        return replacement
+
+    def _replay_channel(self, ch: _Channel, link: _NodeLink) -> None:
+        """Re-dispatch everything a dead node owed ``ch`` (under the fault lock).
+
+        The replacement re-opens the channel from a fresh template copy
+        and replays the journal *from the start* — partitions can be
+        stateful, so the prefix cannot be skipped on the sending side.
+        The first ``delivered`` replayed results are skipped on receipt
+        instead, which makes the merge idempotent.
+        """
+        ch.replay_skip = ch.delivered
+        link.post(_encode_frame(_OPEN, ch.id, meta=ch.key))
+        for batch in ch.journal:
+            payload, buffers, _ = dumps_records([swap_shared_out(r) for r in batch])
+            link.post(_encode_frame(_DATA, ch.id, payload=payload, buffers=buffers))
+        if ch.eos_sent:
+            link.post(_encode_frame(_EOS, ch.id))
+
+    def _handle_link_failure(self, link: _NodeLink, reason: str) -> None:
+        """One node worker is gone: re-dispatch its in-flight work or fail loudly.
+
+        Entered from the link's sender (send failed) and receiver (pipe
+        EOF) — ``failure_handled`` makes the two entries one failover.
+        """
+        closers: List[StreamWriter] = []
+        error: Optional[DistributedWorkerError] = None
+        retire_link = False
+        with self._fault_lock:
+            if link.failure_handled:
+                return
+            link.failure_handled = True
+            link.mark_dead()
+            if self._shutting_down or all(l is not link for l in self._links):
+                return  # normal teardown, or a link already replaced/removed
+            n = len(self._links)
+            affected = [
+                ch
+                for ch in self._channels.values()
+                if not ch.done and self._links[ch.node % n] is link
+            ]
+            replacement = self._replace_link(link)
+            if replacement is not None:
+                retire_link = True
+                self.runtime.tracer.record(
+                    "distributed-link",
+                    "node-failover",
+                    node=link.index,
+                    channels=len(affected),
+                    respawned=replacement.process is not link.process
+                    and replacement.index == link.index,
+                    reason=reason,
+                )
+                for ch in affected:
+                    self._replay_channel(ch, replacement)
+            elif affected:
+                for ch in affected:
+                    ch.done = True
+                    ch.journal = []
+                    closers.append(ch.writer)
+                    self._channels.pop(ch.id, None)
+                error = DistributedWorkerError(
+                    f"compute node {link.index} died ({reason}) with "
+                    f"{len(affected)} partition channel(s) open and no "
+                    "replacement available"
+                )
+            # a dead link with nothing owed stays in its slot; channels
+            # opening on it later trigger their own failover, and the warm
+            # lifecycle revives it at the next begin_run
+        for writer in closers:
+            writer.close()
+        if error is not None:
+            self._report_error(error)
+        if retire_link:
+            link.retire()
+
+    # -- frame handling (called from link receiver threads) ------------------
+    def _deliver(
+        self, link: _NodeLink, channel_id: int, payload: bytes, buffers: List[bytes]
+    ) -> None:
+        records = loads_records(payload, buffers)
+        with self._fault_lock:
+            ch = self._channels.get(channel_id)
+            if ch is None or ch.done:
+                return
+            if not self._links or self._links[ch.node % len(self._links)] is not link:
+                return  # stale frame from a replaced link; the replay re-produces it
+            if ch.replay_skip:
+                skip = min(ch.replay_skip, len(records))
+                ch.replay_skip -= skip
+                records = records[skip:]
+            ch.delivered += len(records)
+            writer = ch.writer
+        try:
+            for rec in records:
+                writer.put(resolve_shared_in(rec))
+        except StreamClosed:
+            pass
+
+    def _finish_channel(self, link: _NodeLink, channel_id: int) -> None:
+        with self._fault_lock:
+            ch = self._channels.get(channel_id)
+            if ch is None or ch.done:
+                return
+            if not self._links or self._links[ch.node % len(self._links)] is not link:
+                return
+            ch.done = True
+            ch.journal = []
+            self._channels.pop(channel_id, None)
+        ch.writer.close()
+
+    def _channel_error(self, link: _NodeLink, channel_id: int, message: str) -> None:
+        with self._fault_lock:
+            ch = self._channels.get(channel_id)
+            if ch is None or ch.done:
+                return
+            if not self._links or self._links[ch.node % len(self._links)] is not link:
+                return  # a deterministic error will recur on the replay
+            ch.done = True
+            ch.journal = []
+            self._channels.pop(channel_id, None)
+        ch.writer.close()
+        self._report_error(DistributedWorkerError(message))
+
+    # -- outbound path -------------------------------------------------------
+    def _post_data(self, ch: _Channel, batch: List[Record]) -> None:
+        payload, buffers, _ = dumps_records([swap_shared_out(r) for r in batch])
+        parts = _encode_frame(_DATA, ch.id, payload=payload, buffers=buffers)
+        with self._fault_lock:
+            if ch.done:
+                return
+            if self.runtime.fault_tolerance:
+                ch.journal.append(list(batch))
+            link = self._links[ch.node % len(self._links)]
+        if not link.post(parts):
+            self._note_dropped_frame(ch, link)
+
+    def _post_eos(self, ch: _Channel) -> None:
+        parts = _encode_frame(_EOS, ch.id)
+        with self._fault_lock:
+            if ch.done:
+                return
+            ch.eos_sent = True
+            link = self._links[ch.node % len(self._links)]
+        if not link.post(parts):
+            self._note_dropped_frame(ch, link)
+
+    def _note_dropped_frame(self, ch: _Channel, link: _NodeLink) -> None:
+        """A frame hit a dead link: account for it, then force the failover.
+
+        If a replacement takes (or already took) over, the journal replay
+        covers the frame and nothing was lost; otherwise the drop counter
+        records it and the failure handler surfaces the dead-node error so
+        the run fails promptly instead of grinding to the deadline.
+        """
+        with self._fault_lock:
+            if not ch.done and self._links and self._links[ch.node % len(self._links)] is link:
+                self.frames_dropped += 1
+        self._handle_link_failure(link, "frame posted to a dead node link")
 
     @property
     def worker_pids(self) -> List[int]:
         return [link.process.pid for link in self._links]
+
+    # -- elasticity ----------------------------------------------------------
+    def add_node(self) -> int:
+        """Grow the warm node set by one freshly forked worker (between jobs)."""
+        with self._fault_lock:
+            if self._run_active:
+                raise RuntimeError_(
+                    "add_node() while a run is in progress; elastic resize "
+                    "is only allowed between jobs"
+                )
+            self.runtime.nodes += 1
+            if self._links:
+                ctx = multiprocessing.get_context("fork")
+                link = _NodeLink(self, len(self._links), ctx)
+                link.start_io()
+                self._links.append(link)
+            return self.runtime.nodes
+
+    def remove_node(self, index: Optional[int] = None) -> int:
+        """Shrink the warm node set (between jobs); defaults to the last slot.
+
+        Placements previously mapped to the removed slot re-map modulo the
+        remaining nodes on the next run — the same contraction rule the
+        failover path uses.
+        """
+        with self._fault_lock:
+            if self._run_active:
+                raise RuntimeError_(
+                    "remove_node() while a run is in progress; elastic "
+                    "resize is only allowed between jobs"
+                )
+            if self.runtime.nodes <= 1:
+                raise RuntimeError_("cannot remove the last compute node")
+            victim: Optional[_NodeLink] = None
+            if self._links:
+                slot = len(self._links) - 1 if index is None else index
+                if not 0 <= slot < len(self._links):
+                    raise RuntimeError_(
+                        f"remove_node: no compute node at slot {slot}"
+                    )
+                victim = self._links.pop(slot)
+                for i, link in enumerate(self._links):
+                    link.index = i
+            self.runtime.nodes -= 1
+        if victim is not None and all(l is not victim for l in self._links):
+            victim.shutdown()
+        return self.runtime.nodes
 
     # -- warm lifecycle ------------------------------------------------------
     def setup(self, network: Optional[Entity], broadcast: Sequence[Any] = ()) -> None:
@@ -570,30 +1001,28 @@ class PartitionTransport(Transport):
         if not runtime.fork_available():
             self._warn_degraded()
             return
-        # warm distribution is keyed to the *network object handed to setup*:
-        # its placement combinators are stamped with their registered template
-        # keys, and run(fresh=True) copies carry the stamps along.  Running a
-        # different (even structurally identical) network on a warm runtime
-        # executes in-process — its combinators carry no stamps and the
-        # forked workers never inherited its templates.
-        # No wrapping here either: run() compiles the caller's network
-        # object, so a wrapper made now would be unreachable — an unplaced
-        # network simply executes in-process when warm
-        self._prepare(network, wrap_unplaced=False)
-        if not self._live_keys:
-            warnings.warn(
-                "DistributedRuntime.setup: the network has no placement "
-                "combinators (@ / !@); warm runs will execute in-process",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return
-        if runtime.zero_copy:
-            for value in broadcast:
-                register_shared_value(
-                    value, self._shared_registered, runtime.BROADCAST_MIN_BYTES
+        try:
+            self._prepare(network, wrap_unplaced=False)
+            if not self._live_keys:
+                warnings.warn(
+                    "DistributedRuntime.setup: the network has no placement "
+                    "combinators (@ / !@); warm runs will execute in-process",
+                    RuntimeWarning,
+                    stacklevel=3,
                 )
-        self._fork_links()
+                return
+            if runtime.zero_copy:
+                for value in broadcast:
+                    register_shared_value(
+                        value, self._shared_registered, runtime.BROADCAST_MIN_BYTES
+                    )
+            self._fork_links()
+        except BaseException:
+            # teardown-on-failure is unconditional: a failed setup must not
+            # leak fork-shared templates, /dev/shm broadcast segments or
+            # half-forked node workers
+            self.teardown()
+            raise
 
     def teardown(self) -> None:
         self._shutdown_links()
@@ -607,9 +1036,14 @@ class PartitionTransport(Transport):
         with self._stats_lock:
             self._bytes_on_wire = 0
         runtime = self.runtime
+        with self._fault_lock:
+            self.frames_dropped = 0
+            self._respawns_left = runtime.max_respawns
+            self._run_active = True
         if runtime.is_warm:
             if self._links:
-                self._check_links()
+                self._revive_links()
+                self._check_warm_network(network)
             return network
         if not runtime.fork_available():
             self._warn_degraded()
@@ -623,6 +1057,15 @@ class PartitionTransport(Transport):
         return network
 
     def end_run(self) -> None:
+        with self._fault_lock:
+            self._run_active = False
+            stale = [ch for ch in self._channels.values() if not ch.done]
+            for ch in stale:
+                ch.done = True
+                ch.journal = []
+            self._channels.clear()
+        for ch in stale:  # an interrupted run (deadline/error) left channels open
+            ch.writer.close()
         if self.runtime.is_warm:
             return  # links and registrations persist until teardown()
         self._shutdown_links()
@@ -635,8 +1078,8 @@ class PartitionTransport(Transport):
     ) -> bool:
         if not self._links or not isinstance(entity, StaticPlacement):
             return False
-        key = getattr(entity, _KEY_ATTR, None)
-        if key not in self._live_keys:
+        key = self._resolve_key(entity)
+        if key is None:
             return False
         node = placement_of(entity)
         self._open_channel(key, node, in_stream, out_writer, entity.name)
@@ -647,8 +1090,8 @@ class PartitionTransport(Transport):
     ) -> bool:
         if not self._links or not entity.placed:
             return False
-        key = getattr(entity, _KEY_ATTR, None)
-        if key not in self._live_keys:
+        key = self._resolve_key(entity)
+        if key is None:
             return False
         # indexed placement: the replica for tag value v runs on node v
         self._open_channel(key, value, inst_in, out_writer, f"{entity.name}-{value}")
@@ -657,7 +1100,7 @@ class PartitionTransport(Transport):
     # -- channels ------------------------------------------------------------
     def _open_channel(
         self,
-        key: int,
+        key: str,
         node: int,
         in_stream: Stream,
         out_writer: StreamWriter,
@@ -665,32 +1108,47 @@ class PartitionTransport(Transport):
     ) -> None:
         """Wire one partition instance to its node worker.
 
-        Registers the output writer with the link (the receiver owns it
-        from here: it is closed on ``EOS_ACK``, on a partition error, or
-        when the link dies), announces the channel with ``OPEN`` and spawns
-        the forwarder that batches the partition's input records onto the
-        wire.
+        Creates the channel ledger, announces the channel with ``OPEN``
+        and spawns the forwarder that batches the partition's input
+        records onto the wire.  A channel landing on an already-dead link
+        first gets the normal failover treatment; if no replacement is
+        possible the open is refused — the writer is closed (downstream
+        EOS), the input drained, and the dead-node error recorded so the
+        run fails promptly instead of stalling.
         """
         runtime = self.runtime
-        link = self._links[node % len(self._links)]
-        channel = next(self._channel_ids)
-        if not link.register_channel(channel, out_writer):
-            # the link already died (error recorded when it did): close the
-            # partition's output immediately so downstream sees EOS, and
-            # drain its input so upstream never hangs on back-pressure —
-            # the run then fails promptly with the link's collected error
+        channel_id = next(self._channel_ids)
+        ch = _Channel(channel_id, key, node, label, out_writer)
+        with self._fault_lock:
+            link = self._links[node % len(self._links)]
+        if link.dead or not link.process.is_alive():
+            self._handle_link_failure(link, "found dead while opening a channel")
+        with self._fault_lock:
+            link = self._links[node % len(self._links)]
+            if not link.dead:
+                self._channels[channel_id] = ch
+        if link.dead:
+            self._report_error(
+                DistributedWorkerError(
+                    f"partition {label!r} cannot open a channel: compute node "
+                    f"{link.index} is dead and no replacement is available"
+                )
+            )
             out_writer.close()
             runtime._spawn(
-                lambda: drain_stream(in_stream), f"dist-drain-{label}-ch{channel}"
+                lambda: drain_stream(in_stream), f"dist-drain-{label}-ch{channel_id}"
             )
             return
-        link.post(_encode_frame(_OPEN, channel, meta=key))
-        runtime.tracer.record(label, "partition-open", node=link.index, channel=channel)
+        if not link.post(_encode_frame(_OPEN, channel_id, meta=key)):
+            self._note_dropped_frame(ch, link)
+        runtime.tracer.record(label, "partition-open", node=link.index, channel=channel_id)
         chunk = runtime.chunk_size
 
         def forwarder() -> None:
-            # the receiver owns out_writer; worker_scope still drains the
-            # input on error so upstream workers never hang on back-pressure
+            # the transport owns out_writer from here (closed on EOS_ACK,
+            # partition error or unrecovered link death); worker_scope
+            # still drains the input on error so upstream workers never
+            # hang on back-pressure
             with worker_scope(in_stream, lambda: ()):
                 try:
                     while True:
@@ -703,16 +1161,11 @@ class PartitionTransport(Transport):
                             if extra is None:
                                 break
                             batch.append(extra)
-                        payload, buffers, _ = dumps_records(
-                            [swap_shared_out(r) for r in batch]
-                        )
-                        link.post(
-                            _encode_frame(_DATA, channel, payload=payload, buffers=buffers)
-                        )
+                        self._post_data(ch, batch)
                 finally:
-                    link.post(_encode_frame(_EOS, channel))
+                    self._post_eos(ch)
 
-        runtime._spawn(forwarder, f"dist-fwd-{label}-ch{channel}")
+        runtime._spawn(forwarder, f"dist-fwd-{label}-ch{channel_id}")
 
 
 class DistributedRuntime(EngineCore):
@@ -731,13 +1184,29 @@ class DistributedRuntime(EngineCore):
         Broadcast large input-record payloads (and ``setup(broadcast=...)``
         objects) through the fork-shared registry so they cross the wire as
         tokens instead of bytes — the scene ships zero times per run.
+    fault_tolerance:
+        Journal in-flight batches per partition channel and, when a node
+        worker dies mid-run, re-dispatch the work it owed to a respawned
+        (or re-mapped) replacement with an idempotent merge.  Disable to
+        get fail-fast semantics (a dead node errors the run promptly) and
+        to skip the journal bookkeeping.
+    max_respawns:
+        Mid-run failover budget per run.  Workers that died *between*
+        jobs are always revived on the next run while warm (not counted
+        against this budget).
     tracer / stream_capacity:
         As for :class:`~repro.snet.runtime.engine.ThreadedRuntime`.
 
     After a run, :attr:`bytes_pickled` holds the total frame bytes that
     crossed partition links in either direction, :attr:`partition_plan`
-    the partition → node mapping of the last partitioning pass, and
-    :attr:`worker_pids` the node workers' OS pids (empty when cold).
+    the partition → node mapping of the last partitioning pass,
+    :attr:`worker_pids` the node workers' OS pids (empty when cold),
+    :attr:`recoveries` the cumulative count of node failovers/revivals,
+    and :attr:`frames_dropped` the frames lost on a dead link without a
+    replacement during the last run.  While a run is executing,
+    :attr:`in_flight` snapshots the per-partition ledger the failover
+    replays from.  A warm runtime is elastic between jobs via
+    :meth:`add_node` / :meth:`remove_node`.
     """
 
     #: payload threshold for the fork-shared broadcast (the data plane's
@@ -751,6 +1220,8 @@ class DistributedRuntime(EngineCore):
         stream_capacity: int = 256,
         chunk_size: int = 16,
         zero_copy: bool = True,
+        fault_tolerance: bool = True,
+        max_respawns: int = 3,
     ):
         super().__init__(
             tracer=tracer,
@@ -764,6 +1235,8 @@ class DistributedRuntime(EngineCore):
             raise RuntimeError_("chunk_size must be at least 1")
         self.chunk_size = int(chunk_size)
         self.zero_copy = zero_copy
+        self.fault_tolerance = bool(fault_tolerance)
+        self.max_respawns = int(max_respawns)
 
     @property
     def partition_plan(self) -> Dict[str, Any]:
@@ -774,6 +1247,29 @@ class DistributedRuntime(EngineCore):
     def worker_pids(self) -> List[int]:
         """OS pids of the live node workers (empty before fork/after teardown)."""
         return self.transport.worker_pids
+
+    @property
+    def recoveries(self) -> int:
+        """Cumulative node failovers (mid-run) and revivals (between jobs)."""
+        return self.transport.recoveries
+
+    @property
+    def frames_dropped(self) -> int:
+        """Frames lost on a dead link with no replacement during the last run."""
+        return self.transport.frames_dropped
+
+    @property
+    def in_flight(self) -> Dict[str, Dict[str, Any]]:
+        """Live per-partition ledger: journalled batches/records and deliveries."""
+        return self.transport.in_flight
+
+    def add_node(self) -> int:
+        """Elastically grow the node set between jobs; returns the new count."""
+        return self.transport.add_node()
+
+    def remove_node(self, index: Optional[int] = None) -> int:
+        """Elastically shrink the node set between jobs; returns the new count."""
+        return self.transport.remove_node(index)
 
 
 def run_distributed(

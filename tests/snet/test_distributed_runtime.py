@@ -248,17 +248,18 @@ class TestFailureModes:
         from repro.snet.runtime.stream import Stream
 
         net = StaticPlacement(make_pid_box(), 0)
-        runtime = DistributedRuntime(nodes=1)
+        runtime = DistributedRuntime(nodes=1, fault_tolerance=False)
         runtime.setup(net)
         try:
             link = runtime.transport._links[0]
-            link._fail(RuntimeError_("worker gone (test)"))
+            runtime.transport._handle_link_failure(link, "worker gone (test)")
+            assert link.dead
             in_stream = Stream(name="late-channel-in", capacity=4)
             writer = in_stream.open_writer()
             out_stream = Stream(name="late-channel-out", capacity=4)
             runtime._reset_run_state()
             runtime.transport._open_channel(
-                1, 0, in_stream, out_stream.open_writer(), "late"
+                "bogus-key", 0, in_stream, out_stream.open_writer(), "late"
             )
             with runtime._lock:
                 runtime._started = True
@@ -279,8 +280,11 @@ class TestFailureModes:
 
     @fork_only
     def test_warm_runtime_detects_dead_worker(self):
+        # with fault tolerance disabled, a dead worker keeps the historical
+        # fail-fast contract (the tolerant path is pinned in
+        # test_fault_tolerance.py)
         net = StaticPlacement(make_pid_box(), 0)
-        runtime = DistributedRuntime(nodes=2)
+        runtime = DistributedRuntime(nodes=2, fault_tolerance=False)
         runtime.setup(net)
         try:
             runtime.run(net, [Record({"a": 1})], timeout=30.0)
@@ -291,3 +295,160 @@ class TestFailureModes:
                 runtime.run(net, [Record({"a": 2})], timeout=15.0)
         finally:
             runtime.teardown()
+
+    @fork_only
+    def test_frames_posted_to_a_dead_link_are_counted(self):
+        """Frames hitting a dead link are accounted, never silently dropped.
+
+        With no replacement available the drop must be counted and the
+        dead-node error recorded so the run fails promptly instead of
+        grinding to the wall-clock deadline.
+        """
+        from repro.snet.runtime.stream import Stream
+
+        runtime = DistributedRuntime(nodes=1, fault_tolerance=False)
+        runtime.setup(StaticPlacement(make_pid_box(), 0))
+        try:
+            transport = runtime.transport
+            link = transport._links[0]
+            out_stream = Stream(name="drop-out", capacity=4)
+            ch = distributed_engine._Channel(
+                999, "key", 0, "drop-test", out_stream.open_writer()
+            )
+            transport._channels[999] = ch
+            link.mark_dead()
+            transport._post_data(ch, [Record({"a": 1})])
+            assert runtime.frames_dropped == 1
+            assert ch.done  # the failure handler closed the channel...
+            assert out_stream.get(timeout=5.0) is None
+            # ...and recorded the dead-node error for the run to raise
+            assert any("died" in str(exc) for exc in runtime.errors)
+        finally:
+            runtime.teardown()
+
+    @fork_only
+    def test_dead_node_without_replacement_fails_run_promptly(self, tmp_path):
+        import signal
+        import time
+
+        sentinel = str(tmp_path / "killed")
+
+        @box("(a) -> (b)")
+        def kill_worker(a):
+            if a == 3 and not os.path.exists(sentinel):
+                with open(sentinel, "w", encoding="utf-8") as fh:
+                    fh.write(str(os.getpid()))
+                os.kill(os.getpid(), signal.SIGKILL)
+            return {"b": a}
+
+        net = StaticPlacement(kill_worker, 0)
+        inputs = [Record({"a": i}) for i in range(50)]
+        runtime = DistributedRuntime(
+            nodes=2, chunk_size=1, stream_capacity=4, fault_tolerance=False
+        )
+        start = time.monotonic()
+        with pytest.raises(RuntimeError_, match="died"):
+            runtime.run(net, inputs, timeout=60.0)
+        assert time.monotonic() - start < 30.0  # prompt, not the deadline
+
+
+class TestStructuralKeying:
+    """The warm registry is keyed by structural content, not object identity."""
+
+    @fork_only
+    def test_warm_runtime_distributes_structurally_identical_network(self):
+        # regression for the PR 5 gotcha: a different-but-identical network
+        # object used to run silently in-process on a warm runtime
+        def build():
+            return StaticPlacement(make_pid_box(), 0)
+
+        runtime = DistributedRuntime(nodes=2)
+        runtime.setup(build())
+        try:
+            rebuilt = build()  # a distinct object, same structure
+            outs = runtime.run(
+                rebuilt, [Record({"a": i}) for i in range(4)], timeout=30.0
+            )
+            pids = {r.field("b")[1] for r in outs}
+            assert pids  # produced something
+            assert os.getpid() not in pids  # actually distributed
+            assert pids <= set(runtime.worker_pids)
+        finally:
+            runtime.teardown()
+
+    @fork_only
+    def test_warm_runtime_refuses_structurally_different_network(self):
+        runtime = DistributedRuntime(nodes=2)
+        runtime.setup(StaticPlacement(make_pid_box(), 0))
+        try:
+            with pytest.raises(RuntimeError_, match="structural"):
+                # placed on a different node -> structurally different
+                runtime.run(
+                    StaticPlacement(make_pid_box(), 1),
+                    [Record({"a": 1})],
+                    timeout=15.0,
+                )
+        finally:
+            runtime.teardown()
+
+    @fork_only
+    def test_warm_run_of_unplaced_network_warns_about_in_process(self):
+        runtime = DistributedRuntime(nodes=2)
+        runtime.setup(StaticPlacement(make_pid_box(), 0))
+        try:
+            with pytest.warns(RuntimeWarning, match="in-process"):
+                outs = runtime.run(make_pid_box(), [Record({"a": 1})], timeout=15.0)
+            assert outs[0].field("b")[1] == os.getpid()
+        finally:
+            runtime.teardown()
+
+    @fork_only
+    def test_two_warm_runtimes_share_structurally_identical_templates(self):
+        def build():
+            return StaticPlacement(make_pid_box(), 0)
+
+        first = DistributedRuntime(nodes=1)
+        second = DistributedRuntime(nodes=1)
+        first.setup(build())
+        key = next(iter(first.transport._live_keys))
+        second.setup(build())
+        try:
+            assert distributed_engine._PARTITION_REGISTRY[key][0] == 2  # refcounted
+            first.teardown()
+            # the template survives until the last registrant lets go
+            assert distributed_engine._PARTITION_REGISTRY[key][0] == 1
+            outs = second.run(build(), [Record({"a": 7})], timeout=30.0)
+            assert outs[0].field("b")[0] == 7
+        finally:
+            first.teardown()
+            second.teardown()
+        assert key not in distributed_engine._PARTITION_REGISTRY
+
+
+class TestSetupFailureCleanup:
+    @fork_only
+    def test_failed_setup_leaves_no_registry_leaks(self, monkeypatch):
+        import numpy as np
+
+        templates_before = dict(distributed_engine._PARTITION_REGISTRY)
+        shared_before = dict(data_plane._SHARED_OBJECTS)
+        real_init = distributed_engine._NodeLink.__init__
+        calls = {"n": 0}
+
+        def flaky_init(self, transport, index, ctx):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("fork failed (test)")
+            real_init(self, transport, index, ctx)
+
+        monkeypatch.setattr(distributed_engine._NodeLink, "__init__", flaky_init)
+        runtime = DistributedRuntime(nodes=2)
+        with pytest.raises(OSError, match="fork failed"):
+            runtime.setup(
+                StaticPlacement(make_pid_box(), 0), broadcast=(np.zeros(4096),)
+            )
+        # teardown-on-failure was unconditional: nothing leaked, nothing warm
+        assert not runtime.is_warm
+        assert distributed_engine._PARTITION_REGISTRY == templates_before
+        assert data_plane._SHARED_OBJECTS == shared_before
+        assert runtime.worker_pids == []
