@@ -1,0 +1,100 @@
+"""E11 — the static network checker is free on the steady-state data path.
+
+PR 7 wires ``check="warn"|"error"|"off"`` into every runtime: the
+whole-network dataflow analysis (deadlock, dead branches, unroutable
+records) runs **once per network object** when it is first set up or run,
+and its verdict is cached, so record processing itself is untouched.  The
+contract this benchmark pins down:
+
+* **time** — a warm 2000-sphere frame under ``check="error"`` costs at
+  most **1.05x** the same frame under ``check="off"`` (measured ~1.0x:
+  after the first validation the per-run cost is one ``WeakKeyDictionary``
+  lookup);
+* **conformance** — both configurations produce pixel-identical frames.
+
+Each configuration is timed as the min of ``RUNS`` warm runs after a
+discarded warm-up run (which is where the one-shot analysis actually
+happens), keeping the verdict about the data path rather than compile
+time.  Timings go to the ``bench_json`` CI artifact when
+``BENCH_RESULTS_DIR`` is set, *and* to ``BENCH_7.json`` at the repository
+root so the perf trajectory is readable straight from the checkout.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.apps.networks import build_static_network
+from repro.apps.runner import build_farm_backend, farm_inputs
+from repro.apps.workloads import extract_image
+from repro.raytracer.scene import paper_scene
+from repro.snet.runtime import ThreadedRuntime
+
+WIDTH = HEIGHT = 48
+NUM_SPHERES = 2000
+TASKS = 8
+RUNS = 3
+MAX_CHECK_OVERHEAD = 1.05
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _build_farm(scene):
+    backend = build_farm_backend(scene, WIDTH, HEIGHT, "records", "packet")
+    network = build_static_network(backend, render_mode="packet")
+    inputs = farm_inputs("static", scene, nodes=1, tasks=TASKS)
+    return backend, network, inputs
+
+
+def _measure_warm(scene, check):
+    """Min-of-RUNS warm frame seconds for one ``check`` setting."""
+    backend, network, inputs = _build_farm(scene)
+    runtime = ThreadedRuntime(check=check)
+
+    backend.begin_job()
+    runtime.run(network, list(inputs), timeout=150.0)  # warm-up: analysis runs here
+
+    best = float("inf")
+    for _ in range(RUNS):
+        backend.begin_job()
+        start = time.perf_counter()
+        runtime.run(network, list(inputs), timeout=150.0)
+        best = min(best, time.perf_counter() - start)
+    return extract_image(backend), best
+
+
+def test_static_check_overhead(bench_json):
+    scene = paper_scene(num_spheres=NUM_SPHERES)
+
+    image_off, seconds_off = _measure_warm(scene, check="off")
+    image_on, seconds_on = _measure_warm(scene, check="error")
+
+    # conformance first: a fast wrong answer is not an optimisation
+    np.testing.assert_allclose(image_on, image_off, atol=1e-9)
+
+    overhead = seconds_on / seconds_off
+    assert overhead <= MAX_CHECK_OVERHEAD, (seconds_on, seconds_off)
+
+    payload = {
+        "benchmark": "analysis_overhead",
+        "width": WIDTH,
+        "height": HEIGHT,
+        "tasks": TASKS,
+        "num_spheres": NUM_SPHERES,
+        "runs": RUNS,
+        "cpu_count": os.cpu_count(),
+        "seconds_check_off": seconds_off,
+        "seconds_check_error": seconds_on,
+        "overhead_factor": overhead,
+    }
+    bench_json("analysis_overhead", payload)
+    (REPO_ROOT / "BENCH_7.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"\nstatic check error vs off: {seconds_on:.3f}s vs {seconds_off:.3f}s "
+        f"(x{overhead:.3f})"
+    )

@@ -310,6 +310,11 @@ class RenderService:
         torn down (pool terminated, shared frame released).
     job_timeout:
         Per-job wall-clock deadline handed to the runtime.
+    check:
+        Static-analysis mode (``"warn"``/``"error"``/``"off"``) forwarded to
+        every warm runtime the service creates: each farm network is
+        validated once, before its first record flows.  An explicit
+        ``runtime_options["check"]`` takes precedence.
 
     The service starts accepting jobs immediately; :meth:`close` drains the
     queue and releases every warm slot.  Use as a context manager to
@@ -332,10 +337,15 @@ class RenderService:
         overflow: str = "block",
         max_scenes: int = 4,
         job_timeout: float = 300.0,
+        check: str = "warn",
     ):
         if overflow not in ("block", "reject"):
             raise ValueError(
                 f"unknown overflow policy {overflow!r}; use 'block' or 'reject'"
+            )
+        if check not in ("warn", "error", "off"):
+            raise ValueError(
+                f"unknown check mode {check!r}; use 'warn', 'error' or 'off'"
             )
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
@@ -347,6 +357,9 @@ class RenderService:
         self.render_mode = render_mode
         self.scheduler = scheduler
         self.runtime_options = dict(runtime_options or {})
+        # static network validation mode for every warm runtime the service
+        # creates; an explicit runtime_options["check"] wins
+        self.runtime_options.setdefault("check", check)
         self.max_queue = max_queue
         self.overflow = overflow
         self.max_scenes = max_scenes

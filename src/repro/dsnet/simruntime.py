@@ -23,6 +23,8 @@ statistics used by the benchmark harness.
 
 from __future__ import annotations
 
+import warnings
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -32,7 +34,7 @@ from repro.dsnet.config import DSNetConfig
 from repro.snet.base import Entity, PrimitiveEntity
 from repro.snet.boxes import Box
 from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
-from repro.snet.errors import RuntimeError_
+from repro.snet.errors import NetworkError, RuntimeError_
 from repro.snet.network import Network
 from repro.snet.placement import StaticPlacement
 from repro.snet.records import Record
@@ -125,12 +127,59 @@ class SimulatedDSNetRuntime:
         cluster: Cluster,
         config: Optional[DSNetConfig] = None,
         master_node: int = 0,
+        check: str = "warn",
     ):
+        if check not in ("warn", "error", "off"):
+            raise SimulationError(
+                f"check must be 'warn', 'error' or 'off', got {check!r}"
+            )
         self.cluster = cluster
         self.config = config or DSNetConfig()
         self.master_node = master_node
+        self.check = check
         self.box_invocations = 0
         self.records_transferred = 0
+        self._checked_networks: "weakref.WeakSet" = weakref.WeakSet()
+
+    def _validate_network(self, network: Entity) -> None:
+        """Statically analyze the network once per object (see EngineCore)."""
+        if self.check == "off":
+            return
+        try:
+            if network in self._checked_networks:
+                return
+        except TypeError:
+            pass
+        try:
+            from repro.snet.analysis import analyze_network
+
+            report = analyze_network(network, nodes=self.cluster.num_nodes)
+        except Exception as exc:
+            warnings.warn(
+                f"static network check skipped: analyzer failed ({exc!r})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        try:
+            self._checked_networks.add(network)
+        except TypeError:
+            pass
+        if not report.errors:
+            return
+        findings = "\n".join(d.format() for d in report.errors)
+        if self.check == "error":
+            raise NetworkError(
+                f"network {getattr(network, 'name', '<unnamed>')!r} failed "
+                f"static analysis with {len(report.errors)} error(s):\n"
+                + findings
+            )
+        warnings.warn(
+            f"static analysis found {len(report.errors)} error(s) in "
+            f"network {getattr(network, 'name', '<unnamed>')!r}:\n" + findings,
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # -- cost helpers --------------------------------------------------------
     def _node_of(self, requested: int) -> int:
@@ -355,6 +404,7 @@ class SimulatedDSNetRuntime:
         fresh: bool = True,
     ) -> SimRunResult:
         """Simulate the network on a finite input stream; returns the result."""
+        self._validate_network(network)
         target = network.copy() if fresh else network
         master = self._node_of(self.master_node)
         in_stream = _SimStream(self.cluster, "network-in")

@@ -1,0 +1,63 @@
+"""Static analysis for S-Net networks.
+
+The package mirrors the front half of the paper's S-Net compiler: where the
+original statically infers network type signatures and rejects ill-formed
+compositions before deployment, :func:`analyze_network` abstractly
+interprets label/tag sets through the combinator graph and reports
+diagnostics with stable codes, severities, entity paths and (for parsed
+programs) source spans.
+
+Three consumers sit on top of it:
+
+* :func:`repro.snet.lang.typecheck.check_network` — the legacy API,
+  rewritten on this engine;
+* ``python -m repro.snet.lint`` — the command-line linter
+  (:mod:`repro.snet.analysis.cli`);
+* the ``check="warn"|"error"|"off"`` knob on every runtime
+  (:class:`repro.snet.runtime.core.EngineCore`), validating networks once
+  at compile time, before the first record flows.
+"""
+
+from repro.snet.analysis.checks import analyze_network
+from repro.snet.analysis.dataflow import (
+    AbsRec,
+    DataflowAnalysis,
+    MatchInfo,
+    Tri,
+    entity_match,
+    guard_constant_value,
+    guard_match,
+    guard_tag_refs,
+    pattern_match,
+    variant_match,
+)
+from repro.snet.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    severity_of,
+    title_of,
+)
+
+__all__ = [
+    "analyze_network",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
+    "CODES",
+    "severity_of",
+    "title_of",
+    "AbsRec",
+    "DataflowAnalysis",
+    "MatchInfo",
+    "Tri",
+    "entity_match",
+    "guard_constant_value",
+    "guard_match",
+    "guard_tag_refs",
+    "pattern_match",
+    "variant_match",
+]

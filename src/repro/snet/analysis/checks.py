@@ -1,0 +1,460 @@
+"""The analyzer's check suite: structural checks + dataflow findings.
+
+:func:`analyze_network` is the single entry point used by
+``check_network`` (legacy API), the lint CLI and the runtime ``check``
+knob.  It walks the network once for the purely structural checks
+(constant-false guards, invalid split tags, duplicate parallel variants,
+placement bounds, template labels outside their rule pattern), then runs
+the abstract-interpretation pass of
+:mod:`repro.snet.analysis.dataflow` and derives the definite findings:
+synchrocell deadlock, star non-termination, unroutable records, missing
+split tags and dead parallel branches.
+
+Check catalog (see DESIGN.md for the full semantics):
+
+========== ========================== =========================================
+code       title                      fires when
+========== ========================== =========================================
+SNET-E001  synchrocell-deadlock       a reachable sync has a pattern no
+                                      arriving record can ever match
+SNET-E002  star-never-exits           no record circulating through a star can
+                                      ever satisfy the exit pattern
+SNET-E003  constant-false-guard       a guard evaluates to False on every record
+SNET-E004  template-label-missing     a firing filter template reads a label the
+                                      record definitely lacks (runtime error)
+SNET-E005  unroutable-record          a record is definitely rejected by a box,
+                                      filter or parallel composition
+SNET-E006  split-tag-never-present    records reach ``!<tag>`` without the tag
+SNET-E007  invalid-split-tag          the split tag is not a legal identifier
+SNET-E008  syntax-error               DSL source failed to parse (CLI only)
+SNET-W101  possibly-unroutable        acceptance depends on guard values
+SNET-W102  dead-parallel-branch       a branch no record can ever reach
+SNET-W103  ambiguous-parallel         branches tie on best-match; routing
+                                      between them is nondeterministic
+SNET-W104  template-inherited-label   a template reads a label outside its rule
+                                      pattern and dataflow cannot prove it
+SNET-W105  placement-node-wraps       ``@ node`` beyond the cluster size (the
+                                      distributed runtime wraps modulo nodes)
+========== ========================== =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.snet.analysis.dataflow import (
+    AbsRec,
+    DataflowAnalysis,
+    TOP,
+    Tri,
+    guard_constant_value,
+    guard_tag_refs,
+    pattern_match,
+)
+from repro.snet.analysis.diagnostics import AnalysisReport, SourceSpan
+from repro.snet.base import Entity
+from repro.snet.boxes import Box
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.filters import Filter
+from repro.snet.network import Network
+from repro.snet.patterns import Guard, Pattern
+from repro.snet.placement import StaticPlacement
+from repro.snet.records import Field, Label, Tag
+from repro.snet.synchrocell import SyncroCell
+from repro.snet.types import RecordType
+
+__all__ = ["analyze_network"]
+
+
+def _span_of(obj: object) -> Optional[SourceSpan]:
+    span = getattr(obj, "source_span", None)
+    return span if isinstance(span, SourceSpan) else None
+
+
+class _Walker:
+    """One de-duplicated pre-order walk assigning entity paths."""
+
+    def __init__(self, root: Entity):
+        self.paths: Dict[int, str] = {}
+        self.order: List[Entity] = []
+        self._walk(root, root.name)
+
+    def _walk(self, entity: Entity, path: str) -> None:
+        if id(entity) in self.paths:
+            return  # shared subtree: keep the first path, check once
+        self.paths[id(entity)] = path
+        self.order.append(entity)
+        for child in entity.children():
+            self._walk(child, f"{path}/{child.name}")
+
+    def path(self, entity: Entity) -> str:
+        return self.paths.get(id(entity), entity.name)
+
+
+# ---------------------------------------------------------------------------
+# structural checks (no dataflow required)
+# ---------------------------------------------------------------------------
+def _check_guard_constant(
+    report: AnalysisReport,
+    guard: Optional[Guard],
+    owner: str,
+    path: str,
+    span: Optional[SourceSpan],
+) -> None:
+    if guard_constant_value(guard) is False:
+        report.add(
+            "SNET-E003",
+            f"{owner} guard {guard!r} is constant-false: it can never match",
+            path=path,
+            span=span,
+        )
+
+
+def _template_candidates(
+    flt: Filter,
+) -> List[Tuple[int, int, Label]]:
+    """(rule, template, label) triples reading outside the rule pattern."""
+    out: List[Tuple[int, int, Label]] = []
+    for ri, rule in enumerate(flt.rules):
+        variant = rule.pattern.variant
+        fields = variant.field_names()
+        tags = variant.tag_names()
+
+        def covered(label: Label) -> bool:
+            if isinstance(label, Tag):
+                return label.name in tags
+            return label.name in fields
+
+        for ti, tpl in enumerate(rule.outputs):
+            refs: List[Label] = list(tpl.keep)
+            refs.extend(Field(old) for old in tpl.rename.values())
+            for expr in tpl.assign_tags.values():
+                refs.extend(Tag(name) for name in guard_tag_refs(expr) or ())
+            for label in refs:
+                if not covered(label):
+                    out.append((ri, ti, label))
+    return out
+
+
+def _structural_checks(
+    report: AnalysisReport,
+    walker: _Walker,
+    nodes: Optional[int],
+) -> List[Tuple[Filter, int, int, Label]]:
+    template_candidates: List[Tuple[Filter, int, int, Label]] = []
+    for entity in walker.order:
+        path = walker.path(entity)
+        span = _span_of(entity)
+        if isinstance(entity, Filter):
+            for ri, rule in enumerate(entity.rules):
+                _check_guard_constant(
+                    report,
+                    rule.pattern.guard,
+                    f"filter rule {rule.pattern!r}",
+                    path,
+                    _span_of(rule.pattern) or span,
+                )
+            template_candidates.extend(
+                (entity, ri, ti, label)
+                for ri, ti, label in _template_candidates(entity)
+            )
+        elif isinstance(entity, SyncroCell):
+            for pattern in entity.patterns:
+                _check_guard_constant(
+                    report,
+                    pattern.guard,
+                    f"synchrocell pattern {pattern!r}",
+                    path,
+                    _span_of(pattern) or span,
+                )
+        elif isinstance(entity, Star):
+            _check_guard_constant(
+                report,
+                entity.exit_pattern.guard,
+                f"star exit pattern {entity.exit_pattern!r}",
+                path,
+                _span_of(entity.exit_pattern) or span,
+            )
+        elif isinstance(entity, IndexSplit):
+            if not entity.tag.isidentifier():
+                report.add(
+                    "SNET-E007",
+                    f"index split {entity.name!r}: invalid tag name "
+                    f"{entity.tag!r}",
+                    path=path,
+                    span=span,
+                )
+        elif isinstance(entity, Parallel):
+            _check_duplicate_variants(report, entity, path, span)
+        elif isinstance(entity, StaticPlacement):
+            if nodes is not None and entity.node >= nodes:
+                report.add(
+                    "SNET-W105",
+                    f"placement @ {entity.node} exceeds the cluster size "
+                    f"({nodes} node(s)); the distributed runtime wraps it to "
+                    f"node {entity.node % nodes}",
+                    path=path,
+                    span=span,
+                )
+    return template_candidates
+
+
+def _check_duplicate_variants(
+    report: AnalysisReport,
+    par: Parallel,
+    path: str,
+    span: Optional[SourceSpan],
+) -> None:
+    if par.deterministic:
+        return
+    try:
+        variant_sets = [set(b.signature.input_type.variants) for b in par.branches]
+    except Exception:
+        return
+    shared = variant_sets[0]
+    for vs in variant_sets[1:]:
+        shared = shared & vs
+    if shared:
+        pretty = ", ".join(sorted(repr(v) for v in shared))
+        report.add(
+            "SNET-W103",
+            f"parallel branches share the input variant(s) {pretty}; "
+            "routing between them is nondeterministic",
+            path=path,
+            span=span,
+        )
+
+
+# ---------------------------------------------------------------------------
+# dataflow-derived findings
+# ---------------------------------------------------------------------------
+def _seed_records(entity: Entity, input_type: Optional[RecordType]) -> List[AbsRec]:
+    if input_type is None:
+        try:
+            input_type = entity.signature.input_type
+        except Exception:
+            return [TOP]  # unknown interface: fail open
+    # A non-empty variant seeds a *closed* record of exactly the declared
+    # labels (the documented caveat: real inputs may carry extras).  The
+    # empty variant {} accepts *any* record, so a closed empty seed would
+    # misrepresent it entirely — seed it open instead.
+    return [
+        AbsRec(frozenset(v.labels), len(v.labels) == 0) for v in input_type.variants
+    ]
+
+
+def _entity_noun(entity: Entity) -> str:
+    if isinstance(entity, Box):
+        return f"box {entity.name!r}"
+    if isinstance(entity, Filter):
+        return f"filter {entity.name!r}"
+    if isinstance(entity, SyncroCell):
+        return f"synchrocell {entity.name!r}"
+    if isinstance(entity, Parallel):
+        return f"parallel combinator {entity.name!r}"
+    return f"{entity.KIND} {entity.name!r}"
+
+
+def _dataflow_findings(
+    report: AnalysisReport,
+    walker: _Walker,
+    flow: DataflowAnalysis,
+    template_candidates: List[Tuple[Filter, int, int, Label]],
+) -> None:
+    definite_ok = flow.converged and report.dataflow_ok
+
+    # E005: records definitely rejected (BoxError / FilterError / RouteError)
+    if definite_ok:
+        for entity, rec in flow.definite_drops:
+            report.add(
+                "SNET-E005",
+                f"record {rec!r} can never be accepted by "
+                f"{_entity_noun(entity)} (input type "
+                f"{_input_repr(entity)})",
+                path=walker.path(entity),
+                span=_span_of(entity),
+            )
+
+    # W101: acceptance depends on guard values
+    for entity, rec in flow.maybe_drops:
+        report.add(
+            "SNET-W101",
+            f"record {rec!r} may be rejected by {_entity_noun(entity)}: "
+            "acceptance depends on tag values at run time",
+            path=walker.path(entity),
+            span=_span_of(entity),
+        )
+
+    # E006: index split fed records that never carry the tag
+    if definite_ok:
+        for split, rec in flow.split_missing:
+            report.add(
+                "SNET-E006",
+                f"index split {split.name!r} requires tag <{split.tag}> on "
+                f"every record, but upstream records never carry it: {rec!r}",
+                path=walker.path(split),
+                span=_span_of(split),
+            )
+
+    # E004 definite template misses; remember which candidates they resolve
+    flagged: Set[Tuple[int, Label]] = set()
+    for flt, ri, ti, label, rec, definite in flow.template_missing:
+        flagged.add((id(flt), label))
+        if definite and definite_ok:
+            report.add(
+                "SNET-E004",
+                f"filter {flt.name!r} rule {ri + 1} output {ti + 1} reads "
+                f"{label.pretty()} which record {rec!r} definitely lacks; "
+                "the template raises at run time",
+                path=walker.path(flt),
+                span=_span_of(flt),
+            )
+        else:
+            report.add(
+                "SNET-W104",
+                f"filter {flt.name!r} rule {ri + 1} output {ti + 1} reads "
+                f"{label.pretty()} outside its pattern; record {rec!r} may "
+                "not carry it",
+                path=walker.path(flt),
+                span=_span_of(flt),
+            )
+
+    # W104: template reads outside its pattern and dataflow can't prove it
+    for flt, ri, ti, label in template_candidates:
+        if (id(flt), label) in flagged:
+            continue  # already reported more precisely above
+        observed = flow.observed(flt)
+        if observed and ri < len(flt.rules):
+            rule = flt.rules[ri]
+            firing = [
+                rec
+                for rec in observed
+                if pattern_match(rule.pattern, rec) != Tri.NO
+            ]
+            if all(rec.has_label(label) == Tri.YES for rec in firing):
+                continue  # flow inheritance provably supplies the label
+        report.add(
+            "SNET-W104",
+            f"filter {flt.name!r} rule {ri + 1} output {ti + 1} reads "
+            f"{label.pretty()} outside its pattern; it is only available "
+            "through flow inheritance, which the analyzer cannot prove here",
+            path=walker.path(flt),
+            span=_span_of(flt),
+        )
+
+    # W103: observed best-score ties between parallel branches
+    for par, rec in flow.score_ties:
+        report.add(
+            "SNET-W103",
+            f"record {rec!r} matches several branches of "
+            f"{_entity_noun(par)} with the same best score; routing between "
+            "them is nondeterministic",
+            path=walker.path(par),
+            span=_span_of(par),
+        )
+
+    for entity in walker.order:
+        observed = flow.observed(entity)
+        if isinstance(entity, SyncroCell) and observed and definite_ok:
+            _check_sync_deadlock(report, walker, entity, observed)
+        elif isinstance(entity, Star) and observed and definite_ok:
+            _check_star_exit(report, walker, entity, observed)
+        elif isinstance(entity, Parallel) and observed and definite_ok:
+            for branch in entity.branches:
+                if not flow.observed(branch):
+                    report.add(
+                        "SNET-W102",
+                        f"parallel branch {branch.name!r} is dead: every "
+                        "record routes to a better-matching sibling branch",
+                        path=walker.path(branch),
+                        span=_span_of(branch) or _span_of(entity),
+                    )
+
+
+def _input_repr(entity: Entity) -> str:
+    try:
+        return repr(entity.signature.input_type)
+    except Exception:
+        return "<unknown>"
+
+
+def _check_sync_deadlock(
+    report: AnalysisReport,
+    walker: _Walker,
+    sync: SyncroCell,
+    observed: Iterable[AbsRec],
+) -> None:
+    observed = list(observed)
+    for idx, pattern in enumerate(sync.patterns):
+        best = max(
+            (pattern_match(pattern, rec) for rec in observed),
+            default=Tri.NO,
+        )
+        if best == Tri.NO:
+            report.add(
+                "SNET-E001",
+                f"synchrocell {sync.name!r} deadlocks: no record that can "
+                f"reach it will ever match pattern {pattern!r}; stored "
+                "partial matches are held (and discarded) forever",
+                path=walker.path(sync),
+                span=_span_of(pattern) or _span_of(sync),
+            )
+
+
+def _check_star_exit(
+    report: AnalysisReport,
+    walker: _Walker,
+    star: Star,
+    observed: Iterable[AbsRec],
+) -> None:
+    best = max(
+        (pattern_match(star.exit_pattern, rec) for rec in observed),
+        default=Tri.NO,
+    )
+    if best == Tri.NO:
+        report.add(
+            "SNET-E002",
+            f"star {star.name!r} never terminates: no circulating record "
+            f"can ever satisfy the exit pattern {star.exit_pattern!r}",
+            path=walker.path(star),
+            span=_span_of(star.exit_pattern) or _span_of(star),
+        )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+def analyze_network(
+    entity: Entity,
+    *,
+    nodes: Optional[int] = None,
+    source: Optional[str] = None,
+    input_type: Optional[RecordType] = None,
+) -> AnalysisReport:
+    """Statically analyze a network and return an :class:`AnalysisReport`.
+
+    Parameters
+    ----------
+    entity:
+        The network (or any entity) to analyze.
+    nodes:
+        Cluster size for placement validation (``SNET-W105``); None skips it.
+    source:
+        The DSL source the network was built from, enabling caret excerpts.
+    input_type:
+        Seed record type; defaults to the entity's declared input type.
+    """
+    report = AnalysisReport(source=source)
+    walker = _Walker(entity)
+    template_candidates = _structural_checks(report, walker, nodes)
+    seeds = _seed_records(entity, input_type)
+    flow = DataflowAnalysis(entity, seeds)
+    try:
+        flow.run()
+    except Exception:
+        report.dataflow_ok = False
+        return report
+    if not flow.converged:
+        report.dataflow_ok = False
+    _dataflow_findings(report, walker, flow, template_candidates)
+    return report

@@ -1,0 +1,633 @@
+"""Whole-network dataflow: abstract interpretation of label/tag sets.
+
+The pass executes a network on *abstract records* (:class:`AbsRec`): label
+sets with an ``open`` flag.  A **closed** record is an exact label set — the
+analysis knows precisely which fields and tags it carries.  An **open**
+record carries *at least* its labels but possibly arbitrary extras; records
+become open after widening or after passing through an entity the analyzer
+cannot model (an unknown primitive trusted only through its signature).
+
+Seeding from the network's input type, the pass applies each entity's
+transfer function — flow inheritance for boxes, output templates and guards
+for filters, slot storage and label-union merge for synchrocells, tap/exit
+routing for stars, best-match routing for parallel composition — and runs
+the whole thing to a fixpoint.  Matching is three-valued (:class:`Tri`):
+
+* ``YES`` — every record this abstract record stands for matches;
+* ``NO``  — no concrete record it stands for can ever match;
+* ``MAYBE`` — depends on tag *values* (guards) or on labels hidden behind
+  an open record.
+
+Definite findings (the ``SNET-Exxx`` upgrades over the old "possibly
+unroutable" heuristics) are only derived from ``NO``/``YES`` verdicts on
+closed records, so the pass never reports an error a legal execution could
+avoid — at the price of two documented soundness caveats (closed seeds and
+trusted box output variants, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.snet.base import Entity
+from repro.snet.boxes import Box
+from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
+from repro.snet.filters import Filter, FilterRule, OutputTemplate
+from repro.snet.network import Network
+from repro.snet.patterns import BinOp, Const, Guard, GuardExpr, Pattern, TagRef
+from repro.snet.placement import StaticPlacement
+from repro.snet.records import BTag, Field, Label, Record, Tag
+from repro.snet.synchrocell import SyncroCell
+from repro.snet.types import Variant
+
+__all__ = [
+    "Tri",
+    "AbsRec",
+    "TOP",
+    "MatchInfo",
+    "variant_match",
+    "pattern_match",
+    "guard_match",
+    "guard_constant_value",
+    "guard_tag_refs",
+    "entity_match",
+    "DataflowAnalysis",
+]
+
+
+class Tri(enum.IntEnum):
+    """Three-valued match verdict (ordered: NO < MAYBE < YES)."""
+
+    NO = 0
+    MAYBE = 1
+    YES = 2
+
+
+@dataclass(frozen=True)
+class AbsRec:
+    """An abstract record: a label set plus an open/closed flag."""
+
+    labels: FrozenSet[Label]
+    open: bool = False
+
+    def has_tag(self, name: str) -> Tri:
+        if Tag(name) in self.labels or BTag(name) in self.labels:
+            return Tri.YES
+        return Tri.MAYBE if self.open else Tri.NO
+
+    def has_label(self, label: Label) -> Tri:
+        # mirror Variant.accepts: a tag requirement is satisfied by either a
+        # plain or a binding tag; fields match by exact label
+        if isinstance(label, Tag):
+            return self.has_tag(label.name)
+        if label in self.labels:
+            return Tri.YES
+        return Tri.MAYBE if self.open else Tri.NO
+
+    def __repr__(self) -> str:
+        parts = sorted(l.pretty() for l in self.labels)
+        if self.open:
+            parts.append("...")
+        return "{" + ", ".join(parts) + "}"
+
+
+#: The widest abstract record: nothing known, anything possible.
+TOP = AbsRec(frozenset(), True)
+
+
+# ---------------------------------------------------------------------------
+# abstract matching
+# ---------------------------------------------------------------------------
+def variant_match(variant: Variant, rec: AbsRec) -> Tri:
+    """Abstract counterpart of :meth:`Variant.accepts`."""
+    result = Tri.YES
+    for label in variant.labels:
+        h = rec.has_label(label)
+        if h == Tri.NO:
+            return Tri.NO
+        if h < result:
+            result = h
+    return result
+
+
+def guard_tag_refs(expr: Optional[GuardExpr]) -> Optional[FrozenSet[str]]:
+    """Tag names referenced by a guard expression; None if unanalyzable."""
+    if isinstance(expr, TagRef):
+        return frozenset((expr.name,))
+    if isinstance(expr, Const):
+        return frozenset()
+    if isinstance(expr, BinOp):
+        left = guard_tag_refs(expr.left)
+        right = guard_tag_refs(expr.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+def guard_constant_value(guard: Optional[Guard]) -> Optional[bool]:
+    """The guard's value if it references no tags at all, else None.
+
+    A constant guard evaluates the same way on every record;
+    ``guard_constant_value(Guard(Const(0))) is False`` exposes the
+    constant-false guards flagged as ``SNET-E003``.
+    """
+    if guard is None:
+        return None
+    expr = guard.expr
+    if expr is None:
+        return None
+    refs = guard_tag_refs(expr)
+    if refs is None or refs:
+        return None
+    try:
+        return bool(expr.evaluate(Record()))
+    except Exception:
+        # Guard.evaluate treats any evaluation failure as False
+        return False
+
+
+def guard_match(guard: Optional[Guard], rec: AbsRec) -> Tri:
+    """Abstract guard evaluation.
+
+    ``NO`` when the guard is constant-false or references a tag the record
+    definitely lacks (``Guard.evaluate`` turns the resulting
+    :class:`~repro.snet.errors.RecordError` into False); ``YES`` only for
+    constant-true guards; everything value-dependent is ``MAYBE``.
+    """
+    if guard is None:
+        return Tri.YES
+    expr = guard.expr
+    if expr is None:
+        return Tri.MAYBE  # opaque Python callable
+    refs = guard_tag_refs(expr)
+    if refs is None:
+        return Tri.MAYBE
+    if not refs:
+        try:
+            ok = bool(expr.evaluate(Record()))
+        except Exception:
+            ok = False
+        return Tri.YES if ok else Tri.NO
+    for name in refs:
+        if rec.has_tag(name) == Tri.NO:
+            return Tri.NO
+    return Tri.MAYBE
+
+
+def pattern_match(pattern: Pattern, rec: AbsRec) -> Tri:
+    """Abstract counterpart of :meth:`Pattern.matches`."""
+    m = variant_match(pattern.variant, rec)
+    if m == Tri.NO:
+        return Tri.NO
+    g = guard_match(pattern.guard, rec)
+    return min(m, g)
+
+
+def _variant_score(variant: Variant, rec: AbsRec) -> Optional[int]:
+    """Exact match score for a closed record (None when open)."""
+    if rec.open:
+        return None
+    return len(rec.labels) - len(variant.labels)
+
+
+@dataclass(frozen=True)
+class MatchInfo:
+    """Entity-level abstract match: verdict plus score bounds.
+
+    ``best_yes`` is the best (lowest) score over *definite* matches,
+    ``best_possible`` over all non-NO matches.  Both are None for open
+    records (scores depend on hidden labels) or unknown entities.
+    """
+
+    tri: Tri
+    best_yes: Optional[int] = None
+    best_possible: Optional[int] = None
+
+
+def _combine_any(infos: Sequence[MatchInfo]) -> MatchInfo:
+    """Any-of combination (parallel branches, filter rules, sync slots)."""
+    if not infos:
+        return MatchInfo(Tri.NO)
+    tri = max(i.tri for i in infos)
+    yes = [i.best_yes for i in infos if i.best_yes is not None]
+    poss = [i.best_possible for i in infos if i.best_possible is not None]
+    return MatchInfo(
+        tri,
+        min(yes) if yes else None,
+        min(poss) if poss else None,
+    )
+
+
+def _patterns_match(patterns: Sequence[Pattern], rec: AbsRec) -> MatchInfo:
+    infos = []
+    for p in patterns:
+        m = pattern_match(p, rec)
+        score = _variant_score(p.variant, rec) if m != Tri.NO else None
+        infos.append(
+            MatchInfo(
+                m,
+                score if m == Tri.YES else None,
+                score,
+            )
+        )
+    return _combine_any(infos)
+
+
+def entity_match(entity: Entity, rec: AbsRec) -> MatchInfo:
+    """Abstract counterpart of :meth:`Entity.match_score` (entity-specific)."""
+    if isinstance(entity, Filter):
+        if not entity.rules:
+            # identity filter accepts everything, ignoring every label
+            score = None if rec.open else len(rec.labels)
+            return MatchInfo(Tri.YES, score, score)
+        return _patterns_match([r.pattern for r in entity.rules], rec)
+    if isinstance(entity, SyncroCell):
+        return _patterns_match(entity.patterns, rec)
+    if isinstance(entity, Box):
+        variant = Variant(entity.box_signature.inputs)
+        m = variant_match(variant, rec)
+        score = _variant_score(variant, rec) if m != Tri.NO else None
+        return MatchInfo(m, score if m == Tri.YES else None, score)
+    if isinstance(entity, Serial):
+        return entity_match(entity.left, rec)
+    if isinstance(entity, Parallel):
+        return _combine_any([entity_match(b, rec) for b in entity.branches])
+    if isinstance(entity, Star):
+        exit_m = pattern_match(entity.exit_pattern, rec)
+        exit_score = (
+            _variant_score(entity.exit_pattern.variant, rec)
+            if exit_m != Tri.NO
+            else None
+        )
+        exit_info = MatchInfo(
+            exit_m,
+            exit_score if exit_m == Tri.YES else None,
+            exit_score,
+        )
+        return _combine_any([entity_match(entity.operand, rec), exit_info])
+    if isinstance(entity, IndexSplit):
+        has = rec.has_tag(entity.tag)
+        if has == Tri.NO:
+            return MatchInfo(Tri.NO)
+        inner = entity_match(entity.operand, rec)
+        tri = min(has, inner.tri)
+        if has == Tri.YES:
+            return MatchInfo(tri, inner.best_yes, inner.best_possible)
+        return MatchInfo(tri, None, inner.best_possible)
+    if isinstance(entity, (Network, StaticPlacement)):
+        child = entity.body if isinstance(entity, Network) else entity.operand
+        return entity_match(child, rec)
+    # Unknown entity: trust the declared signature (mirrors the default
+    # Entity.match_score); entities overriding accepts() in exotic ways are
+    # out of scope for the analyzer.
+    try:
+        input_type = entity.signature.input_type
+    except Exception:
+        return MatchInfo(Tri.MAYBE)
+    infos = []
+    for variant in input_type:
+        m = variant_match(variant, rec)
+        score = _variant_score(variant, rec) if m != Tri.NO else None
+        infos.append(MatchInfo(m, score if m == Tri.YES else None, score))
+    return _combine_any(infos)
+
+
+# ---------------------------------------------------------------------------
+# the dataflow engine
+# ---------------------------------------------------------------------------
+#: distinct abstract records an entity may observe before its input set is
+#: widened to a single open record (keeps pathological guards bounded)
+MAX_INPUTS = 48
+#: synchrocell merge combinations materialised before widening the merge
+MAX_COMBOS = 16
+#: outer fixpoint iterations before giving up (sets converged=False)
+MAX_PASSES = 40
+
+
+class DataflowAnalysis:
+    """Run abstract records through a network to a fixpoint.
+
+    After :meth:`run`, the per-entity observed input sets (:attr:`inputs`,
+    keyed by ``id(entity)``) and the evidence lists are consumed by
+    :mod:`repro.snet.analysis.checks` to produce diagnostics.
+    """
+
+    def __init__(self, root: Entity, seeds: Iterable[AbsRec]):
+        self.root = root
+        self.seeds = frozenset(seeds)
+        self.inputs: Dict[int, Set[AbsRec]] = {}
+        self.entities: Dict[int, Entity] = {}
+        self.widened: Set[int] = set()
+        self.converged = True
+        # evidence, all de-duplicated via parallel key sets
+        self.definite_drops: List[Tuple[Entity, AbsRec]] = []
+        self.maybe_drops: List[Tuple[Entity, AbsRec]] = []
+        #: (filter, rule idx, template idx, missing label, record, definite)
+        self.template_missing: List[
+            Tuple[Filter, int, int, Label, AbsRec, bool]
+        ] = []
+        self.split_missing: List[Tuple[IndexSplit, AbsRec]] = []
+        #: parallels where >=2 branches tie on the best score of a record
+        self.score_ties: List[Tuple[Parallel, AbsRec]] = []
+        self._drop_keys: Set[Tuple[int, AbsRec, bool]] = set()
+        self._template_keys: Set[Tuple[int, int, int, Label, bool]] = set()
+        self._split_keys: Set[Tuple[int, AbsRec]] = set()
+        self._tie_keys: Set[Tuple[int, AbsRec]] = set()
+        self._changed = False
+
+    # -- public API --------------------------------------------------------
+    def run(self) -> "DataflowAnalysis":
+        for _ in range(MAX_PASSES):
+            self._changed = False
+            self._flow(self.root, self.seeds)
+            if not self._changed:
+                return self
+        self.converged = False
+        return self
+
+    def observed(self, entity: Entity) -> FrozenSet[AbsRec]:
+        return frozenset(self.inputs.get(id(entity), ()))
+
+    # -- bookkeeping -------------------------------------------------------
+    def _intake(self, entity: Entity, recs: Iterable[AbsRec]) -> FrozenSet[AbsRec]:
+        key = id(entity)
+        self.entities[key] = entity
+        current = self.inputs.setdefault(key, set())
+        for rec in recs:
+            if rec in current:
+                continue
+            if key in self.widened or len(current) >= MAX_INPUTS:
+                # widen: one open record keeping only the always-present labels
+                pool = current | {rec}
+                labels = frozenset.intersection(*(r.labels for r in pool))
+                wide = AbsRec(labels, True)
+                if current != {wide}:
+                    self._changed = True
+                current.clear()
+                current.add(wide)
+                self.widened.add(key)
+            else:
+                current.add(rec)
+                self._changed = True
+        return frozenset(current)
+
+    def _drop(self, entity: Entity, rec: AbsRec, definite: bool) -> None:
+        key = (id(entity), rec, definite)
+        if key in self._drop_keys:
+            return
+        self._drop_keys.add(key)
+        (self.definite_drops if definite else self.maybe_drops).append(
+            (entity, rec)
+        )
+
+    # -- transfer functions ------------------------------------------------
+    def _flow(self, entity: Entity, recs: Iterable[AbsRec]) -> FrozenSet[AbsRec]:
+        recs = self._intake(entity, recs)
+        if isinstance(entity, Network):
+            return self._flow(entity.body, recs)
+        if isinstance(entity, StaticPlacement):
+            return self._flow(entity.operand, recs)
+        if isinstance(entity, Serial):
+            mid = self._flow(entity.left, recs)
+            return self._flow(entity.right, mid)
+        if isinstance(entity, Parallel):
+            return self._flow_parallel(entity, recs)
+        if isinstance(entity, Star):
+            return self._flow_star(entity, recs)
+        if isinstance(entity, IndexSplit):
+            return self._flow_split(entity, recs)
+        if isinstance(entity, Box):
+            outs: Set[AbsRec] = set()
+            for rec in recs:
+                outs.update(self._box_out(entity, rec))
+            return frozenset(outs)
+        if isinstance(entity, Filter):
+            return self._flow_filter(entity, recs)
+        if isinstance(entity, SyncroCell):
+            return self._flow_sync(entity, recs)
+        return self._flow_unknown(entity, recs)
+
+    def _box_out(self, box: Box, rec: AbsRec) -> List[AbsRec]:
+        variant = Variant(box.box_signature.inputs)
+        if variant_match(variant, rec) == Tri.NO:
+            # no guards on boxes: NO implies a closed record, a definite
+            # BoxError at run time
+            self._drop(box, rec, definite=True)
+            return []
+        excess = rec.labels - set(box.box_signature.inputs)
+        return [
+            AbsRec(frozenset(excess | set(out_labels)), rec.open)
+            for out_labels in box.box_signature.outputs
+        ]
+
+    def _flow_filter(self, flt: Filter, recs: Iterable[AbsRec]) -> FrozenSet[AbsRec]:
+        outs: Set[AbsRec] = set()
+        for rec in recs:
+            if not flt.rules:
+                outs.add(rec)
+                continue
+            fired_yes = False
+            any_maybe = False
+            for ri, rule in enumerate(flt.rules):
+                m = pattern_match(rule.pattern, rec)
+                if m == Tri.NO:
+                    continue
+                definite = m == Tri.YES and not any_maybe
+                outs.update(self._rule_out(flt, ri, rule, rec, definite))
+                if m == Tri.YES:
+                    fired_yes = True
+                    break
+                any_maybe = True
+            if not fired_yes:
+                if not any_maybe:
+                    # every rule is a definite non-match: FilterError
+                    self._drop(flt, rec, definite=True)
+                elif not rec.open:
+                    self._drop(flt, rec, definite=False)
+        return frozenset(outs)
+
+    def _rule_out(
+        self,
+        flt: Filter,
+        ri: int,
+        rule: FilterRule,
+        rec: AbsRec,
+        definite: bool,
+    ) -> Set[AbsRec]:
+        excess = rec.labels - set(rule.pattern.variant.labels)
+        result: Set[AbsRec] = set()
+        for ti, tpl in enumerate(rule.outputs):
+            labels: Set[Label] = set()
+            broken = False
+            for label in tpl.keep:
+                if rec.has_label(label) == Tri.NO:
+                    self._template_miss(flt, ri, ti, label, rec, definite)
+                    broken = True
+                labels.add(label)
+            for new_name, old_name in tpl.rename.items():
+                if rec.has_label(Field(old_name)) == Tri.NO:
+                    self._template_miss(
+                        flt, ri, ti, Field(old_name), rec, definite
+                    )
+                    broken = True
+                labels.add(Field(new_name))
+            for tag_name, expr in tpl.assign_tags.items():
+                refs = guard_tag_refs(expr)
+                for ref in refs or ():
+                    if rec.has_tag(ref) == Tri.NO:
+                        # OutputTemplate.build evaluates assignments without
+                        # catching RecordError: a missing tag raises
+                        self._template_miss(
+                            flt, ri, ti, Tag(ref), rec, definite
+                        )
+                        broken = True
+                labels.add(Tag(tag_name))
+            if broken:
+                continue  # the template raises at run time, nothing flows
+            if tpl.inherit:
+                labels |= excess
+            result.add(AbsRec(frozenset(labels), rec.open))
+        return result
+
+    def _template_miss(
+        self,
+        flt: Filter,
+        ri: int,
+        ti: int,
+        label: Label,
+        rec: AbsRec,
+        definite: bool,
+    ) -> None:
+        key = (id(flt), ri, ti, label, definite)
+        if key in self._template_keys:
+            return
+        self._template_keys.add(key)
+        self.template_missing.append((flt, ri, ti, label, rec, definite))
+
+    def _flow_sync(self, sync: SyncroCell, recs: Iterable[AbsRec]) -> FrozenSet[AbsRec]:
+        outs: Set[AbsRec] = set()
+        candidates: List[Set[AbsRec]] = [set() for _ in sync.patterns]
+        for rec in recs:
+            matches = [pattern_match(p, rec) for p in sync.patterns]
+            if matches and max(matches) == Tri.NO and not rec.open:
+                # SynchroError if it arrives before the cell fires; legal
+                # afterwards (the dead cell is an identity) -> warning only
+                self._drop(sync, rec, definite=False)
+            # over-approximation: every record may pass through unchanged
+            # (slot already occupied, or the cell has already fired)
+            outs.add(rec)
+            for idx, m in enumerate(matches):
+                if m != Tri.NO:
+                    candidates[idx].add(rec)
+        if candidates and all(candidates):
+            total = 1
+            for cand in candidates:
+                total *= len(cand)
+            if total <= MAX_COMBOS:
+                for combo in itertools.product(*candidates):
+                    labels = frozenset().union(*(r.labels for r in combo))
+                    outs.add(AbsRec(labels, any(r.open for r in combo)))
+            else:
+                pool = set().union(*candidates)
+                labels = frozenset().union(*(r.labels for r in pool))
+                outs.add(AbsRec(labels, True))
+        return frozenset(outs)
+
+    def _flow_star(self, star: Star, recs: FrozenSet[AbsRec]) -> FrozenSet[AbsRec]:
+        # the star's input set doubles as its tap set: records entering the
+        # star and records produced by any replica all pass the exit tap
+        taps = recs
+        while True:
+            enter = {
+                t for t in taps if pattern_match(star.exit_pattern, t) != Tri.YES
+            }
+            out_op = self._flow(star.operand, enter)
+            new = out_op - taps
+            if not new:
+                break
+            taps = self._intake(star, new)
+        return frozenset(
+            t for t in taps if pattern_match(star.exit_pattern, t) != Tri.NO
+        )
+
+    def _flow_split(self, split: IndexSplit, recs: Iterable[AbsRec]) -> FrozenSet[AbsRec]:
+        inner: Set[AbsRec] = set()
+        for rec in recs:
+            if rec.has_tag(split.tag) == Tri.NO:
+                key = (id(split), rec)
+                if key not in self._split_keys:
+                    self._split_keys.add(key)
+                    self.split_missing.append((split, rec))
+                continue
+            inner.add(rec)
+        return self._flow(split.operand, inner)
+
+    def _flow_parallel(self, par: Parallel, recs: Iterable[AbsRec]) -> FrozenSet[AbsRec]:
+        routed: Dict[int, Set[AbsRec]] = {id(b): set() for b in par.branches}
+        for rec in recs:
+            infos = [entity_match(b, rec) for b in par.branches]
+            if all(info.tri == Tri.NO for info in infos):
+                self._drop(par, rec, definite=True)
+                continue
+            winner = self._definite_winner(par, rec, infos)
+            if winner is not None:
+                routed[id(par.branches[winner])].add(rec)
+            else:
+                for branch, info in zip(par.branches, infos):
+                    if info.tri != Tri.NO:
+                        routed[id(branch)].add(rec)
+        outs: Set[AbsRec] = set()
+        for branch in par.branches:
+            outs |= self._flow(branch, routed[id(branch)])
+        return frozenset(outs)
+
+    def _definite_winner(
+        self, par: Parallel, rec: AbsRec, infos: Sequence[MatchInfo]
+    ) -> Optional[int]:
+        """Index of the branch that provably wins best-match routing."""
+        if rec.open:
+            return None
+        alive = [(i, info) for i, info in enumerate(infos) if info.tri != Tri.NO]
+        # tie detection for the ambiguity warning: two branches that both
+        # definitely match with the overall best possible score
+        possible = [info.best_possible for _, info in alive]
+        if all(p is not None for p in possible) and possible:
+            best = min(possible)  # type: ignore[type-var]
+            tied = [
+                i
+                for i, info in alive
+                if info.tri == Tri.YES and info.best_yes == best
+            ]
+            if len(tied) >= 2 and not par.deterministic:
+                key = (id(par), rec)
+                if key not in self._tie_keys:
+                    self._tie_keys.add(key)
+                    self.score_ties.append((par, rec))
+        for i, info in alive:
+            if info.tri != Tri.YES or info.best_yes is None:
+                continue
+            others = [o for j, o in alive if j != i]
+            if all(
+                o.best_possible is not None and info.best_yes < o.best_possible
+                for o in others
+            ):
+                return i
+        return None
+
+    def _flow_unknown(self, entity: Entity, recs: Iterable[AbsRec]) -> FrozenSet[AbsRec]:
+        # an entity the analyzer cannot model: trust the declared signature
+        # and mark every output open (the implementation may flow-inherit
+        # arbitrary labels); no findings are derived at unknown entities
+        if not recs:
+            return frozenset()
+        try:
+            output_type = entity.signature.output_type
+        except Exception:
+            return frozenset((TOP,))
+        return frozenset(
+            AbsRec(frozenset(v.labels), True) for v in output_type
+        )

@@ -56,8 +56,60 @@ class ParseError(SNetError):
     """Raised by the textual S-Net language frontend."""
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
         self.line = line
         self.column = column
         if line:
             message = f"{message} (line {line}, column {column})"
         super().__init__(message)
+
+
+class SNetSyntaxError(ParseError):
+    """A parse error carrying the source text and a caret excerpt.
+
+    Raised by the parser entry points in place of a bare
+    :class:`ParseError` (which it subclasses, so existing handlers keep
+    working).  The rendered message points at the offending line exactly
+    like the diagnostics of :mod:`repro.snet.analysis`::
+
+        expected '}', got '->' (line 3, column 9)
+            { pic -> }
+                    ^
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        source: str = "",
+    ):
+        self.source = source
+        self.message = message
+        self.line = line
+        self.column = column
+        shown = f"{message} (line {line}, column {column})" if line else message
+        excerpt = _caret_excerpt(source, line, column)
+        if excerpt:
+            shown = f"{shown}\n{excerpt}"
+        # skip ParseError.__init__ — it would append the location again,
+        # after the excerpt
+        SNetError.__init__(self, shown)
+
+    @classmethod
+    def from_parse_error(cls, err: ParseError, source: str) -> "SNetSyntaxError":
+        if isinstance(err, SNetSyntaxError):
+            return err
+        return cls(err.message, err.line, err.column, source)
+
+
+def _caret_excerpt(source: str, line: int, column: int) -> str:
+    """The offending source line with a caret underneath (indented)."""
+    if not source or not line:
+        return ""
+    lines = source.splitlines()
+    if not (1 <= line <= len(lines)):
+        return ""
+    text = lines[line - 1]
+    caret = " " * (max(column, 1) - 1) + "^"
+    return f"    {text}\n    {caret}"

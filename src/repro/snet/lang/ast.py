@@ -7,6 +7,11 @@ translated straight into the runtime representations of
 :mod:`repro.snet.types` and :mod:`repro.snet.patterns` by the parser, so the
 AST only contains nodes for things that require later resolution (box names,
 nested nets).
+
+Every node carries an optional ``span`` — the (line, column) position of its
+first token — so the network builder can attach source locations to the
+entities it creates and the static analyzer can point diagnostics back at
+the offending line of the ``.snet`` program.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.snet.analysis.diagnostics import SourceSpan
 from repro.snet.boxes import BoxSignature
 from repro.snet.filters import Filter
 from repro.snet.patterns import Pattern
@@ -38,12 +44,15 @@ __all__ = [
 class NetExpr:
     """Base class of network-expression AST nodes."""
 
+    span: Optional[SourceSpan]
+
 
 @dataclass
 class NameRef(NetExpr):
     """A reference to a declared box or net by name."""
 
     name: str
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -51,6 +60,7 @@ class FilterExpr(NetExpr):
     """An inline filter literal; the parser already built the entity."""
 
     filter: Filter
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -58,6 +68,7 @@ class SyncExpr(NetExpr):
     """An inline synchrocell literal."""
 
     sync: SyncroCell
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -66,6 +77,7 @@ class SerialExpr(NetExpr):
 
     left: NetExpr
     right: NetExpr
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -75,6 +87,7 @@ class ParallelExpr(NetExpr):
     left: NetExpr
     right: NetExpr
     deterministic: bool = False
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -84,6 +97,7 @@ class StarExpr(NetExpr):
     operand: NetExpr
     exit_pattern: Pattern
     deterministic: bool = False
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -94,6 +108,7 @@ class SplitExpr(NetExpr):
     tag: str
     deterministic: bool = False
     placed: bool = False
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -102,6 +117,7 @@ class PlacementExpr(NetExpr):
 
     operand: NetExpr
     node: int
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -110,6 +126,7 @@ class BoxDecl:
 
     name: str
     signature: BoxSignature
+    span: Optional[SourceSpan] = None
 
 
 @dataclass
@@ -121,6 +138,7 @@ class NetDecl:
     boxes: List[BoxDecl] = field(default_factory=list)
     nets: List["NetDecl"] = field(default_factory=list)
     body: Optional[NetExpr] = None
+    span: Optional[SourceSpan] = None
 
     def declared_names(self) -> List[str]:
         return [b.name for b in self.boxes] + [n.name for n in self.nets]

@@ -196,6 +196,16 @@ def _box_factory(box_decl: A.BoxDecl, env: BoxEnvironment) -> Callable[[], Entit
 
 
 def _build_expr(expr: A.NetExpr, scope: _Scope) -> Entity:
+    entity = _build_expr_inner(expr, scope)
+    # Thread source locations through to the entity graph so the static
+    # analyzer can point diagnostics back at the .snet program text.
+    span = getattr(expr, "span", None)
+    if span is not None and getattr(entity, "source_span", None) is None:
+        entity.source_span = span
+    return entity
+
+
+def _build_expr_inner(expr: A.NetExpr, scope: _Scope) -> Entity:
     if isinstance(expr, A.NameRef):
         factory = scope.lookup(expr.name)
         if factory is None:

@@ -28,10 +28,12 @@ and tag expressions support integer arithmetic and comparisons over tags.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.snet.analysis.diagnostics import SourceSpan
 from repro.snet.boxes import BoxSignature
-from repro.snet.errors import ParseError
+from repro.snet.errors import ParseError, SNetSyntaxError
 from repro.snet.filters import Filter, FilterRule, OutputTemplate
 from repro.snet.lang import ast as A
 from repro.snet.lang.lexer import Token, TokenStream
@@ -51,6 +53,19 @@ __all__ = [
     "parse_net_expr",
     "parse_network",
 ]
+
+
+def _span(tok: Token) -> SourceSpan:
+    return SourceSpan(tok.line, tok.column)
+
+
+@contextmanager
+def _syntax_errors(source: str) -> Iterator[None]:
+    """Re-raise any ParseError as SNetSyntaxError carrying the source text."""
+    try:
+        yield
+    except ParseError as err:
+        raise SNetSyntaxError.from_parse_error(err, source) from None
 
 
 # ---------------------------------------------------------------------------
@@ -141,11 +156,12 @@ def _parse_comparison(ts: TokenStream) -> GuardExpr:
 
 def parse_guard(text: str) -> Guard:
     """Parse a guard expression such as ``"<tasks> == <cnt>"``."""
-    ts = TokenStream.from_source(text)
-    expr = _parse_comparison(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after guard expression")
-    return Guard(expr, text=text.strip())
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        expr = _parse_comparison(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after guard expression")
+        return Guard(expr, text=text.strip())
 
 
 # ---------------------------------------------------------------------------
@@ -171,22 +187,24 @@ def _parse_record_type(ts: TokenStream) -> RecordType:
 
 def parse_record_type(text: str) -> RecordType:
     """Parse ``"{a,<b>} | {c}"`` into a :class:`RecordType`."""
-    ts = TokenStream.from_source(text)
-    rt = _parse_record_type(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after record type")
-    return rt
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        rt = _parse_record_type(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after record type")
+        return rt
 
 
 def parse_type_signature(text: str) -> TypeSignature:
     """Parse ``"{a} -> {b} | {c}"`` into a :class:`TypeSignature`."""
-    ts = TokenStream.from_source(text)
-    input_type = _parse_record_type(ts)
-    ts.expect_op("->")
-    output_type = _parse_record_type(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after type signature")
-    return TypeSignature(input_type, output_type)
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        input_type = _parse_record_type(ts)
+        ts.expect_op("->")
+        output_type = _parse_record_type(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after type signature")
+        return TypeSignature(input_type, output_type)
 
 
 def _parse_label_tuple(ts: TokenStream) -> Tuple[Label, ...]:
@@ -211,11 +229,12 @@ def _parse_box_signature(ts: TokenStream) -> BoxSignature:
 
 def parse_box_signature(text: str) -> BoxSignature:
     """Parse ``"(a,<b>) -> (c) | (c,d,<e>)"`` into a :class:`BoxSignature`."""
-    ts = TokenStream.from_source(text)
-    sig = _parse_box_signature(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after box signature")
-    return sig
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        sig = _parse_box_signature(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after box signature")
+        return sig
 
 
 # ---------------------------------------------------------------------------
@@ -273,17 +292,21 @@ def _referenced_tags(expr: GuardExpr) -> List[str]:
 
 
 def _parse_pattern(ts: TokenStream) -> Pattern:
+    start = ts.peek()
     ts.expect_op("{")
-    return _parse_pattern_body(ts)
+    pattern = _parse_pattern_body(ts)
+    pattern.source_span = _span(start)
+    return pattern
 
 
 def parse_pattern(text: str) -> Pattern:
     """Parse ``"{pic}"`` or ``"{<tasks> == <cnt>}"`` into a :class:`Pattern`."""
-    ts = TokenStream.from_source(text)
-    pattern = _parse_pattern(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after pattern")
-    return pattern
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        pattern = _parse_pattern(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after pattern")
+        return pattern
 
 
 # ---------------------------------------------------------------------------
@@ -327,9 +350,12 @@ def _parse_template(ts: TokenStream) -> OutputTemplate:
 
 
 def _parse_filter(ts: TokenStream) -> Filter:
+    start = ts.peek()
     ts.expect_op("[")
     if ts.accept_op("]"):
-        return Filter.identity()
+        flt = Filter.identity()
+        flt.source_span = _span(start)
+        return flt
     pattern = _parse_pattern(ts)
     templates: List[OutputTemplate] = []
     if ts.accept_op("->"):
@@ -341,34 +367,41 @@ def _parse_filter(ts: TokenStream) -> Filter:
         # flow-inherited excess): equivalent to a template naming them all.
         templates.append(OutputTemplate(keep=tuple(pattern.variant.labels)))
     ts.expect_op("]")
-    return Filter([FilterRule(pattern, templates)])
+    flt = Filter([FilterRule(pattern, templates)])
+    flt.source_span = _span(start)
+    return flt
 
 
 def parse_filter(text: str) -> Filter:
     """Parse filter syntax such as ``"[{<cnt>} -> {<cnt+=1>}]"``."""
-    ts = TokenStream.from_source(text)
-    flt = _parse_filter(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after filter")
-    return flt
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        flt = _parse_filter(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after filter")
+        return flt
 
 
 def _parse_synchrocell(ts: TokenStream) -> SyncroCell:
+    start = ts.peek()
     ts.expect_op("[|")
     patterns = [_parse_pattern(ts)]
     while ts.accept_op(","):
         patterns.append(_parse_pattern(ts))
     ts.expect_op("|]")
-    return SyncroCell(patterns)
+    sync = SyncroCell(patterns)
+    sync.source_span = _span(start)
+    return sync
 
 
 def parse_synchrocell(text: str) -> SyncroCell:
     """Parse ``"[| {pic}, {chunk} |]"`` into a :class:`SyncroCell`."""
-    ts = TokenStream.from_source(text)
-    sync = _parse_synchrocell(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after synchrocell")
-    return sync
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        sync = _parse_synchrocell(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after synchrocell")
+        return sync
 
 
 # ---------------------------------------------------------------------------
@@ -377,9 +410,9 @@ def parse_synchrocell(text: str) -> SyncroCell:
 def _parse_primary(ts: TokenStream) -> A.NetExpr:
     tok = ts.peek()
     if tok.is_op("[|"):
-        return A.SyncExpr(_parse_synchrocell(ts))
+        return A.SyncExpr(_parse_synchrocell(ts), span=_span(tok))
     if tok.is_op("["):
-        return A.FilterExpr(_parse_filter(ts))
+        return A.FilterExpr(_parse_filter(ts), span=_span(tok))
     if tok.is_op("("):
         ts.next()
         expr = _parse_net_expr(ts)
@@ -387,7 +420,7 @@ def _parse_primary(ts: TokenStream) -> A.NetExpr:
         return expr
     if tok.kind == "ident":
         ts.next()
-        return A.NameRef(tok.text)
+        return A.NameRef(tok.text, span=_span(tok))
     raise ts.error("expected a box/net name, filter, synchrocell or '('")
 
 
@@ -398,7 +431,9 @@ def _parse_postfix(ts: TokenStream) -> A.NetExpr:
         if tok.is_op("*", "**"):
             ts.next()
             pattern = _parse_pattern(ts)
-            expr = A.StarExpr(expr, pattern, deterministic=(tok.text == "**"))
+            expr = A.StarExpr(
+                expr, pattern, deterministic=(tok.text == "**"), span=_span(tok)
+            )
             continue
         if tok.is_op("!", "!!", "!@"):
             ts.next()
@@ -410,20 +445,22 @@ def _parse_postfix(ts: TokenStream) -> A.NetExpr:
                 tag,
                 deterministic=(tok.text == "!!"),
                 placed=(tok.text == "!@"),
+                span=_span(tok),
             )
             continue
         if tok.is_op("@"):
             ts.next()
             node_tok = ts.expect_kind("int")
-            expr = A.PlacementExpr(expr, int(node_tok.text))
+            expr = A.PlacementExpr(expr, int(node_tok.text), span=_span(tok))
             continue
         return expr
 
 
 def _parse_serial(ts: TokenStream) -> A.NetExpr:
     expr = _parse_postfix(ts)
-    while ts.accept_op(".."):
-        expr = A.SerialExpr(expr, _parse_postfix(ts))
+    while ts.peek().is_op(".."):
+        tok = ts.next()
+        expr = A.SerialExpr(expr, _parse_postfix(ts), span=expr.span or _span(tok))
     return expr
 
 
@@ -433,32 +470,39 @@ def _parse_net_expr(ts: TokenStream) -> A.NetExpr:
         tok = ts.peek()
         if tok.is_op("|", "||"):
             ts.next()
-            expr = A.ParallelExpr(expr, _parse_serial(ts), deterministic=(tok.text == "||"))
+            expr = A.ParallelExpr(
+                expr,
+                _parse_serial(ts),
+                deterministic=(tok.text == "||"),
+                span=expr.span or _span(tok),
+            )
             continue
         return expr
 
 
 def parse_net_expr(text: str) -> A.NetExpr:
     """Parse a bare connect expression into an AST."""
-    ts = TokenStream.from_source(text)
-    expr = _parse_net_expr(ts)
-    ts.accept_op(";")
-    if not ts.at_end():
-        raise ts.error("trailing input after network expression")
-    return expr
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        expr = _parse_net_expr(ts)
+        ts.accept_op(";")
+        if not ts.at_end():
+            raise ts.error("trailing input after network expression")
+        return expr
 
 
 # ---------------------------------------------------------------------------
 # declarations
 # ---------------------------------------------------------------------------
 def _parse_box_decl(ts: TokenStream) -> A.BoxDecl:
+    start = ts.peek()
     ts.expect_keyword("box")
     name = ts.expect_kind("ident").text
     ts.expect_op("(")
     signature = _parse_box_signature(ts)
     ts.expect_op(")")
     ts.expect_op(";")
-    return A.BoxDecl(name, signature)
+    return A.BoxDecl(name, signature, span=_span(start))
 
 
 def _parse_net_signature(ts: TokenStream) -> TypeSignature:
@@ -479,9 +523,10 @@ def _parse_net_signature(ts: TokenStream) -> TypeSignature:
 
 
 def _parse_net_decl(ts: TokenStream) -> A.NetDecl:
+    start = ts.peek()
     ts.expect_keyword("net")
     name = ts.expect_kind("ident").text
-    decl = A.NetDecl(name)
+    decl = A.NetDecl(name, span=_span(start))
     if ts.accept_op("("):
         decl.signature = _parse_net_signature(ts)
         ts.expect_op(")")
@@ -502,8 +547,9 @@ def _parse_net_decl(ts: TokenStream) -> A.NetDecl:
 
 def parse_network(text: str) -> A.NetDecl:
     """Parse a full ``net NAME { ... } connect ...`` definition."""
-    ts = TokenStream.from_source(text)
-    decl = _parse_net_decl(ts)
-    if not ts.at_end():
-        raise ts.error("trailing input after net definition")
-    return decl
+    with _syntax_errors(text):
+        ts = TokenStream.from_source(text)
+        decl = _parse_net_decl(ts)
+        if not ts.at_end():
+            raise ts.error("trailing input after net definition")
+        return decl

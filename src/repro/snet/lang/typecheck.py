@@ -1,38 +1,39 @@
-"""Signature inference and connectivity checking for built networks.
+"""Signature inference and network checking (legacy API).
 
-The S-Net compiler infers a type signature for every network and checks that
-records flowing out of one stage can be accepted somewhere downstream.  Flow
-inheritance makes a *sound and complete* static check impossible without
-whole-program knowledge of record contents, so — like the original compiler —
-we report *warnings* for connections that look unsatisfiable and errors only
-for locally inconsistent constructs (e.g. an index split whose operand can
-never accept any record carrying the index tag).
+This module used to implement its own connectivity heuristics.  It is now a
+thin compatibility shim over :mod:`repro.snet.analysis`, which abstractly
+interprets label/tag sets through the whole combinator graph: what the old
+checker could only flag as "may not be accepted" the dataflow pass can often
+prove, upgrading the finding to a definite error (e.g. ``SNET-E005`` for an
+unroutable record) while dropping warnings the old heuristics raised
+spuriously.
+
+:class:`TypeReport` keeps its historical shape — ``signature`` plus flat
+``warnings``/``errors`` string lists — and additionally exposes the
+underlying :class:`repro.snet.analysis.AnalysisReport` as ``analysis`` for
+callers that want codes, severities and source spans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
+from repro.snet.analysis import AnalysisReport, analyze_network
 from repro.snet.base import Entity
-from repro.snet.boxes import Box
-from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
-from repro.snet.filters import Filter
-from repro.snet.network import Network
-from repro.snet.placement import StaticPlacement
-from repro.snet.synchrocell import SyncroCell
-from repro.snet.types import RecordType, TypeSignature, Variant
+from repro.snet.types import TypeSignature
 
 __all__ = ["TypeReport", "infer_signature", "check_network"]
 
 
 @dataclass
 class TypeReport:
-    """Result of a network type check: the inferred signature plus findings."""
+    """Result of a network check: the inferred signature plus findings."""
 
     signature: TypeSignature
     warnings: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    analysis: Optional[AnalysisReport] = None
 
     @property
     def ok(self) -> bool:
@@ -48,89 +49,28 @@ def infer_signature(entity: Entity) -> TypeSignature:
     return entity.signature
 
 
-def check_network(entity: Entity) -> TypeReport:
-    """Type-check a network, returning the inferred signature and findings."""
-    report = TypeReport(signature=entity.signature)
-    _check(entity, report)
-    return report
+def check_network(
+    entity: Entity,
+    *,
+    nodes: Optional[int] = None,
+    source: Optional[str] = None,
+) -> TypeReport:
+    """Check a network, returning the inferred signature and findings.
 
-
-def _check(entity: Entity, report: TypeReport) -> None:
-    if isinstance(entity, Serial):
-        _check_serial(entity, report)
-    elif isinstance(entity, Parallel):
-        _check(entity.left, report)
-        _check(entity.right, report)
-        _check_parallel(entity, report)
-    elif isinstance(entity, Star):
-        _check(entity.operand, report)
-    elif isinstance(entity, IndexSplit):
-        _check(entity.operand, report)
-        _check_split(entity, report)
-    elif isinstance(entity, (Network, StaticPlacement)):
-        for child in entity.children():
-            _check(child, report)
-    elif isinstance(entity, (Box, Filter, SyncroCell)):
-        pass  # primitive entities are checked at construction time
-    else:
-        for child in entity.children():
-            _check(child, report)
-
-
-def _check_serial(entity: Serial, report: TypeReport) -> None:
-    _check(entity.left, report)
-    _check(entity.right, report)
-    upstream_out = entity.left.signature.output_type
-    downstream_in = entity.right.signature.input_type
-    for variant in upstream_out.variants:
-        if not _variant_possibly_routable(variant, downstream_in):
-            report.warnings.append(
-                f"serial composition {entity.name}: output variant {variant!r} of "
-                f"{entity.left.name!r} may not be accepted by {entity.right.name!r} "
-                f"(input type {downstream_in!r}); flow-inherited labels might still "
-                "satisfy it at run time"
-            )
-
-
-def _variant_possibly_routable(variant: Variant, downstream_in: RecordType) -> bool:
-    """A variant is *possibly* routable if some downstream variant needs no
-    label of a *different kind* than what the variant plus flow inheritance
-    could supply.  Because flow inheritance can add arbitrary labels we only
-    flag variants that share no label at all with any downstream variant and
-    the downstream type is non-trivial."""
-    for target in downstream_in.variants:
-        if len(target) == 0:
-            return True
-        if variant.labels & target.labels:
-            return True
-        if variant.is_subtype_of(target):
-            return True
-    return False
-
-
-def _check_parallel(entity: Parallel, report: TypeReport) -> None:
-    left_in = entity.left.signature.input_type
-    right_in = entity.right.signature.input_type
-    for lv in left_in.variants:
-        for rv in right_in.variants:
-            if lv == rv:
-                report.warnings.append(
-                    f"parallel composition {entity.name}: both branches accept the "
-                    f"same variant {lv!r}; routing between them is nondeterministic"
-                )
-
-
-def _check_split(entity: IndexSplit, report: TypeReport) -> None:
-    operand_in = entity.operand.signature.input_type
-    # The operand must tolerate records carrying the index tag.  Since S-Net
-    # subtyping always allows extra labels this can only fail if the operand
-    # is a synchrocell-like entity with *no* pattern at all, which cannot be
-    # expressed; we only verify the tag name is sane.
-    if not entity.tag.isidentifier():
-        report.errors.append(
-            f"index split {entity.name}: invalid tag name {entity.tag!r}"
-        )
-    if len(operand_in.variants) == 0:  # pragma: no cover - defensive
-        report.errors.append(
-            f"index split {entity.name}: operand has an empty input type"
-        )
+    Parameters
+    ----------
+    entity:
+        The network (or any entity graph) to analyze.
+    nodes:
+        Cluster size for placement checks (``@node`` beyond the node count).
+    source:
+        The ``.snet`` source text the network was built from, if any; findings
+        then include caret excerpts pointing at the offending line.
+    """
+    analysis = analyze_network(entity, nodes=nodes, source=source)
+    return TypeReport(
+        signature=entity.signature,
+        warnings=[d.format(source) for d in analysis.warnings],
+        errors=[d.format(source) for d in analysis.errors],
+        analysis=analysis,
+    )

@@ -1,0 +1,14 @@
+"""``python -m repro.snet.lint`` — the S-Net network linter.
+
+A thin entry point around :mod:`repro.snet.analysis.cli`; see that module
+for target syntax and options.
+"""
+
+from __future__ import annotations
+
+from repro.snet.analysis.cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -183,6 +183,11 @@ class Guard:
 
         return parse_guard(text)
 
+    @property
+    def expr(self) -> Optional[GuardExpr]:
+        """The guard expression AST, or None for opaque callable guards."""
+        return self._expr
+
     def evaluate(self, rec: Record) -> bool:
         try:
             if self._func is not None:
@@ -211,7 +216,7 @@ class Pattern:
     the merger network in Fig. 3 of the paper.
     """
 
-    __slots__ = ("_variant", "_guard")
+    __slots__ = ("_variant", "_guard", "source_span")
 
     def __init__(
         self,
@@ -220,6 +225,8 @@ class Pattern:
     ):
         self._variant = labels if isinstance(labels, Variant) else Variant(labels)
         self._guard = guard
+        #: (line, column) span when this pattern came from parsed source
+        self.source_span = None
 
     @classmethod
     def parse(cls, text: str) -> "Pattern":

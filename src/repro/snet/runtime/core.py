@@ -65,12 +65,13 @@ import multiprocessing
 import threading
 import time
 import warnings
+import weakref
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.snet.base import Entity, PrimitiveEntity
 from repro.snet.combinators import IndexSplit, Parallel, Serial, Star
-from repro.snet.errors import RuntimeError_
+from repro.snet.errors import NetworkError, RuntimeError_
 from repro.snet.network import Network
 from repro.snet.placement import StaticPlacement
 from repro.snet.records import Record
@@ -265,6 +266,15 @@ class EngineCore:
         Bound of every internal stream (provides back-pressure/throttling).
     transport:
         The record-moving substrate; defaults to :class:`InlineTransport`.
+    check:
+        Static-analysis mode applied to every network before its first
+        record flows (``repro.snet.analysis.analyze_network``, run once per
+        network at :meth:`setup`/:meth:`run` time and cached — zero
+        per-record overhead).  ``"warn"`` (default) emits a
+        :class:`RuntimeWarning` for error-severity findings, ``"error"``
+        raises :class:`~repro.snet.errors.NetworkError`, ``"off"`` skips
+        analysis entirely.  An analyzer *crash* never blocks execution
+        (fail-open with a warning).
 
     Runtime instances are **reusable**: :meth:`run` resets all per-run state
     (worker bookkeeping, collected errors) on entry, so a long-lived service
@@ -281,22 +291,89 @@ class EngineCore:
             runtime.teardown()
     """
 
+    #: valid values of the ``check`` knob
+    CHECK_MODES = ("warn", "error", "off")
+
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         stream_capacity: int = 256,
         transport: Optional[Transport] = None,
+        check: str = "warn",
     ):
+        if check not in self.CHECK_MODES:
+            raise RuntimeError_(
+                f"check must be one of {self.CHECK_MODES}, got {check!r}"
+            )
         self.tracer = tracer or NullTracer()
         self.stream_capacity = stream_capacity
         self.transport = transport or InlineTransport()
         self.transport.bind(self)
+        self.check = check
+        #: cluster size for placement checks; the distributed runtime sets it
+        self.check_nodes: Optional[int] = None
+        self._check_cache: "weakref.WeakKeyDictionary[Entity, Any]" = (
+            weakref.WeakKeyDictionary()
+        )
         self._threads: List[threading.Thread] = []
         self._pending: List[Callable[[], None]] = []
         self._started = False
         self._lock = threading.Lock()
         self.errors: List[BaseException] = []
         self._warm = False
+
+    # -- static validation ---------------------------------------------------
+    def _validate_network(self, network: Optional[Entity]) -> None:
+        """Statically analyze ``network`` according to the ``check`` mode.
+
+        Runs once per network object (keyed weakly on the *pre-copy* entity
+        the caller passed in) so warm services validating the same network
+        on every job pay the analysis cost only on the first one.
+        """
+        if network is None or self.check == "off":
+            return
+        report = None
+        cached = False
+        try:
+            report = self._check_cache.get(network)
+            cached = report is not None
+        except TypeError:  # unhashable/unweakrefable entity: just reanalyze
+            pass
+        if report is None:
+            try:
+                from repro.snet.analysis import analyze_network
+
+                report = analyze_network(network, nodes=self.check_nodes)
+            except Exception as exc:
+                # the analyzer must never block execution: fail open
+                warnings.warn(
+                    f"static network check skipped: analyzer failed ({exc!r})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return
+            try:
+                self._check_cache[network] = report
+            except TypeError:
+                pass
+        if not report.errors:
+            return
+        findings = "\n".join(d.format() for d in report.errors)
+        if self.check == "error":
+            raise NetworkError(
+                f"network {getattr(network, 'name', '<unnamed>')!r} failed "
+                f"static analysis with {len(report.errors)} error(s) "
+                "(pass check='warn' or check='off' to run anyway):\n"
+                + findings
+            )
+        if not cached:  # warn once per network, not once per job
+            warnings.warn(
+                f"static analysis found {len(report.errors)} error(s) in "
+                f"network {getattr(network, 'name', '<unnamed>')!r}:\n"
+                + findings,
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- platform capabilities -----------------------------------------------
     @staticmethod
@@ -337,6 +414,7 @@ class EngineCore:
         transport down unconditionally before re-raising, which is why
         :meth:`Transport.teardown` is required to be idempotent.
         """
+        self._validate_network(network)
         try:
             self.transport.setup(network, broadcast)
         except BaseException:
@@ -588,6 +666,9 @@ class EngineCore:
         every registration) and released in ``finally``.
         """
         self._reset_run_state()
+        # analyze the caller's network object (pre-copy) so the result is
+        # cached across jobs on warm runtimes
+        self._validate_network(network)
         target = network.copy() if fresh else network
         try:
             target = self.transport.begin_run(target, inputs, timeout)

@@ -1222,15 +1222,19 @@ class DistributedRuntime(EngineCore):
         zero_copy: bool = True,
         fault_tolerance: bool = True,
         max_respawns: int = 3,
+        check: str = "warn",
     ):
         super().__init__(
             tracer=tracer,
             stream_capacity=stream_capacity,
             transport=PartitionTransport(),
+            check=check,
         )
         self.nodes = int(nodes)
         if self.nodes < 1:
             raise RuntimeError_("the distributed runtime needs at least one node")
+        # placement checks (@num beyond the cluster) know the real node count
+        self.check_nodes = self.nodes
         if chunk_size < 1:
             raise RuntimeError_("chunk_size must be at least 1")
         self.chunk_size = int(chunk_size)

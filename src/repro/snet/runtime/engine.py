@@ -61,9 +61,17 @@ class ThreadedRuntime(EngineCore):
             runtime.teardown()
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None, stream_capacity: int = 256):
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        stream_capacity: int = 256,
+        check: str = "warn",
+    ):
         super().__init__(
-            tracer=tracer, stream_capacity=stream_capacity, transport=InlineTransport()
+            tracer=tracer,
+            stream_capacity=stream_capacity,
+            transport=InlineTransport(),
+            check=check,
         )
 
 

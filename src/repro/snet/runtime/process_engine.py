@@ -536,9 +536,13 @@ class ProcessRuntime(EngineCore):
         chunk_size: Optional[int] = None,
         max_inflight: Optional[int] = None,
         zero_copy: bool = True,
+        check: str = "warn",
     ):
         super().__init__(
-            tracer=tracer, stream_capacity=stream_capacity, transport=PoolTransport()
+            tracer=tracer,
+            stream_capacity=stream_capacity,
+            transport=PoolTransport(),
+            check=check,
         )
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:

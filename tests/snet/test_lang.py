@@ -247,13 +247,17 @@ class TestTypecheck:
         assert report.ok
         assert report.signature.accepts(Record({"x": 1}))
 
-    def test_disconnected_pipeline_warns(self):
+    def test_disconnected_pipeline_is_an_error(self):
         env = {"a": lambda x: {"y": x}, "b": lambda q: {"z": q}}
         netdef = build_network(
             "net n { box a ((x) -> (y)); box b ((q) -> (z)); } connect a .. b;", env
         )
         report = check_network(netdef.network)
-        assert report.warnings  # y does not obviously satisfy {q}
+        # the dataflow pass proves {y} can never reach {q}: definite error
+        assert not report.ok
+        assert any("SNET-E005" in e for e in report.errors)
+        assert report.analysis is not None
+        assert "SNET-E005" in report.analysis.codes()
 
     def test_ambiguous_parallel_warns(self):
         env = {"a": lambda x: {"y": x}, "b": lambda x: {"z": x}}
