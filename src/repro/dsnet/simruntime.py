@@ -128,15 +128,25 @@ class SimulatedDSNetRuntime:
         config: Optional[DSNetConfig] = None,
         master_node: int = 0,
         check: str = "warn",
+        fuse: str = "auto",
     ):
         if check not in ("warn", "error", "off"):
             raise SimulationError(
                 f"check must be 'warn', 'error' or 'off', got {check!r}"
             )
+        if fuse not in ("auto", "off"):
+            raise SimulationError(
+                f"fuse must be 'auto' or 'off', got {fuse!r}"
+            )
         self.cluster = cluster
         self.config = config or DSNetConfig()
         self.master_node = master_node
         self.check = check
+        # accepted for interface parity with the executing runtimes; the
+        # simulator interprets entities sequentially, so there are no
+        # per-hop streams or locks for linearization to elide
+        self.fuse = fuse
+        self.fused_chains = 0
         self.box_invocations = 0
         self.records_transferred = 0
         self._checked_networks: "weakref.WeakSet" = weakref.WeakSet()

@@ -71,12 +71,25 @@ class BVHNode:
         return self.primitive is not None
 
     def depth(self) -> int:
-        """Height of the subtree rooted at this node (leaf = 1)."""
-        if self.is_leaf:
-            return 1
-        left_depth = self.left.depth() if self.left else 0
-        right_depth = self.right.depth() if self.right else 0
-        return 1 + max(left_depth, right_depth)
+        """Height of the subtree rooted at this node (leaf = 1).
+
+        Iterative: a degenerate insertion order (e.g. collinear spheres
+        added in sequence) builds an O(n) chain, and the previous recursive
+        formulation blew Python's recursion limit on large scenes.
+        """
+        best = 0
+        stack = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            if node.is_leaf:
+                continue
+            if node.left is not None:
+                stack.append((node.left, level + 1))
+            if node.right is not None:
+                stack.append((node.right, level + 1))
+        return best
 
 
 class BVH:

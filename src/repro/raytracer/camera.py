@@ -98,6 +98,45 @@ class Camera:
         origins = np.broadcast_to(self.position, directions.shape)
         return origins, directions
 
+    def primary_ray_block_into(
+        self,
+        y_start: int,
+        y_end: int,
+        out_directions: np.ndarray,
+        out_norms: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`primary_ray_block` into caller-owned scratch arrays.
+
+        ``out_directions`` must be ``(rows * width, 3)`` and ``out_norms``
+        ``(rows * width,)``; both are overwritten.  The fused tile renderer
+        reuses one scratch pair across frames instead of allocating fresh
+        ``(n, 3)`` intermediates per tile.  The arithmetic is performed in
+        the same order as the allocating version (the first addend merely
+        commutes, which is exact for float addition), so the produced rays
+        are bit-identical.
+        """
+        if not 0 <= y_start <= y_end <= self.height:
+            raise ValueError(
+                f"row range [{y_start}, {y_end}) outside image of height {self.height}"
+            )
+        rows = y_end - y_start
+        n = rows * self.width
+        px = np.arange(self.width, dtype=np.float64)
+        py = np.arange(y_start, y_end, dtype=np.float64)
+        u = (px + 0.5) / self.width * 2.0 - 1.0
+        v = 1.0 - (py + 0.5) / self.height * 2.0
+        directions = out_directions[:n]
+        grid = directions.reshape(rows, self.width, 3)
+        np.multiply((u * self._half_width)[None, :, None], self._right, out=grid)
+        grid += self._forward
+        grid += (v * self._half_height)[:, None, None] * self._true_up
+        norms = out_norms[:n]
+        np.einsum("ij,ij->i", directions, directions, out=norms)
+        np.sqrt(norms, out=norms)
+        directions /= norms[:, None]
+        origins = np.broadcast_to(self.position, directions.shape)
+        return origins, directions
+
     def ndc_of_point(self, point: Vector) -> Tuple[float, float, float]:
         """Project a world point; returns (x_ndc, y_ndc, depth).
 

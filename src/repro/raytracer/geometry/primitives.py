@@ -235,7 +235,9 @@ class Triangle(Primitive):
         edge1 = self.v1 - self.v0
         edge2 = self.v2 - self.v0
         h = np.cross(directions, edge2)
-        a = h @ edge1
+        # einsum (not BLAS @) so the reduction order — and therefore every
+        # bit of the result — matches the batched flat-BVH triangle kernel
+        a = np.einsum("ij,j->i", h, edge1)
         t = np.full(a.shape, np.inf)
         valid = np.abs(a) >= 1e-12
         if not valid.any():
@@ -245,7 +247,7 @@ class Triangle(Primitive):
         u = f * row_dot(s, h[valid])
         q = np.cross(s, edge1)
         v = f * row_dot(directions[valid], q)
-        candidate = f * (q @ edge2)
+        candidate = f * np.einsum("ij,j->i", q, edge2)
         tmax = broadcast_tmax(t_max, origins.shape[0])[valid]
         ok = (
             (u >= 0.0)

@@ -79,6 +79,14 @@ def scene_packet_data(scene: "Scene") -> ScenePacketData:
     (``Scene.add``), a re-derived leaf list on the same BVH (in-place
     ``BVH.insert``), or a grown primitive list on the same brute-force index
     (in-place ``BruteForceIndex.insert``).
+
+    **Invalidation contract**: these rules only observe *structural* changes
+    to the index.  Mutating a primitive's :class:`Material` in place (or a
+    primitive's geometry) is invisible to them — the cached material arrays
+    (and the flat-BVH parameter arrays, which share the same staleness
+    rules) would keep serving stale values.  Call
+    :meth:`Scene.invalidate_packet_cache` after any in-place mutation to
+    drop both caches explicitly.
     """
     index = scene.index  # building the index also populates the unbounded list
     cached = getattr(scene, "_packet_data", None)
@@ -113,17 +121,22 @@ def scene_packet_data(scene: "Scene") -> ScenePacketData:
 
 
 def cast_packet(
-    scene: "Scene", origins: np.ndarray, directions: np.ndarray
+    scene: "Scene", origins: np.ndarray, directions: np.ndarray, index: Any = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Closest hit of every ray in the packet (the packet ``Cast`` step).
 
     Returns ``(indices, t)`` with indices into
     :attr:`ScenePacketData.primitives` (``-1``/``np.inf`` for misses).
     Mirrors :meth:`RayTracer.cast`: BVH first, then the unbounded primitives
-    bounded by each ray's current best hit.
+    bounded by each ray's current best hit.  ``index`` selects the traversal
+    structure (default: ``scene.index``); the fused render path passes the
+    scene's compiled :class:`~repro.raytracer.flatbvh.FlatBVH`, whose hit
+    indices refer to the same leaf-ordered primitive rows.
     """
-    indices, t = scene.index.intersect_packet(origins, directions, t_min=1e-6)
-    base = len(scene.index.packet_primitives)
+    if index is None:
+        index = scene.index
+    indices, t = index.intersect_packet(origins, directions, t_min=1e-6)
+    base = len(index.packet_primitives)
     for offset, obj in enumerate(scene.unbounded_objects):
         t_obj = obj.intersect_block(origins, directions, 1e-6, t)
         closer = t_obj < t
@@ -137,9 +150,12 @@ def occluded_packet(
     origins: np.ndarray,
     directions: np.ndarray,
     max_distance: np.ndarray,
+    index: Any = None,
 ) -> np.ndarray:
     """Vectorized :meth:`RayTracer.occluded` for a packet of shadow rays."""
-    occluded = scene.index.any_hit_packet(origins, directions, 1e-6, max_distance)
+    if index is None:
+        index = scene.index
+    occluded = index.any_hit_packet(origins, directions, 1e-6, max_distance)
     tmax = np.broadcast_to(
         np.asarray(max_distance, dtype=np.float64), (origins.shape[0],)
     )
@@ -169,7 +185,9 @@ def trace_packet(
         return colors
     tracer.rays_cast += n
     data = scene_packet_data(scene)
-    indices, t = cast_packet(scene, origins, directions)
+    indices, t = cast_packet(
+        scene, origins, directions, index=getattr(tracer, "_traversal_index", None)
+    )
     hits = (indices >= 0).nonzero()[0]
     if hits.size == 0:
         return colors

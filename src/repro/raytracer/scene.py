@@ -67,6 +67,23 @@ class Scene:
         self.objects.append(primitive)
         self._index = None  # invalidate
 
+    def invalidate_packet_cache(self) -> None:
+        """Drop the cached packet material arrays and the compiled flat BVH.
+
+        The packet caches (:func:`~repro.raytracer.packet.scene_packet_data`
+        and :func:`~repro.raytracer.flatbvh.scene_flat_index`) detect
+        *structural* index changes automatically — a rebuilt index, an
+        in-place ``BVH.insert``, a grown brute-force list.  What they cannot
+        see is an **in-place mutation** of an already-indexed primitive:
+        changing a ``Material`` field (or a sphere's centre/radius) leaves
+        every identity the staleness checks compare untouched, so the packet
+        path would keep rendering with stale material/geometry arrays while
+        the scalar path picks the change up immediately.  Call this after
+        any such mutation; the caches rebuild lazily on the next packet.
+        """
+        self._packet_data = None
+        self._flat_index = None
+
     def add_light(self, light: Light) -> None:
         self.lights.append(light)
 

@@ -133,7 +133,13 @@ def shade_block(
             to_light,
         )
         # shadow packet: the scalar path re-normalizes inside Ray.__init__
-        lit = ~occluded_packet(scene, surface, normalize_rows(light_dir), distance)
+        lit = ~occluded_packet(
+            scene,
+            surface,
+            normalize_rows(light_dir),
+            distance,
+            index=getattr(tracer, "_traversal_index", None),
+        )
         lambert = np.maximum(0.0, row_dot(oriented, light_dir))
         contribution = (data.diffuse[indices] * lambert * light.intensity)[
             :, None

@@ -14,8 +14,9 @@ This module mirrors Algorithms 1 and 2 of the paper:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -35,11 +36,15 @@ __all__ = [
     "check_render_mode",
     "render",
     "render_section",
+    "scratch_stats",
+    "reset_scratch_stats",
 ]
 
-#: the two rendering strategies: ``scalar`` is the per-pixel correctness
+#: the three rendering strategies: ``scalar`` is the per-pixel correctness
 #: oracle (Algorithms 1/2 verbatim), ``packet`` the vectorized NumPy path
-RENDER_MODES = ("scalar", "packet")
+#: over the node-based BVH, ``fused`` the flat-BVH fast path with reusable
+#: per-tile scratch buffers (same pixels as both, ``atol=1e-9``)
+RENDER_MODES = ("scalar", "packet", "fused")
 
 
 def check_render_mode(mode: str) -> str:
@@ -49,6 +54,49 @@ def check_render_mode(mode: str) -> str:
             f"unknown render mode {mode!r}; available: " + ", ".join(RENDER_MODES)
         )
     return mode
+
+
+class _TileScratch:
+    """Preallocated per-tile buffers for the fused render path."""
+
+    __slots__ = ("directions", "norms")
+
+    def __init__(self, n: int):
+        self.directions = np.empty((n, 3), dtype=np.float64)
+        self.norms = np.empty(n, dtype=np.float64)
+
+
+#: scratch buffers are thread-local (concurrent solver threads must not
+#: share arrays) and keyed by tile size, so warm service jobs rendering the
+#: same section geometry reuse them frame after frame
+_scratch_pool = threading.local()
+
+#: process-wide scratch telemetry: how many tile renders allocated fresh
+#: buffers vs. reused warm ones (read by the fused-path benchmark)
+_scratch_counters = {"allocations": 0, "reuses": 0}
+
+
+def _tile_scratch(n: int) -> _TileScratch:
+    pool: Dict[int, _TileScratch] = getattr(_scratch_pool, "buffers", None)
+    if pool is None:
+        pool = _scratch_pool.buffers = {}
+    scratch = pool.get(n)
+    if scratch is None:
+        scratch = pool[n] = _TileScratch(n)
+        _scratch_counters["allocations"] += 1
+    else:
+        _scratch_counters["reuses"] += 1
+    return scratch
+
+
+def scratch_stats() -> Dict[str, int]:
+    """Snapshot of the fused-path scratch counters (benchmark telemetry)."""
+    return dict(_scratch_counters)
+
+
+def reset_scratch_stats() -> None:
+    _scratch_counters["allocations"] = 0
+    _scratch_counters["reuses"] = 0
 
 
 @dataclass
@@ -73,6 +121,9 @@ class RayTracer:
         self.scene = scene
         self.camera = camera
         self.rays_cast = 0
+        #: traversal structure used by the packet kernels instead of
+        #: ``scene.index`` when set (the fused path installs the flat BVH)
+        self._traversal_index = None
 
     # -- Algorithm 2, step "Cast" -------------------------------------------
     def cast(self, ray: Ray) -> Optional[Hit]:
@@ -159,6 +210,69 @@ class RayTracer:
             )
         return pixels
 
+    # -- Algorithm 1, fused fast path ----------------------------------------
+    def render_tile_fused(
+        self, y_start: int, y_end: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One tile of the fused path: ray gen → flat traversal → shading.
+
+        The three stages run back-to-back on the same preallocated scratch
+        buffers (primary-ray directions and their norms are written into a
+        thread-local pool keyed by tile size, so warm
+        :class:`~repro.apps.service.RenderService` jobs reuse them across
+        frames) and traversal goes through the scene's compiled
+        :class:`~repro.raytracer.flatbvh.FlatBVH` instead of the node graph.
+        The caller must have installed the flat index on
+        ``self._traversal_index`` (see :meth:`render_rows_fused`); pixels are
+        written into ``out`` when given.
+        """
+        rows = y_end - y_start
+        width = self.camera.width
+        n = rows * width
+        scratch = _tile_scratch(n)
+        origins, directions = self.camera.primary_ray_block_into(
+            y_start, y_end, scratch.directions, scratch.norms
+        )
+        colors = trace_packet(self, origins, directions, depth=0)
+        tile = colors.reshape(rows, width, 3)
+        if out is not None:
+            out[:] = tile
+            return out
+        return tile
+
+    def render_rows_fused(self, y_start: int, y_end: int) -> np.ndarray:
+        """Fused version of :meth:`render_rows_packet` (flat-BVH fast path).
+
+        Identical tiling and pixel values (``atol=1e-9`` against the scalar
+        oracle, exact against the packet path); the difference is purely
+        mechanical: the flat SoA traversal replaces the per-node Python
+        object walk and each tile reuses warm scratch buffers instead of
+        allocating fresh ``(n, 3)`` intermediates.
+        """
+        if not 0 <= y_start <= y_end <= self.camera.height:
+            raise ValueError(
+                f"row range [{y_start}, {y_end}) outside image of height "
+                f"{self.camera.height}"
+            )
+        from repro.raytracer.flatbvh import scene_flat_index
+
+        rows = y_end - y_start
+        width = self.camera.width
+        pixels = np.empty((rows, width, 3), dtype=np.float64)
+        self._traversal_index = scene_flat_index(self.scene)
+        try:
+            tile_rows = max(1, self.MAX_PACKET_RAYS // max(1, width))
+            for tile_start in range(y_start, y_end, tile_rows):
+                tile_end = min(y_end, tile_start + tile_rows)
+                self.render_tile_fused(
+                    tile_start,
+                    tile_end,
+                    out=pixels[tile_start - y_start : tile_end - y_start],
+                )
+        finally:
+            self._traversal_index = None
+        return pixels
+
     def render_pixel(self, px: int, py: int) -> Vector:
         """Render a single pixel (used by tests and the cost calibrator)."""
         return self.trace(self.camera.primary_ray(px, py))
@@ -170,6 +284,8 @@ def render(scene: Scene, camera: Camera, mode: str = "scalar") -> np.ndarray:
     tracer = RayTracer(scene, camera)
     if mode == "packet":
         return tracer.render_rows_packet(0, camera.height)
+    if mode == "fused":
+        return tracer.render_rows_fused(0, camera.height)
     return tracer.render_rows(0, camera.height)
 
 
@@ -192,6 +308,8 @@ def render_section(
     tracer = RayTracer(scene, camera)
     if mode == "packet":
         pixels = tracer.render_rows_packet(y_start, y_end)
+    elif mode == "fused":
+        pixels = tracer.render_rows_fused(y_start, y_end)
     else:
         pixels = tracer.render_rows(y_start, y_end)
     return ImageChunk(

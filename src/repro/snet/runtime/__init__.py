@@ -61,6 +61,7 @@ from repro.snet.runtime.core import (
     worker_scope,
 )
 from repro.snet.runtime.data_plane import SharedObjectRef, dumps_records, loads_records
+from repro.snet.runtime.linearize import FusedChain, linearize
 from repro.snet.runtime.engine import ThreadedRuntime, run_threaded
 from repro.snet.runtime.process_engine import (
     BatchAutotuner,
@@ -95,6 +96,8 @@ __all__ = [
     "ThreadedRuntime",
     "ProcessRuntime",
     "DistributedRuntime",
+    "FusedChain",
+    "linearize",
     "BatchAutotuner",
     "BoxWorkerError",
     "DistributedWorkerError",

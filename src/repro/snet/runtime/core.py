@@ -218,6 +218,17 @@ class Transport:
         """
         return False
 
+    def claims_entity(self, entity: Entity) -> bool:
+        """Would :meth:`compile_entity` claim ``entity`` right now?
+
+        A side-effect-free query used by the linearization pass: an entity
+        the transport intends to execute itself (a pool-offloaded box, a
+        placement partition) must never be folded into a fused chain, or
+        the fusion would silently disable the offload.  Must be consistent
+        with :meth:`compile_entity` for the current run's resources.
+        """
+        return False
+
     # -- accounting ----------------------------------------------------------
     @property
     def bytes_pickled(self) -> int:
@@ -275,6 +286,19 @@ class EngineCore:
         raises :class:`~repro.snet.errors.NetworkError`, ``"off"`` skips
         analysis entirely.  An analyzer *crash* never blocks execution
         (fail-open with a warning).
+    fuse:
+        Sequential-chain linearization mode (see
+        :mod:`repro.snet.runtime.linearize`).  ``"auto"`` (default)
+        collapses purely sequential runs of pure primitives into single
+        fused workers whenever that is provably transparent: tracing must
+        be disabled (fusion elides the interior per-record trace events)
+        and the static analyzer must report the network error-free (the
+        fail-safe direction — no report, no fusion).  ``"off"`` disables
+        the pass.  Fusion never crosses a combinator, synchrocell,
+        placement boundary or transport-claimed entity, so the output
+        record multiset is identical on every backend;
+        :attr:`fused_chains` reports how many chains the last run
+        collapsed.
 
     Runtime instances are **reusable**: :meth:`run` resets all per-run state
     (worker bookkeeping, collected errors) on entry, so a long-lived service
@@ -293,6 +317,8 @@ class EngineCore:
 
     #: valid values of the ``check`` knob
     CHECK_MODES = ("warn", "error", "off")
+    #: valid values of the ``fuse`` knob
+    FUSE_MODES = ("auto", "off")
 
     def __init__(
         self,
@@ -300,16 +326,24 @@ class EngineCore:
         stream_capacity: int = 256,
         transport: Optional[Transport] = None,
         check: str = "warn",
+        fuse: str = "auto",
     ):
         if check not in self.CHECK_MODES:
             raise RuntimeError_(
                 f"check must be one of {self.CHECK_MODES}, got {check!r}"
+            )
+        if fuse not in self.FUSE_MODES:
+            raise RuntimeError_(
+                f"fuse must be one of {self.FUSE_MODES}, got {fuse!r}"
             )
         self.tracer = tracer or NullTracer()
         self.stream_capacity = stream_capacity
         self.transport = transport or InlineTransport()
         self.transport.bind(self)
         self.check = check
+        self.fuse = fuse
+        #: number of fused chains the most recent :meth:`run` created
+        self.fused_chains = 0
         #: cluster size for placement checks; the distributed runtime sets it
         self.check_nodes: Optional[int] = None
         self._check_cache: "weakref.WeakKeyDictionary[Entity, Any]" = (
@@ -374,6 +408,37 @@ class EngineCore:
                 RuntimeWarning,
                 stacklevel=3,
             )
+
+    def _fusion_safe(self, network: Optional[Entity]) -> bool:
+        """May the linearization pass rewrite ``network``?
+
+        Fusion requires positive proof of safety from the static analyzer:
+        the network's dataflow report must exist and be error-free.  The
+        fail-safe direction is the opposite of :meth:`_validate_network`'s
+        fail-open — if the analyzer is unavailable or crashes we *skip the
+        optimization* rather than the check.  With the default
+        ``check="warn"`` the report is already cached by the time this
+        runs, so the common case is a dictionary lookup.
+        """
+        if network is None:
+            return False
+        report = None
+        try:
+            report = self._check_cache.get(network)
+        except TypeError:
+            pass
+        if report is None:
+            try:
+                from repro.snet.analysis import analyze_network
+
+                report = analyze_network(network, nodes=self.check_nodes)
+            except Exception:
+                return False
+            try:
+                self._check_cache[network] = report
+            except TypeError:
+                pass
+        return not report.errors
 
     # -- platform capabilities -----------------------------------------------
     @staticmethod
@@ -446,6 +511,7 @@ class EngineCore:
             self._pending = []
             self._started = False
             self.errors = []
+            self.fused_chains = 0
 
     # -- thread management -------------------------------------------------
     def _record_error(self, exc: BaseException, source: str = "transport") -> None:
@@ -672,6 +738,20 @@ class EngineCore:
         target = network.copy() if fresh else network
         try:
             target = self.transport.begin_run(target, inputs, timeout)
+            # linearize after begin_run so the transport's claims reflect
+            # this run's actual resources (pool forked or degraded, links
+            # up or absent); only a fresh private copy may be rewritten
+            if (
+                fresh
+                and self.fuse == "auto"
+                and isinstance(self.tracer, NullTracer)
+                and self._fusion_safe(network)
+            ):
+                from repro.snet.runtime.linearize import linearize
+
+                target, self.fused_chains = linearize(
+                    target, self.transport.claims_entity
+                )
             in_stream = self._new_stream("network-in")
             out_stream = self._new_stream("network-out")
             self.compile(target, in_stream, out_stream.open_writer())

@@ -1097,6 +1097,14 @@ class PartitionTransport(Transport):
         self._open_channel(key, value, inst_in, out_writer, f"{entity.name}-{value}")
         return True
 
+    def claims_entity(self, entity: Entity) -> bool:
+        """Mirror of :meth:`compile_entity`'s claim condition (no side effects)."""
+        return (
+            bool(self._links)
+            and isinstance(entity, StaticPlacement)
+            and self._resolve_key(entity) is not None
+        )
+
     # -- channels ------------------------------------------------------------
     def _open_channel(
         self,
@@ -1223,12 +1231,14 @@ class DistributedRuntime(EngineCore):
         fault_tolerance: bool = True,
         max_respawns: int = 3,
         check: str = "warn",
+        fuse: str = "auto",
     ):
         super().__init__(
             tracer=tracer,
             stream_capacity=stream_capacity,
             transport=PartitionTransport(),
             check=check,
+            fuse=fuse,
         )
         self.nodes = int(nodes)
         if self.nodes < 1:

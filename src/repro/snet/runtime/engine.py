@@ -66,12 +66,14 @@ class ThreadedRuntime(EngineCore):
         tracer: Optional[Tracer] = None,
         stream_capacity: int = 256,
         check: str = "warn",
+        fuse: str = "auto",
     ):
         super().__init__(
             tracer=tracer,
             stream_capacity=stream_capacity,
             transport=InlineTransport(),
             check=check,
+            fuse=fuse,
         )
 
 

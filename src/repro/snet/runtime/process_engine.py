@@ -405,6 +405,15 @@ class PoolTransport(Transport):
         )
         return True
 
+    def claims_entity(self, entity: Entity) -> bool:
+        """Mirror of :meth:`compile_entity`'s claim condition (no side effects)."""
+        return (
+            self._pool is not None
+            and isinstance(entity, Box)
+            and entity.parallel_safe
+            and self._box_keys.get(self._template_key(entity)) is not None
+        )
+
     def _make_pump(
         self, entity: Box, key: int, in_stream: Stream, out_writer: StreamWriter
     ):
@@ -537,12 +546,14 @@ class ProcessRuntime(EngineCore):
         max_inflight: Optional[int] = None,
         zero_copy: bool = True,
         check: str = "warn",
+        fuse: str = "auto",
     ):
         super().__init__(
             tracer=tracer,
             stream_capacity=stream_capacity,
             transport=PoolTransport(),
             check=check,
+            fuse=fuse,
         )
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:

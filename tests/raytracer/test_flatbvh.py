@@ -1,0 +1,254 @@
+"""The flat SoA BVH: exact equivalence with the node BVH and the fused path."""
+
+import numpy as np
+import pytest
+
+from repro.raytracer.bvh import BVH, BruteForceIndex
+from repro.raytracer.camera import Camera
+from repro.raytracer.flatbvh import FlatBVH, scene_flat_index
+from repro.raytracer.geometry import Plane, Sphere, Triangle
+from repro.raytracer.materials import Material
+from repro.raytracer.scene import Scene, random_scene
+from repro.raytracer.tracer import (
+    RayTracer,
+    render,
+    reset_scratch_stats,
+    scratch_stats,
+)
+from repro.raytracer.vec import normalize_rows, vec3
+
+
+def _mixed_scene(num_spheres=60, seed=7, with_triangles=True):
+    scene = random_scene(num_spheres=num_spheres, seed=seed)
+    if with_triangles:
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(8):
+            base = vec3(*(rng.uniform(-3, 3), rng.uniform(-2, 2), rng.uniform(-8, -2)))
+            scene.add(
+                Triangle(
+                    base,
+                    base + rng.uniform(0.2, 1.0, 3),
+                    base + rng.uniform(0.2, 1.0, 3),
+                    Material.matte(0.4, 0.6, 0.5),
+                )
+            )
+    return scene
+
+
+def _ray_batch(n, seed=11, spread=1.0):
+    rng = np.random.default_rng(seed)
+    origins = rng.uniform(-1, 1, (n, 3)) * np.array([2.0, 2.0, 0.5]) + np.array(
+        [0.0, 1.0, 5.0]
+    )
+    directions = normalize_rows(
+        np.array([0.0, -0.1, -1.0]) + spread * rng.uniform(-0.5, 0.5, (n, 3))
+    )
+    return origins, directions
+
+
+class TestFlatCompilation:
+    def test_layout_matches_leaf_order(self):
+        scene = _mixed_scene()
+        bvh = scene.index
+        flat = FlatBVH.from_bvh(bvh)
+        assert flat.size == bvh.size
+        assert flat.packet_primitives is bvh.packet_primitives
+
+    def test_empty_bvh(self):
+        flat = FlatBVH.from_bvh(BVH())
+        origins, directions = _ray_batch(4)
+        indices, t = flat.intersect_packet(origins, directions)
+        assert (indices == -1).all() and np.isinf(t).all()
+        assert not flat.any_hit_packet(origins, directions).any()
+
+    def test_single_primitive(self):
+        bvh = BVH([Sphere(vec3(0, 0, -5), 1.0, Material.matte(1, 0, 0))])
+        flat = FlatBVH.from_bvh(bvh)
+        origins = np.array([[0.0, 0.0, 0.0], [5.0, 5.0, 0.0]])
+        directions = np.array([[0.0, 0.0, -1.0], [0.0, 0.0, -1.0]])
+        indices, t = flat.intersect_packet(origins, directions)
+        assert indices.tolist() == [0, -1]
+        assert t[0] == pytest.approx(4.0)
+
+
+class TestExactEquivalence:
+    """The flat traversal must be *bit-identical* to the node traversal."""
+
+    def test_intersect_packet_matches_node_bvh(self):
+        scene = _mixed_scene(num_spheres=150)
+        bvh = scene.index
+        flat = FlatBVH.from_bvh(bvh)
+        origins, directions = _ray_batch(400)
+        ni, nt = bvh.intersect_packet(origins, directions)
+        fi, ft = flat.intersect_packet(origins, directions)
+        assert np.array_equal(ni, fi)
+        assert np.array_equal(nt, ft)
+
+    def test_matches_brute_force_by_primitive(self):
+        scene = _mixed_scene(num_spheres=80)
+        bvh = scene.index
+        flat = FlatBVH.from_bvh(bvh)
+        brute = BruteForceIndex(scene.bounded_objects)
+        origins, directions = _ray_batch(300, seed=5)
+        fi, ft = flat.intersect_packet(origins, directions)
+        bi, bt = brute.intersect_packet(origins, directions)
+        # the two indices enumerate different primitive orders: compare hits
+        # by identity and parameters exactly
+        assert np.array_equal(ft, bt)
+        for ray in range(origins.shape[0]):
+            if bi[ray] == -1:
+                assert fi[ray] == -1
+            else:
+                assert flat.packet_primitives[fi[ray]] is brute.primitives[bi[ray]]
+
+    def test_degenerate_axis_rays(self):
+        # axis-aligned rays have zero direction components: the slab test
+        # must reproduce AABB.intersects_ray_block's parallel-ray rule exactly
+        bvh = BVH(
+            [
+                Sphere(vec3(float(i), 0.0, -4.0), 0.45, Material.matte(0.5, 0.5, 0.5))
+                for i in range(10)
+            ]
+        )
+        flat = FlatBVH.from_bvh(bvh)
+        origins = np.array([[float(i), 0.0, 0.0] for i in range(10)])
+        directions = np.tile(np.array([0.0, 0.0, -1.0]), (10, 1))
+        ni, nt = bvh.intersect_packet(origins, directions)
+        fi, ft = flat.intersect_packet(origins, directions)
+        assert np.array_equal(ni, fi)
+        assert np.array_equal(nt, ft)
+
+    def test_any_hit_matches_node_bvh_with_per_ray_tmax(self):
+        scene = _mixed_scene(num_spheres=100, seed=9)
+        bvh = scene.index
+        flat = FlatBVH.from_bvh(bvh)
+        origins, directions = _ray_batch(250, seed=13)
+        rng = np.random.default_rng(17)
+        tmax = rng.uniform(0.5, 20.0, origins.shape[0])
+        assert np.array_equal(
+            bvh.any_hit_packet(origins, directions, t_max=tmax),
+            flat.any_hit_packet(origins, directions, t_max=tmax),
+        )
+
+    def test_small_batch_budget_still_exact(self):
+        # force the per-leaf scalar fallback by shrinking the batch budget
+        scene = _mixed_scene(num_spheres=60, seed=21)
+        flat = FlatBVH.from_bvh(scene.index)
+        origins, directions = _ray_batch(120, seed=23)
+        ref_i, ref_t = flat.intersect_packet(origins, directions)
+        tiny = FlatBVH.from_bvh(scene.index)
+        tiny.BATCH_WORK = 1
+        ti, tt = tiny.intersect_packet(origins, directions)
+        assert np.array_equal(ref_i, ti)
+        assert np.array_equal(ref_t, tt)
+
+
+class TestSceneFlatCache:
+    def test_cached_and_invalidated_on_insert(self):
+        scene = _mixed_scene(num_spheres=20)
+        first = scene_flat_index(scene)
+        assert scene_flat_index(scene) is first
+        scene.add(Sphere(vec3(0, 0, -3), 0.3, Material.matte(1, 1, 1)))
+        rebuilt = scene_flat_index(scene)
+        assert rebuilt is not first
+        assert rebuilt.size == scene.index.size
+
+    def test_incremental_insert_detected(self):
+        # inserting directly into the BVH grows packet_primitives in place;
+        # the staleness check must notice the length change
+        scene = _mixed_scene(num_spheres=20)
+        first = scene_flat_index(scene)
+        scene.index.insert(Sphere(vec3(1, 1, -4), 0.2, Material.matte(1, 0, 0)))
+        assert scene_flat_index(scene) is not first
+
+    def test_brute_force_scene_returns_index_itself(self):
+        scene = random_scene(num_spheres=5, use_bvh=False)
+        assert scene_flat_index(scene) is scene.index
+
+    def test_invalidate_packet_cache_clears_flat_index(self):
+        scene = _mixed_scene(num_spheres=10)
+        first = scene_flat_index(scene)
+        scene.invalidate_packet_cache()
+        assert scene._flat_index is None
+        assert scene_flat_index(scene) is not first
+
+    def test_material_mutation_needs_explicit_invalidation(self):
+        # the documented contract: in-place Material mutation is invisible
+        # to the staleness checks; invalidate_packet_cache makes the packet
+        # paths agree with the scalar oracle again
+        scene = Scene(
+            [Sphere(vec3(0, 0, -5), 1.0, Material.matte(0.2, 0.2, 0.2))],
+            use_bvh=True,
+        )
+        from repro.raytracer.scene import Light
+
+        scene.add_light(Light(vec3(0, 5, 0)))
+        camera = Camera(width=16, height=16)
+        before = render(scene, camera, mode="fused")
+        scene.objects[0].material.color = np.array([0.9, 0.1, 0.1])
+        scene.invalidate_packet_cache()
+        after_packet = render(scene, camera, mode="fused")
+        after_scalar = render(scene, camera, mode="scalar")
+        assert not np.allclose(before, after_packet)
+        np.testing.assert_allclose(after_packet, after_scalar, atol=1e-9)
+
+
+class TestFusedRenderPath:
+    def test_fused_matches_packet_exactly(self):
+        scene = _mixed_scene(num_spheres=40, seed=31)
+        camera = Camera(width=32, height=24)
+        packet = render(scene, camera, mode="packet")
+        fused = render(scene, camera, mode="fused")
+        assert np.array_equal(packet, fused)
+
+    def test_fused_matches_scalar_oracle(self):
+        scene = _mixed_scene(num_spheres=25, seed=33)
+        camera = Camera(width=24, height=24)
+        scalar = render(scene, camera, mode="scalar")
+        fused = render(scene, camera, mode="fused")
+        np.testing.assert_allclose(fused, scalar, atol=1e-9)
+
+    def test_scratch_buffers_reused_across_frames(self):
+        scene = _mixed_scene(num_spheres=15, seed=35)
+        camera = Camera(width=16, height=16)
+        tracer = RayTracer(scene, camera)
+        reset_scratch_stats()
+        tracer.render_rows_fused(0, camera.height)
+        first = scratch_stats()
+        tracer.render_rows_fused(0, camera.height)
+        second = scratch_stats()
+        assert second["reuses"] > first["reuses"]
+        assert second["allocations"] == first["allocations"]
+
+    def test_traversal_index_restored_after_render(self):
+        scene = _mixed_scene(num_spheres=10, seed=37)
+        camera = Camera(width=8, height=8)
+        tracer = RayTracer(scene, camera)
+        tracer.render_rows_fused(0, 8)
+        assert tracer._traversal_index is None
+
+    def test_rays_cast_matches_packet_path(self):
+        scene = _mixed_scene(num_spheres=30, seed=39)
+        camera = Camera(width=16, height=16)
+        t1 = RayTracer(scene, camera)
+        t1.render_rows_packet(0, camera.height)
+        t2 = RayTracer(scene, camera)
+        t2.render_rows_fused(0, camera.height)
+        assert t1.rays_cast == t2.rays_cast
+
+    def test_unbounded_primitives_still_hit(self):
+        scene = Scene(
+            [
+                Plane(vec3(0, -1, 0), vec3(0, 1, 0), Material.matte(0.5, 0.5, 0.5)),
+                Sphere(vec3(0, 0, -5), 1.0, Material.matte(0.8, 0.2, 0.2)),
+            ]
+        )
+        from repro.raytracer.scene import Light
+
+        scene.add_light(Light(vec3(0, 5, 0)))
+        camera = Camera(width=16, height=16)
+        np.testing.assert_allclose(
+            render(scene, camera, mode="fused"),
+            render(scene, camera, mode="scalar"),
+            atol=1e-9,
+        )
