@@ -1,0 +1,261 @@
+"""E10 — multi-tenant job storm through the gateway (load + fairness).
+
+Four tenants with heavily skewed Poisson arrival rates replay a
+deterministic storm (``tenant_job_storm``) against the gateway on one CPU.
+The point is not parallel speedup (the container has 1 CPU) but the *front
+door's* production properties under overload:
+
+* **zero lost jobs** — every request is answered: served, or rejected with
+  a structured ``retry_after`` (rate quota, pending cap or service
+  backpressure).  Nothing hangs, nothing disappears;
+* **bounded queue latency** — the service queue-wait p95 stays under a bar
+  calibrated from the measured warm job time *in this container* (so the
+  bar tracks the machine, not a hard-coded second count);
+* **the warm pool earns its keep** — the same storm replayed against a
+  single-slot cache (PR 4's behaviour) yields a strictly worse warm-hit
+  rate than the pooled gateway arm.
+
+The storm is sized from a calibration render: arrivals are rescaled so the
+offered load is ~75% of the measured single-CPU service capacity — enough
+pressure to exercise queueing and admission, not a tar pit.
+
+Results go to the ``bench_json`` CI artifact when ``BENCH_RESULTS_DIR`` is
+set, *and* to ``BENCH_9.json`` at the repository root.
+"""
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+from repro.apps import (
+    GatewayClient,
+    RenderGateway,
+    RenderJob,
+    RenderService,
+    TenantPolicy,
+    scene_from_spec,
+    tenant_job_storm,
+)
+
+WIDTH = HEIGHT = 24
+TASKS = 4
+NUM_SPHERES = 20
+NUM_SCENES = 6
+REQUESTS_TOTAL = 60
+BASELINE_REQUESTS = 30
+UTILIZATION = 0.75
+P95_WARM_MULTIPLE = 25.0  # queue-wait p95 bar, in warm-job units
+
+# nominal jobs/second per tenant before rescaling to container speed —
+# the *skew* (8:3:2:1) is what matters, not the absolute numbers
+RATES = {"heavy": 8.0, "steady": 3.0, "bursty": 2.0, "light": 1.0}
+WEIGHTS = {"heavy": 4.0, "steady": 2.0, "bursty": 1.0, "light": 1.0}
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+SCENE_SPECS = [
+    {"kind": "animation", "frames": NUM_SCENES, "frame": i,
+     "num_spheres": NUM_SPHERES}
+    for i in range(NUM_SCENES)
+]
+
+
+def calibrate_warm_seconds():
+    """Measured warm job time for this workload in this container."""
+    with RenderService("threaded", width=WIDTH, height=HEIGHT,
+                       max_scenes=1) as service:
+        scene = scene_from_spec(SCENE_SPECS[0])
+        service.render(RenderJob(scene, tasks=TASKS), timeout=120.0)
+        samples = []
+        for _ in range(3):
+            result = service.render(RenderJob(scene, tasks=TASKS), timeout=120.0)
+            assert result.warm
+            samples.append(result.seconds)
+    return sum(samples) / len(samples)
+
+
+def replay_storm(gateway, storm, duration):
+    """Replay the storm against ``gateway``; every tenant counts its replies.
+
+    One pipelined connection per tenant: a single sender thread fires each
+    request at its scheduled offset, reader threads drain responses.  Returns
+    ``{tenant: [reply, ...]}`` with exactly one reply per sent request.
+    """
+    tenants = sorted({req.tenant for req in storm})
+    clients = {t: GatewayClient(gateway.host, gateway.port, timeout=300.0)
+               for t in tenants}
+    sent = {t: sum(1 for r in storm if r.tenant == t) for t in tenants}
+    replies = {t: [] for t in tenants}
+
+    def reader(tenant):
+        for _ in range(sent[tenant]):
+            replies[tenant].append(clients[tenant].recv())
+
+    readers = [threading.Thread(target=reader, args=(t,), name=f"reader-{t}")
+               for t in tenants]
+    for thread in readers:
+        thread.start()
+    start = time.perf_counter()
+    for req in storm:
+        delay = req.at * duration - (time.perf_counter() - start)
+        if delay > 0:
+            time.sleep(delay)
+        clients[req.tenant].send({
+            "op": "render", "tenant": req.tenant, "scene": req.scene,
+            "tasks": TASKS, "priority": req.priority,
+        })
+    for thread in readers:
+        thread.join(300.0)
+    alive = [t.name for t in readers if t.is_alive()]
+    for client in clients.values():
+        client.close()
+    assert not alive, f"reader threads hung (lost replies): {alive}"
+    return replies
+
+
+def run_arm(storm, duration, *, max_scenes):
+    gateway = RenderGateway(
+        runtime="threaded",
+        width=WIDTH,
+        height=HEIGHT,
+        max_scenes=max_scenes,
+        max_queue=32,
+        tenants={
+            name: TenantPolicy(
+                weight=WEIGHTS[name],
+                # the heavy tenant's quota sits below its arrival rate, so
+                # part of its flood is rejected at the door with retry-after
+                rate=(0.6 * RATES["heavy"] * REQUESTS_TOTAL
+                      / (sum(RATES.values()) * duration)
+                      if name == "heavy" else None),
+                burst=4.0,
+                max_pending=16,
+            )
+            for name in RATES
+        },
+    )
+    with gateway:
+        wall = time.perf_counter()
+        replies = replay_storm(gateway, storm, duration)
+        wall = time.perf_counter() - wall
+        with GatewayClient(gateway.host, gateway.port) as client:
+            doc = client.metrics()
+    return replies, doc, wall
+
+
+def test_gateway_job_storm(bench_json):
+    warm_seconds = calibrate_warm_seconds()
+    # schedule length for ~UTILIZATION of one CPU: N jobs of warm_seconds
+    # each, spread over N * warm / utilization seconds of arrivals
+    duration = REQUESTS_TOTAL * warm_seconds / UTILIZATION
+    storm = tenant_job_storm(
+        RATES, requests_total=REQUESTS_TOTAL, scene_specs=SCENE_SPECS, seed=9,
+    )
+    # normalize arrivals to [0, 1]; replay_storm scales by `duration`
+    span = max(req.at for req in storm)
+    for req in storm:
+        req.at /= span
+
+    replies, doc, wall = run_arm(storm, duration, max_scenes=NUM_SCENES)
+
+    # --- zero lost jobs: one structured reply per request, per tenant -------
+    outcomes = {}
+    for tenant, tenant_replies in sorted(replies.items()):
+        expected = sum(1 for r in storm if r.tenant == tenant)
+        assert len(tenant_replies) == expected
+        ok = sum(1 for r in tenant_replies if r["status"] == "ok")
+        rejected = [r for r in tenant_replies if r["status"] == "rejected"]
+        assert ok + len(rejected) == expected, (
+            f"tenant {tenant} lost replies: "
+            f"{[r for r in tenant_replies if r['status'] not in ('ok', 'rejected')]}"
+        )
+        for r in rejected:
+            assert r["retry_after"] > 0.0
+        outcomes[tenant] = {"sent": expected, "served": ok,
+                            "rejected": len(rejected)}
+
+    # the heavy tenant's over-quota flood was clipped at the door...
+    assert outcomes["heavy"]["rejected"] > 0, (
+        "the heavy tenant was never rate-limited; the storm is not "
+        "exercising admission control"
+    )
+    # ...while every request the quieter tenants sent was served
+    for tenant in ("steady", "light"):
+        assert outcomes[tenant]["rejected"] == 0
+        assert outcomes[tenant]["served"] == outcomes[tenant]["sent"]
+
+    # --- bounded queue latency, calibrated to this container ----------------
+    p95 = doc["service"]["latency"]["queue_wait"]["p95"]
+    p50 = doc["service"]["latency"]["queue_wait"]["p50"]
+    p95_bar = max(2.0, P95_WARM_MULTIPLE * warm_seconds)
+    assert p95 <= p95_bar, (
+        f"queue-wait p95 {p95:.3f}s exceeds the calibrated bar {p95_bar:.3f}s "
+        f"(warm job {warm_seconds * 1000:.1f} ms)"
+    )
+    # fairness at the latency level: the lightest tenant is not the one
+    # absorbing the queueing caused by the heavy tenant's flood
+    light_p95 = doc["service"]["tenants"]["light"]["queue_wait"]["p95"]
+    assert light_p95 <= p95_bar
+
+    # --- the warm pool beats the single-slot cache on the same storm --------
+    warm_hit_rate = doc["service"]["warm_hit_rate"]
+    baseline_storm = tenant_job_storm(
+        RATES, requests_total=BASELINE_REQUESTS, scene_specs=SCENE_SPECS,
+        seed=9,
+    )
+    baseline_span = max(req.at for req in baseline_storm)
+    for req in baseline_storm:
+        req.at /= baseline_span
+    baseline_duration = duration * BASELINE_REQUESTS / REQUESTS_TOTAL
+    _, baseline_doc, _ = run_arm(
+        baseline_storm, baseline_duration, max_scenes=1
+    )
+    baseline_hit_rate = baseline_doc["service"]["warm_hit_rate"]
+    assert warm_hit_rate >= baseline_hit_rate, (
+        f"pooled warm-hit rate {warm_hit_rate:.2%} fell below the "
+        f"single-slot baseline {baseline_hit_rate:.2%}"
+    )
+
+    served_total = sum(o["served"] for o in outcomes.values())
+    print()
+    print(f"  warm job      : {warm_seconds * 1000:7.1f} ms (calibration)")
+    print(f"  storm         : {REQUESTS_TOTAL} requests / 4 tenants over "
+          f"{duration:.1f}s target ({wall:.1f}s wall)")
+    for tenant, o in sorted(outcomes.items()):
+        print(f"    {tenant:<8} sent {o['sent']:3d}  served {o['served']:3d}  "
+              f"rejected {o['rejected']:3d}")
+    print(f"  queue wait    : p50 {p50 * 1000:7.1f} ms   p95 {p95 * 1000:7.1f} ms "
+          f"(bar {p95_bar * 1000:.0f} ms)")
+    print(f"  warm hit rate : {warm_hit_rate:6.2%} pooled vs "
+          f"{baseline_hit_rate:6.2%} single-slot baseline")
+
+    payload = {
+        "benchmark": "gateway_job_storm",
+        "width": WIDTH,
+        "height": HEIGHT,
+        "tasks": TASKS,
+        "num_scenes": NUM_SCENES,
+        "requests_total": REQUESTS_TOTAL,
+        "utilization_target": UTILIZATION,
+        "rates": RATES,
+        "weights": WEIGHTS,
+        "warm_job_seconds": warm_seconds,
+        "storm_duration_seconds": duration,
+        "wall_seconds": wall,
+        "served_total": served_total,
+        "outcomes": outcomes,
+        "queue_p50_seconds": p50,
+        "queue_p95_seconds": p95,
+        "queue_p95_bar_seconds": p95_bar,
+        "warm_hit_rate": warm_hit_rate,
+        "baseline_single_slot_hit_rate": baseline_hit_rate,
+        "gateway_requests": doc["gateway"]["requests"],
+        "gateway_rejected": doc["gateway"]["rejected"],
+        "cpu_count": os.cpu_count(),
+    }
+    bench_json("gateway_job_storm", payload)
+    (REPO_ROOT / "BENCH_9.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

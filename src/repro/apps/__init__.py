@@ -15,9 +15,13 @@
   extraction helpers.
 * :mod:`repro.apps.runner` -- run any farm variant on a named runtime
   backend (``threaded`` / ``process``) via the runtime registry.
-* :mod:`repro.apps.service` -- the persistent render-farm service: warm
-  runtime reuse, a content-hash scene cache and priority job scheduling
-  with backpressure.
+* :mod:`repro.apps.service` -- the persistent render-farm service: a
+  keyed warm-runtime pool, weighted-fair multi-tenant scheduling and
+  structured latency observability.
+* :mod:`repro.apps.warm_pool` -- the bounded LRU+TTL pool of warm
+  runtimes behind the service, with eager teardown on eviction.
+* :mod:`repro.apps.gateway` -- the asyncio front door: JSON-lines over
+  TCP, per-tenant token-bucket admission and retry-after rejections.
 """
 
 from repro.apps.backends import (
@@ -36,22 +40,41 @@ from repro.apps.networks import (
     build_static_2cpu_network,
     build_static_network,
 )
+from repro.apps.gateway import (
+    GatewayClient,
+    RenderGateway,
+    TenantPolicy,
+    TokenBucket,
+    decode_image,
+)
 from repro.apps.mpi_baseline import mpi_raytracer_program, run_mpi_raytracer
-from repro.apps.runner import FARM_VARIANTS, FarmRun, run_raytracing_farm
+from repro.apps.runner import (
+    FARM_VARIANTS,
+    FarmRun,
+    WarmRuntimeParts,
+    build_warm_runtime,
+    run_raytracing_farm,
+)
 from repro.apps.service import (
     JobResult,
+    LatencyHistogram,
     RenderJob,
     RenderService,
     ServiceClosed,
     ServiceMetrics,
     ServiceOverloaded,
+    WeightedFairQueue,
     scene_content_key,
 )
+from repro.apps.warm_pool import WarmPoolManager, WarmSlot
 from repro.apps.workloads import (
+    StormRequest,
     animation_scenes,
     dynamic_input_records,
     extract_image,
     initial_record,
+    scene_from_spec,
+    tenant_job_storm,
 )
 
 __all__ = [
@@ -72,15 +95,29 @@ __all__ = [
     "FarmRun",
     "FARM_VARIANTS",
     "run_raytracing_farm",
+    "WarmRuntimeParts",
+    "build_warm_runtime",
     "RenderService",
     "RenderJob",
     "JobResult",
     "ServiceMetrics",
     "ServiceClosed",
     "ServiceOverloaded",
+    "WeightedFairQueue",
+    "LatencyHistogram",
     "scene_content_key",
+    "WarmPoolManager",
+    "WarmSlot",
+    "RenderGateway",
+    "GatewayClient",
+    "TenantPolicy",
+    "TokenBucket",
+    "decode_image",
     "initial_record",
     "dynamic_input_records",
     "animation_scenes",
+    "scene_from_spec",
+    "StormRequest",
+    "tenant_job_storm",
     "extract_image",
 ]

@@ -67,9 +67,11 @@ from repro.snet.runtime import get_runtime, run_on
 
 __all__ = [
     "FarmRun",
+    "WarmRuntimeParts",
     "run_raytracing_farm",
     "resolve_data_plane",
     "build_farm_backend",
+    "build_warm_runtime",
     "farm_inputs",
     "FARM_VARIANTS",
     "DATA_PLANES",
@@ -187,6 +189,87 @@ def build_farm_backend(
         scene,
         Camera(width=width, height=height),
         render_mode=render_mode or "scalar",
+    )
+
+
+@dataclass
+class WarmRuntimeParts:
+    """Everything a warm slot keeps alive between jobs on one scene.
+
+    Produced by :func:`build_warm_runtime`; owned by the caller — release by
+    calling ``runtime.teardown()`` and ``backend.release()`` (in that order),
+    which is exactly what :meth:`repro.apps.warm_pool.WarmPoolManager`
+    eviction does.
+    """
+
+    scene: Scene
+    backend: RenderBackend = field(repr=False)
+    network: Any = field(repr=False)
+    runtime: Any = field(repr=False)
+    setup_seconds: float = 0.0
+
+
+def build_warm_runtime(
+    scene: Scene,
+    variant: str,
+    *,
+    width: int,
+    height: int,
+    plane: str,
+    render_mode: Optional[str] = None,
+    scheduler: Optional[Scheduler] = None,
+    runtime: str = "threaded",
+    runtime_options: Optional[Dict[str, Any]] = None,
+) -> WarmRuntimeParts:
+    """Build the warm parts of one render slot: backend, network, runtime.
+
+    This is the cold path a warm pool pays once per cached scene: scene
+    preparation (BVH build + broadcast registration), render-backend and
+    (on the shared plane) frame-segment allocation, network construction and
+    the runtime's ``setup()`` (which forks pools / node workers).  On *any*
+    failure the partially built slot is torn down before the exception
+    propagates — a failed cold build must not leak a shared-memory frame
+    segment or half-forked workers.
+
+    >>> from repro.raytracer.scene import random_scene
+    >>> parts = build_warm_runtime(random_scene(num_spheres=2), "static",
+    ...                            width=16, height=16, plane="records")
+    >>> parts.setup_seconds >= 0.0 and parts.backend.width == 16
+    True
+    """
+    if variant not in FARM_VARIANTS:
+        raise ValueError(
+            f"unknown farm variant {variant!r}; available: "
+            + ", ".join(sorted(FARM_VARIANTS))
+        )
+    started = time.perf_counter()
+    prepare = getattr(scene, "prepare_for_broadcast", None)
+    if callable(prepare):
+        prepare()  # build the BVH once; warm jobs inherit it
+    backend = build_farm_backend(scene, width, height, plane, render_mode)
+    try:
+        network = FARM_VARIANTS[variant](backend, scheduler, render_mode=render_mode)
+        options = dict(runtime_options or {})
+        if runtime == "process":
+            options.setdefault("zero_copy", plane == "shared")
+        runtime_obj = get_runtime(runtime, **options)
+        setup = getattr(runtime_obj, "setup", None)
+        if callable(setup):
+            # register boxes + broadcast the scene, then fork the pool — once
+            runtime_obj.setup(network, broadcast=(scene,))
+    except BaseException:
+        # the engines' setup() already tears itself down on failure; the
+        # frame segment allocated above is ours to release
+        release = getattr(backend, "release", None)
+        if callable(release):
+            release()
+        raise
+    return WarmRuntimeParts(
+        scene=scene,
+        backend=backend,
+        network=network,
+        runtime=runtime_obj,
+        setup_seconds=time.perf_counter() - started,
     )
 
 

@@ -13,20 +13,29 @@ expensive parts alive *between* jobs:
   ``teardown()`` split (:meth:`ProcessRuntime.setup
   <repro.snet.runtime.process_engine.ProcessRuntime.setup>` forks the pool
   once, with the scene already broadcast);
-* **a job scheduler** — ``submit(job)`` returns a
-  :class:`concurrent.futures.Future`; queued jobs execute FIFO within
-  priority (higher ``RenderJob.priority`` first), and a bounded queue
-  applies backpressure with a selectable ``overflow`` policy (``"block"``
-  the submitter, or ``"reject"`` with :class:`ServiceOverloaded`);
-* **a scene cache** — warm slots are keyed by *content hash*
-  (:func:`scene_content_key`), so a content-identical scene object — e.g.
-  a replayed animation keyframe from
-  :func:`repro.apps.workloads.animation_scenes` — skips scene preparation,
-  broadcast registration and pool re-fork entirely;
-* **service metrics** — :meth:`RenderService.metrics` reports jobs served,
-  queue depth, warm-hit rate and the setup seconds the cache saved,
-  surfaced the same way ``FarmRun.bytes_pickled`` surfaces the data-plane
-  cost.
+* **a multi-tenant job scheduler** — ``submit(job)`` returns a
+  :class:`concurrent.futures.Future`; dispatch across tenants is
+  weighted-fair (:class:`WeightedFairQueue`: no backlogged tenant starves,
+  completed-work shares track ``tenant_weights``), jobs within one tenant
+  execute FIFO within priority (higher ``RenderJob.priority`` first), and a
+  bounded queue applies backpressure with a selectable ``overflow`` policy
+  (``"block"`` the submitter, or ``"reject"`` with
+  :class:`ServiceOverloaded`);
+* **a warm pool** — slots live in a
+  :class:`~repro.apps.warm_pool.WarmPoolManager` keyed by
+  ``(runtime backend, scene content hash, variant)``
+  (:func:`scene_content_key` hashes content, so a replayed animation
+  keyframe from :func:`repro.apps.workloads.animation_scenes` skips scene
+  preparation, broadcast registration and pool re-fork entirely), bounded
+  by LRU + idle-TTL eviction with *eager* teardown — an evicted slot's
+  forked workers and ``/dev/shm`` frame segment are released at eviction
+  time, not at :meth:`~RenderService.close`;
+* **structured observability** — :meth:`RenderService.metrics` reports jobs
+  served, queue depth and p50/p95 queue wait, warm-hit rate and the setup
+  seconds the pool saved; :meth:`RenderService.observability` exports the
+  full JSON view (per-stage latency histograms, per-tenant queue depths and
+  counters, warm-pool and recovery counters) that the
+  :mod:`repro.apps.gateway` front door serves to clients.
 
 The service boundary and the ``try_get`` contract
 -------------------------------------------------
@@ -74,19 +83,19 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.apps.backends import RenderBackend
 from repro.apps.runner import (
     FARM_VARIANTS,
-    build_farm_backend,
+    build_warm_runtime,
     farm_inputs,
     resolve_data_plane,
 )
+from repro.apps.warm_pool import WarmPoolManager, WarmSlot
 from repro.apps.workloads import extract_image
 from repro.raytracer.materials import Material
 from repro.raytracer.scene import Scene
 from repro.scheduling.base import Scheduler
 from repro.snet.records import Record
-from repro.snet.runtime import get_runtime, run_on
+from repro.snet.runtime import run_on
 from repro.snet.runtime.stream import Stream
 
 __all__ = [
@@ -96,6 +105,8 @@ __all__ = [
     "ServiceMetrics",
     "ServiceClosed",
     "ServiceOverloaded",
+    "LatencyHistogram",
+    "WeightedFairQueue",
     "scene_content_key",
 ]
 
@@ -178,16 +189,213 @@ def scene_content_key(scene: Scene) -> str:
     return key
 
 
+# -- observability: per-stage latency histograms ------------------------------
+class LatencyHistogram:
+    """A fixed-bucket log-scale latency histogram (seconds).
+
+    Buckets double from 100 µs to ~400 s plus an overflow bucket, so one
+    histogram covers queue waits, setups and renders alike with bounded
+    memory and no per-sample allocation.  Percentiles interpolate linearly
+    inside the winning bucket (clamped to the observed min/max), which is
+    plenty for p50/p95 service bars.  Instances are *not* internally locked —
+    the service mutates its histograms under the service lock.
+
+    >>> hist = LatencyHistogram()
+    >>> for ms in range(1, 101):
+    ...     hist.add(ms / 1000.0)
+    >>> 0.04 < hist.percentile(0.5) < 0.06 and 0.09 < hist.percentile(0.95) < 0.1
+    True
+    """
+
+    #: upper bounds of the finite buckets: 1e-4 * 2**i seconds
+    BOUNDS = tuple(1e-4 * 2.0**i for i in range(22))
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        index = 0
+        while index < len(self.BOUNDS) and seconds > self.BOUNDS[index]:
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``0 < q <= 1``); 0.0 while empty."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be within (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lower = 0.0 if index == 0 else self.BOUNDS[index - 1]
+                upper = self.BOUNDS[index] if index < len(self.BOUNDS) else self.max
+                fraction = (rank - seen) / bucket_count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
+            seen += bucket_count
+        return self.max  # pragma: no cover - rank <= count always lands above
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot (non-empty buckets only)."""
+        return {
+            "count": self.count,
+            "sum_seconds": self.sum,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+            "p50": self.percentile(0.5),
+            "p95": self.percentile(0.95),
+            "buckets": [
+                {
+                    "le": self.BOUNDS[i] if i < len(self.BOUNDS) else "inf",
+                    "count": c,
+                }
+                for i, c in enumerate(self.counts)
+                if c
+            ],
+        }
+
+
+# -- weighted-fair cross-tenant dispatch --------------------------------------
+class WeightedFairQueue:
+    """Weighted-fair dispatch across tenants (start-time fair queueing).
+
+    The service's original queue was a single global priority heap — one
+    tenant flooding high-priority jobs starves everyone else.  This queue
+    keeps **per-tenant** FIFO-within-priority heaps and interleaves *between*
+    tenants by virtual time: dispatching one unit of work from tenant ``t``
+    advances ``t``'s virtual finish tag by ``cost / weight(t)``, and the
+    tenant whose head-of-line job has the earliest finish tag runs next.  A
+    tenant that was idle re-enters at the current virtual time (no credit
+    accumulates while idle), and a backlogged tenant's tag grows every time
+    it is served — so every backlogged tenant is dispatched within a bounded
+    number of rounds regardless of the others' weights or priorities
+    (``tests/apps/test_fairness.py`` pins both properties under
+    hypothesis-generated schedules).
+
+    Priorities keep their PR 4 meaning *within* a tenant: higher
+    ``RenderJob.priority`` first, FIFO within equal priority.  With a single
+    tenant the queue therefore degenerates to exactly the old global order.
+
+    >>> wfq = WeightedFairQueue({"a": 3.0, "b": 1.0})
+    >>> for seq in range(4):
+    ...     wfq.push("a", (0, seq), f"a{seq}")
+    ...     wfq.push("b", (0, 10 + seq), f"b{seq}")
+    >>> [wfq.pop()[1] for _ in range(5)]  # a gets ~3 of every 4 dispatches
+    ['a0', 'a1', 'a2', 'b0', 'a3']
+    """
+
+    def __init__(
+        self,
+        weights: Optional[Dict[str, float]] = None,
+        default_weight: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        for tenant, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} needs a positive weight, got {weight}"
+                )
+        self._weights = dict(weights or {})
+        self._default_weight = default_weight
+        self._queues: Dict[str, List[Tuple[Tuple[int, int], float, Any]]] = {}
+        self._finish: Dict[str, float] = {}
+        #: tenant -> (start, finish, order_key) of its *current* head-of-line
+        #: job.  Assigned once when the job reaches the head and pinned until
+        #: it is dispatched (or displaced by a higher-priority arrival): a
+        #: pinned tag cannot slide as the virtual clock advances, so a
+        #: backlogged tenant's head is eventually minimal — no starvation.
+        self._head_tags: Dict[str, Tuple[float, float, Tuple[int, int]]] = {}
+        self._vtime = 0.0
+        self._size = 0
+
+    def weight(self, tenant: str) -> float:
+        return self._weights.get(tenant, self._default_weight)
+
+    def push(
+        self,
+        tenant: str,
+        order_key: Tuple[int, int],
+        item: Any,
+        cost: float = 1.0,
+    ) -> None:
+        """Queue ``item`` for ``tenant``; ``order_key`` orders within the tenant."""
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        heapq.heappush(
+            self._queues.setdefault(tenant, []), (order_key, cost, item)
+        )
+        self._size += 1
+
+    def _head_tag(self, tenant: str) -> Tuple[float, float, Tuple[int, int]]:
+        order_key, cost, _ = self._queues[tenant][0]
+        tag = self._head_tags.get(tenant)
+        if tag is not None and tag[2] == order_key:
+            return tag
+        # a tenant re-entering after an idle period lines up at the current
+        # virtual time, not in the past (max with its own last finish keeps a
+        # backlogged tenant progressing at rate weight/total)
+        start = max(self._vtime, self._finish.get(tenant, 0.0))
+        finish = start + cost / self.weight(tenant)
+        tag = (start, finish, order_key)
+        self._head_tags[tenant] = tag
+        return tag
+
+    def pop(self) -> Tuple[str, Any]:
+        """Dispatch the next job: ``(tenant, item)``.  Raises on empty."""
+        if not self._size:
+            raise IndexError("pop from an empty WeightedFairQueue")
+        best = None
+        for tenant, queue in self._queues.items():
+            if not queue:
+                continue
+            start, finish, order_key = self._head_tag(tenant)
+            candidate = (finish, order_key, tenant, start)
+            if best is None or candidate < best:
+                best = candidate
+        finish, _, tenant, start = best
+        _, _, item = heapq.heappop(self._queues[tenant])
+        del self._head_tags[tenant]
+        self._finish[tenant] = finish
+        # the system's virtual time tracks the start tag of the job put in
+        # service, so later arrivals cannot be tagged into the past
+        self._vtime = max(self._vtime, start)
+        self._size -= 1
+        return tenant, item
+
+    def backlog(self) -> Dict[str, int]:
+        """Queued items per tenant (non-empty tenants only)."""
+        return {t: len(q) for t, q in self._queues.items() if q}
+
+    def __len__(self) -> int:
+        return self._size
+
+
 # -- jobs and results ---------------------------------------------------------
 @dataclass
 class RenderJob:
     """One unit of work for the service: render ``scene`` once.
 
     ``variant``/``nodes``/``tasks``/``tokens`` mirror the knobs of
-    :func:`~repro.apps.runner.run_raytracing_farm`.  ``priority`` orders the
-    queue: higher values run earlier, FIFO within equal priority.  ``label``
-    is free-form caller bookkeeping (e.g. a frame number) echoed on the
-    :class:`JobResult`.
+    :func:`~repro.apps.runner.run_raytracing_farm`.  ``tenant`` names the
+    submitting tenant: dispatch across tenants is weighted-fair (see
+    :class:`WeightedFairQueue` and ``RenderService(tenant_weights=...)``),
+    and ``priority`` keeps its meaning *within* a tenant — higher values run
+    earlier, FIFO within equal priority.  ``label`` is free-form caller
+    bookkeeping (e.g. a frame number) echoed on the :class:`JobResult`.
     """
 
     scene: Scene
@@ -196,6 +404,7 @@ class RenderJob:
     tokens: Optional[int] = None
     variant: str = "static"
     priority: int = 0
+    tenant: str = "default"
     label: Optional[str] = None
 
 
@@ -225,11 +434,21 @@ class JobResult:
 class ServiceMetrics:
     """Snapshot of the service counters (see :meth:`RenderService.metrics`).
 
+    The snapshot is taken **atomically under the service lock** (the warm
+    pool contributes its own lock-consistent snapshot), so every field
+    describes the same instant — counters can never disagree with each other
+    by a half-updated job.
+
     ``queue_depth`` counts jobs accepted but not yet completed (waiting or
-    executing).  ``setup_seconds_saved`` charges, for every warm hit, the
-    measured cold-build cost of the slot that served it — the wall-clock the
-    scene cache avoided.  ``warm_hit_rate`` is warm hits over executed
-    cache lookups (0.0 before the first job).  ``node_recoveries`` counts
+    executing); ``tenant_queue_depths`` breaks it down per tenant.
+    ``setup_seconds_saved`` charges, for every warm hit, the measured
+    cold-build cost of the slot that served it — the wall-clock the warm
+    pool avoided.  ``warm_hit_rate`` is warm hits over executed cache
+    lookups (0.0 before the first job).  ``queue_p50``/``queue_p95`` are
+    queue-wait percentiles from the service's latency histogram (seconds
+    between ``submit`` and dispatch).  ``slots_evicted`` counts warm slots
+    torn down by LRU or TTL eviction (their runtimes and shared frame
+    segments were released *at eviction time*).  ``node_recoveries`` counts
     distributed node workers that died and were failed over or revived
     while serving jobs — a non-zero value means the service stayed up
     through node deaths.
@@ -250,24 +469,10 @@ class ServiceMetrics:
     bytes_pickled: int
     scenes_cached: int
     node_recoveries: int
-
-
-@dataclass
-class _WarmSlot:
-    """Everything kept alive between jobs on one cached scene."""
-
-    key: Tuple[str, str]
-    scene: Scene
-    backend: RenderBackend
-    network: Any
-    runtime: Any
-    setup_seconds: float
-    jobs_served: int = 0
-    #: watermark of the runtime's cumulative ``recoveries`` counter after
-    #: the last served job, so node deaths handled *between* jobs (the
-    #: warm revive path runs on a link receiver thread) are still
-    #: attributed to the next job instead of slipping between two deltas
-    recoveries_seen: int = 0
+    queue_p50: float = 0.0
+    queue_p95: float = 0.0
+    slots_evicted: int = 0
+    tenant_queue_depths: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -278,8 +483,8 @@ class _QueuedJob:
     submitted_at: float
 
     @property
-    def heap_key(self) -> Tuple[int, int]:
-        # higher priority first, FIFO (submission order) within a priority
+    def order_key(self) -> Tuple[int, int]:
+        # within one tenant: higher priority first, FIFO within a priority
         return (-self.job.priority, self.seq)
 
 
@@ -306,8 +511,20 @@ class RenderService:
         ``submit`` wait for space, ``"reject"`` raises
         :class:`ServiceOverloaded` immediately.
     max_scenes:
-        Warm slots kept alive; beyond this the least-recently-used slot is
-        torn down (pool terminated, shared frame released).
+        Warm slots kept alive by the :class:`~repro.apps.warm_pool.
+        WarmPoolManager`; beyond this the least-recently-used idle slot is
+        torn down *eagerly* (pool terminated, shared frame released — at
+        eviction time, not at :meth:`close`).
+    slot_ttl:
+        Idle seconds after which a warm slot is evicted by the pool's
+        background sweeper (``None`` disables time-based eviction): a tenant
+        that stopped rendering a scene stops paying for its forked workers.
+    tenant_weights:
+        Relative dispatch weights per tenant name (default weight 1.0 for
+        unlisted tenants): with backlogged tenants ``a``/``b`` at weights
+        3/1, ``a`` receives ~3 of every 4 dispatches.  Replaces PR 4's pure
+        global priority order; ``RenderJob.priority`` still orders jobs
+        *within* a tenant.
     job_timeout:
         Per-job wall-clock deadline handed to the runtime.
     check:
@@ -336,6 +553,8 @@ class RenderService:
         max_queue: int = 16,
         overflow: str = "block",
         max_scenes: int = 4,
+        slot_ttl: Optional[float] = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
         job_timeout: float = 300.0,
         check: str = "warn",
     ):
@@ -364,6 +583,7 @@ class RenderService:
         self.overflow = overflow
         self.max_scenes = max_scenes
         self.job_timeout = job_timeout
+        self.tenant_weights = dict(tenant_weights or {})
         self._plane = resolve_data_plane(data_plane, runtime)
 
         # the service boundary: a bounded S-Net stream of job records.  Its
@@ -378,7 +598,7 @@ class RenderService:
         self._cancel_pending = False
         self._state = "running"
 
-        self._slots: "OrderedDict[Tuple[str, str], _WarmSlot]" = OrderedDict()
+        self._pool = WarmPoolManager(capacity=max_scenes, ttl=slot_ttl)
 
         # counters (all mutated under _cv)
         self._jobs_submitted = 0
@@ -392,6 +612,13 @@ class RenderService:
         self._render_seconds = 0.0
         self._bytes_pickled = 0
         self._node_recoveries = 0
+        self._tenant_depth: Dict[str, int] = {}
+        self._tenant_stats: Dict[str, Dict[str, int]] = {}
+        # per-stage latency histograms (all mutated under _cv)
+        self._hist_queue = LatencyHistogram()
+        self._hist_setup = LatencyHistogram()
+        self._hist_render = LatencyHistogram()
+        self._tenant_queue_hist: Dict[str, LatencyHistogram] = {}
 
         self._thread = threading.Thread(
             target=self._scheduler_loop, name="render-service-scheduler", daemon=True
@@ -423,6 +650,7 @@ class RenderService:
                     break
                 if self.overflow == "reject":
                     self._jobs_rejected += 1
+                    self._tenant_stat(job.tenant, "rejected")
                     raise ServiceOverloaded(
                         f"job queue is full ({self.max_queue} jobs pending) and "
                         "the overflow policy is 'reject'"
@@ -430,6 +658,8 @@ class RenderService:
                 self._cv.wait()
             self._depth += 1
             self._jobs_submitted += 1
+            self._tenant_depth[job.tenant] = self._tenant_depth.get(job.tenant, 0) + 1
+            self._tenant_stat(job.tenant, "submitted")
             entry = _QueuedJob(
                 seq=next(self._seq),
                 job=job,
@@ -440,12 +670,27 @@ class RenderService:
             self._writer.put(Record({"job": entry, "<priority>": int(job.priority)}))
         return future
 
+    def _tenant_stat(self, tenant: str, key: str, count: int = 1) -> None:
+        """Bump a per-tenant counter (caller holds ``_cv``)."""
+        stats = self._tenant_stats.setdefault(
+            tenant, {"submitted": 0, "served": 0, "failed": 0, "rejected": 0,
+                     "cancelled": 0}
+        )
+        stats[key] += count
+
     def render(self, job: RenderJob, timeout: Optional[float] = None) -> JobResult:
         """Synchronous convenience: ``submit(job).result(timeout)``."""
         return self.submit(job).result(timeout)
 
     def metrics(self) -> ServiceMetrics:
-        """A consistent snapshot of the service counters."""
+        """A consistent snapshot of the service counters.
+
+        Everything is read under the service lock in one critical section
+        (the warm pool's contribution is its own lock-consistent snapshot):
+        no field of the returned :class:`ServiceMetrics` can reflect a
+        different instant than the others.
+        """
+        pool = self._pool.stats()  # pool-lock-consistent, taken first
         with self._cv:
             lookups = self._warm_hits + self._cold_builds
             return ServiceMetrics(
@@ -462,9 +707,68 @@ class RenderService:
                 setup_seconds_saved=self._setup_seconds_saved,
                 render_seconds=self._render_seconds,
                 bytes_pickled=self._bytes_pickled,
-                scenes_cached=len(self._slots),
+                scenes_cached=pool["slots"],
                 node_recoveries=self._node_recoveries,
+                queue_p50=self._hist_queue.percentile(0.5),
+                queue_p95=self._hist_queue.percentile(0.95),
+                slots_evicted=pool["evictions_lru"] + pool["evictions_ttl"],
+                tenant_queue_depths={
+                    t: d for t, d in self._tenant_depth.items() if d
+                },
             )
+
+    def observability(self) -> Dict[str, Any]:
+        """Structured observability as a JSON-friendly dict.
+
+        The production view of the service: per-stage latency histograms
+        (queue wait, cold setup, render), queue depths and counters per
+        tenant (including per-tenant queue-wait percentiles), the warm
+        pool's hit/eviction counters, and the byte/recovery counters.  The
+        gateway serves exactly this payload on its ``metrics`` op.
+        """
+        pool = self._pool.stats()
+        with self._cv:
+            lookups = self._warm_hits + self._cold_builds
+            tenants: Dict[str, Any] = {}
+            names = set(self._tenant_stats) | set(self._tenant_queue_hist)
+            for tenant in sorted(names):
+                stats = dict(
+                    self._tenant_stats.get(
+                        tenant,
+                        {"submitted": 0, "served": 0, "failed": 0,
+                         "rejected": 0, "cancelled": 0},
+                    )
+                )
+                stats["queue_depth"] = self._tenant_depth.get(tenant, 0)
+                stats["weight"] = self.tenant_weights.get(tenant, 1.0)
+                hist = self._tenant_queue_hist.get(tenant)
+                stats["queue_wait"] = (
+                    hist.to_json() if hist else LatencyHistogram().to_json()
+                )
+                tenants[tenant] = stats
+            return {
+                "state": self._state,
+                "runtime": self.runtime_name,
+                "jobs": {
+                    "submitted": self._jobs_submitted,
+                    "served": self._jobs_served,
+                    "failed": self._jobs_failed,
+                    "rejected": self._jobs_rejected,
+                    "cancelled": self._jobs_cancelled,
+                    "queue_depth": self._depth,
+                },
+                "latency": {
+                    "queue_wait": self._hist_queue.to_json(),
+                    "setup": self._hist_setup.to_json(),
+                    "render": self._hist_render.to_json(),
+                },
+                "tenants": tenants,
+                "warm_pool": pool,
+                "warm_hit_rate": self._warm_hits / lookups if lookups else 0.0,
+                "setup_seconds_saved": self._setup_seconds_saved,
+                "bytes_pickled": self._bytes_pickled,
+                "node_recoveries": self._node_recoveries,
+            }
 
     @property
     def state(self) -> str:
@@ -503,37 +807,38 @@ class RenderService:
 
     # -- scheduler loop -------------------------------------------------------
     def _scheduler_loop(self) -> None:
-        heap: List[Tuple[Tuple[int, int], _QueuedJob]] = []
+        wfq = WeightedFairQueue(self.tenant_weights)
         try:
             while True:
-                if not heap:
+                if not len(wfq):
                     # blocking read: this None is the definitive end-of-stream
                     # (writer closed by close() AND the queue fully drained)
                     rec = self._jobs.get()
                     if rec is None:
                         break
-                    heapq.heappush(heap, self._heap_entry(rec))
-                # top-up: admit everything already queued so priorities
-                # compete.  try_get's None means "empty right now" — with
-                # writers still open it is NOT end-of-stream, so an idle
-                # service must keep waiting in get() above, never shut down
+                    self._admit(wfq, rec)
+                # top-up: admit everything already queued so tenants and
+                # priorities compete.  try_get's None means "empty right now"
+                # — with writers still open it is NOT end-of-stream, so an
+                # idle service must keep waiting in get() above, never shut
+                # down
                 while True:
                     extra = self._jobs.try_get()
                     if extra is None:
                         break
-                    heapq.heappush(heap, self._heap_entry(extra))
-                _, entry = heapq.heappop(heap)
+                    self._admit(wfq, extra)
+                _, entry = wfq.pop()
                 self._execute(entry)
         finally:
-            self._shutdown_slots()
+            self._pool.close()
             with self._cv:
                 self._state = "closed"
                 self._cv.notify_all()
 
     @staticmethod
-    def _heap_entry(rec: Record) -> Tuple[Tuple[int, int], _QueuedJob]:
+    def _admit(wfq: WeightedFairQueue, rec: Record) -> None:
         entry: _QueuedJob = rec.field("job")
-        return (entry.heap_key, entry)
+        wfq.push(entry.job.tenant, entry.order_key, entry)
 
     # -- job execution --------------------------------------------------------
     def _execute(self, entry: _QueuedJob) -> None:
@@ -542,120 +847,115 @@ class RenderService:
         if cancel or not entry.future.set_running_or_notify_cancel():
             if cancel:
                 entry.future.cancel()
-            self._job_done("cancelled")
+            self._job_done("cancelled", entry)
             return
         try:
             job = entry.job
             started = time.perf_counter()
+            queued_seconds = started - entry.submitted_at
             slot, warm = self._slot_for(job)
-            slot.backend.begin_job()
-            rays_before = slot.backend.rays_cast
-            inputs = farm_inputs(
-                job.variant, slot.scene, nodes=job.nodes, tasks=job.tasks,
-                tokens=job.tokens,
-            )
-            outputs = run_on(
-                slot.runtime, slot.network, inputs, timeout=self.job_timeout
-            )
-            image = extract_image(slot.backend)
-            seconds = time.perf_counter() - started
-            slot.jobs_served += 1
-            # node deaths survived since the slot's previous job (distributed
-            # runtimes expose a cumulative failover/revival counter; others
-            # report 0)
-            recoveries_total = int(getattr(slot.runtime, "recoveries", 0))
-            recovered = recoveries_total - slot.recoveries_seen
-            slot.recoveries_seen = recoveries_total
-            result = JobResult(
-                job=job,
-                image=image,
-                seconds=seconds,
-                queued_seconds=started - entry.submitted_at,
-                warm=warm,
-                scene_key=slot.key[0],
-                rays_cast=slot.backend.rays_cast - rays_before,
-                bytes_pickled=int(getattr(slot.runtime, "bytes_pickled", 0)),
-                node_recoveries=max(0, recovered),
-                outputs=outputs,
-            )
+            try:
+                slot.backend.begin_job()
+                rays_before = slot.backend.rays_cast
+                inputs = farm_inputs(
+                    job.variant, slot.scene, nodes=job.nodes, tasks=job.tasks,
+                    tokens=job.tokens,
+                )
+                outputs = run_on(
+                    slot.runtime, slot.network, inputs, timeout=self.job_timeout
+                )
+                image = extract_image(slot.backend)
+                seconds = time.perf_counter() - started
+                slot.jobs_served += 1
+                # node deaths survived since the slot's previous job
+                # (distributed runtimes expose a cumulative failover/revival
+                # counter; others report 0)
+                recoveries_total = int(getattr(slot.runtime, "recoveries", 0))
+                recovered = recoveries_total - slot.recoveries_seen
+                slot.recoveries_seen = recoveries_total
+                result = JobResult(
+                    job=job,
+                    image=image,
+                    seconds=seconds,
+                    queued_seconds=queued_seconds,
+                    warm=warm,
+                    scene_key=slot.key[1],
+                    rays_cast=slot.backend.rays_cast - rays_before,
+                    bytes_pickled=int(getattr(slot.runtime, "bytes_pickled", 0)),
+                    node_recoveries=max(0, recovered),
+                    outputs=outputs,
+                )
+            finally:
+                self._pool.release(slot)
             with self._cv:
                 if warm:
                     self._warm_hits += 1
                     self._setup_seconds_saved += slot.setup_seconds
                 else:
                     self._cold_builds += 1
+                    self._hist_setup.add(slot.setup_seconds)
                 self._render_seconds += seconds
                 self._bytes_pickled += result.bytes_pickled
                 self._node_recoveries += result.node_recoveries
-            self._job_done("served")
+                self._hist_queue.add(queued_seconds)
+                self._hist_render.add(seconds)
+                self._tenant_queue_hist.setdefault(
+                    job.tenant, LatencyHistogram()
+                ).add(queued_seconds)
+            self._job_done("served", entry)
             entry.future.set_result(result)
         except BaseException as exc:  # noqa: BLE001 - delivered via the future
-            self._job_done("failed")
+            self._job_done("failed", entry)
             entry.future.set_exception(exc)
 
-    def _job_done(self, outcome: str) -> None:
+    def _job_done(self, outcome: str, entry: _QueuedJob) -> None:
+        tenant = entry.job.tenant
         with self._cv:
             self._depth -= 1
+            depth = self._tenant_depth.get(tenant, 0) - 1
+            if depth > 0:
+                self._tenant_depth[tenant] = depth
+            else:
+                self._tenant_depth.pop(tenant, None)
             if outcome == "served":
                 self._jobs_served += 1
+                self._tenant_stat(tenant, "served")
             elif outcome == "failed":
                 self._jobs_failed += 1
+                self._tenant_stat(tenant, "failed")
             elif outcome == "cancelled":
                 self._jobs_cancelled += 1
+                self._tenant_stat(tenant, "cancelled")
             self._cv.notify_all()
 
     # -- warm slots -----------------------------------------------------------
-    def _slot_for(self, job: RenderJob) -> Tuple[_WarmSlot, bool]:
-        """Return the warm slot serving ``job`` (building it cold on a miss)."""
-        key = (scene_content_key(job.scene), job.variant)
-        slot = self._slots.get(key)
-        if slot is not None:
-            self._slots.move_to_end(key)
-            return slot, True
+    @property
+    def _slots(self) -> "OrderedDict[Tuple[str, str, str], WarmSlot]":
+        """Snapshot of the warm pool's key -> slot mapping (tests/debugging)."""
+        return self._pool.slots()
 
-        started = time.perf_counter()
-        scene = job.scene
-        prepare = getattr(scene, "prepare_for_broadcast", None)
-        if callable(prepare):
-            prepare()  # build the BVH once; warm jobs inherit it
-        backend = build_farm_backend(
-            scene, self.width, self.height, self._plane, self.render_mode
-        )
-        network = FARM_VARIANTS[job.variant](
-            backend, self.scheduler, render_mode=self.render_mode
-        )
-        options = dict(self.runtime_options)
-        if self.runtime_name == "process":
-            options.setdefault("zero_copy", self._plane == "shared")
-        runtime = get_runtime(self.runtime_name, **options)
-        setup = getattr(runtime, "setup", None)
-        if callable(setup):
-            # register boxes + broadcast the scene, then fork the pool — once
-            runtime.setup(network, broadcast=(scene,))
-        slot = _WarmSlot(
-            key=key,
-            scene=scene,
-            backend=backend,
-            network=network,
-            runtime=runtime,
-            setup_seconds=time.perf_counter() - started,
-        )
-        self._slots[key] = slot
-        while len(self._slots) > self.max_scenes:
-            _, evicted = self._slots.popitem(last=False)
-            self._release_slot(evicted)
-        return slot, False
+    def _slot_for(self, job: RenderJob) -> Tuple[WarmSlot, bool]:
+        """Lease the warm slot serving ``job`` (building it cold on a miss)."""
+        key = (self.runtime_name, scene_content_key(job.scene), job.variant)
 
-    @staticmethod
-    def _release_slot(slot: _WarmSlot) -> None:
-        teardown = getattr(slot.runtime, "teardown", None)
-        if callable(teardown):
-            teardown()
-        release = getattr(slot.backend, "release", None)
-        if callable(release):
-            release()
+        def build() -> Dict[str, Any]:
+            parts = build_warm_runtime(
+                job.scene,
+                job.variant,
+                width=self.width,
+                height=self.height,
+                plane=self._plane,
+                render_mode=self.render_mode,
+                scheduler=self.scheduler,
+                runtime=self.runtime_name,
+                runtime_options=self.runtime_options,
+            )
+            return {
+                "scene": parts.scene,
+                "backend": parts.backend,
+                "network": parts.network,
+                "runtime": parts.runtime,
+                "setup_seconds": parts.setup_seconds,
+            }
 
-    def _shutdown_slots(self) -> None:
-        while self._slots:
-            _, slot = self._slots.popitem(last=False)
-            self._release_slot(slot)
+        return self._pool.acquire(key, build)

@@ -5,19 +5,27 @@ Besides the paper's one-shot inputs (:func:`initial_record`,
 driving the persistent render service: :func:`animation_scenes` produces the
 keyframes of a looping animation as content-deterministic scenes, so a
 service replaying the loop hits its scene cache from the second pass on.
+
+Two more builders feed the multi-tenant front door
+(:mod:`repro.apps.gateway`): :func:`scene_from_spec` turns a wire-friendly
+JSON dict into a content-deterministic :class:`Scene`, and
+:func:`tenant_job_storm` produces the skewed multi-tenant arrival schedules
+the load/fairness benchmarks replay.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, List, Optional, Sequence
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.apps.backends import RenderBackend
 from repro.raytracer.geometry.primitives import Sphere
 from repro.raytracer.materials import Material
-from repro.raytracer.scene import Scene, random_scene
+from repro.raytracer.scene import Scene, paper_scene, random_scene
 from repro.raytracer.vec import vec3
 from repro.snet.records import Record
 
@@ -25,6 +33,9 @@ __all__ = [
     "initial_record",
     "dynamic_input_records",
     "animation_scenes",
+    "scene_from_spec",
+    "StormRequest",
+    "tenant_job_storm",
     "extract_image",
 ]
 
@@ -101,6 +112,123 @@ def animation_scenes(
         scene.add(Sphere(center, 0.45, Material.mirror(0.9)))
         scenes.append(scene)
     return scenes
+
+
+def scene_from_spec(spec: Mapping[str, Any]) -> Scene:
+    """Build a scene from a wire-friendly JSON description.
+
+    This is the gateway's scene vocabulary: requests name scenes by *content*
+    (kind + parameters), never by Python object, so the same spec sent twice
+    — from different connections, processes or hosts — produces
+    content-identical scenes and therefore hits the same warm-pool slot
+    (:func:`repro.apps.service.scene_content_key` hashes content, not
+    identity).
+
+    Supported kinds:
+
+    ``{"kind": "random", "num_spheres": N, "seed": S, "clustering": C}``
+        :func:`repro.raytracer.scene.random_scene` (defaults 8 / 7 / 0.5).
+    ``{"kind": "paper", "num_spheres": N}``
+        :func:`repro.raytracer.scene.paper_scene` (default 300).
+    ``{"kind": "animation", "frames": F, "frame": I, "num_spheres": N}``
+        Keyframe ``I`` of :func:`animation_scenes` over ``F`` frames.
+
+    >>> from repro.apps.service import scene_content_key
+    >>> a = scene_from_spec({"kind": "random", "num_spheres": 4, "seed": 3})
+    >>> b = scene_from_spec({"kind": "random", "num_spheres": 4, "seed": 3})
+    >>> a is not b and scene_content_key(a) == scene_content_key(b)
+    True
+    """
+    if not isinstance(spec, Mapping):
+        raise TypeError(f"scene spec must be a mapping, got {spec!r}")
+    kind = spec.get("kind", "random")
+    if kind == "random":
+        return random_scene(
+            num_spheres=int(spec.get("num_spheres", 8)),
+            clustering=float(spec.get("clustering", 0.5)),
+            seed=int(spec.get("seed", 7)),
+        )
+    if kind == "paper":
+        return paper_scene(num_spheres=int(spec.get("num_spheres", 300)))
+    if kind == "animation":
+        frames = int(spec.get("frames", 4))
+        frame = int(spec.get("frame", 0))
+        if not 0 <= frame < frames:
+            raise ValueError(
+                f"animation frame {frame} outside [0, {frames}) for spec {spec!r}"
+            )
+        return animation_scenes(
+            frames,
+            num_spheres=int(spec.get("num_spheres", 60)),
+            seed=int(spec.get("seed", 11)),
+        )[frame]
+    raise ValueError(
+        f"unknown scene kind {kind!r}; supported: random, paper, animation"
+    )
+
+
+@dataclass
+class StormRequest:
+    """One arrival in a synthetic job storm.
+
+    ``at`` is the arrival offset in seconds from the storm start; ``scene``
+    is a :func:`scene_from_spec` dict (wire-friendly, content-deterministic).
+    """
+
+    at: float
+    tenant: str
+    scene: Dict[str, Any]
+    priority: int = 0
+
+
+def tenant_job_storm(
+    rates: Mapping[str, float],
+    *,
+    requests_total: int,
+    scene_specs: Sequence[Mapping[str, Any]],
+    seed: int = 0,
+) -> List[StormRequest]:
+    """A deterministic multi-tenant arrival schedule with skewed rates.
+
+    Each tenant emits jobs as a Poisson process at its rate (jobs/second,
+    exponential interarrivals from a seeded RNG); tenants rotate through the
+    shared ``scene_specs`` independently, so a handful of distinct scenes is
+    revisited storm-wide — the access pattern a warm pool exists for.  The
+    global schedule is truncated to the ``requests_total`` earliest arrivals
+    and returned sorted by arrival time.
+
+    >>> storm = tenant_job_storm(
+    ...     {"a": 4.0, "b": 1.0}, requests_total=10,
+    ...     scene_specs=[{"kind": "random", "num_spheres": 3}], seed=1)
+    >>> len(storm), storm == sorted(storm, key=lambda r: r.at)
+    (10, True)
+    >>> sum(r.tenant == "a" for r in storm) > sum(r.tenant == "b" for r in storm)
+    True
+    """
+    if requests_total < 1:
+        raise ValueError("requests_total must be at least 1")
+    if not scene_specs:
+        raise ValueError("the storm needs at least one scene spec")
+    for tenant, rate in rates.items():
+        if rate <= 0:
+            raise ValueError(f"tenant {tenant!r} needs a positive rate, got {rate}")
+    rng = random.Random(seed)
+    arrivals: List[StormRequest] = []
+    # enough arrivals per tenant that truncation keeps the rate skew intact
+    per_tenant = requests_total + 1
+    for tenant in sorted(rates):
+        clock = 0.0
+        for i in range(per_tenant):
+            clock += rng.expovariate(rates[tenant])
+            arrivals.append(
+                StormRequest(
+                    at=clock,
+                    tenant=tenant,
+                    scene=dict(scene_specs[i % len(scene_specs)]),
+                )
+            )
+    arrivals.sort(key=lambda req: (req.at, req.tenant))
+    return arrivals[:requests_total]
 
 
 def extract_image(backend: RenderBackend) -> Any:

@@ -278,3 +278,52 @@ def test_process_service_warm_jobs_metadata_only(scene):
     finally:
         svc.close(timeout=60.0)
     assert set(glob.glob("/dev/shm/psm_*")) == segments_before
+
+
+# -- observability ------------------------------------------------------------
+def test_metrics_snapshot_has_latency_percentiles_and_tenant_depths(scene):
+    with RenderService(width=SIZE, height=SIZE, render_mode="packet") as svc:
+        for i in range(4):
+            svc.render(RenderJob(scene, tasks=4, tenant="a"), timeout=60.0)
+        svc.render(RenderJob(scene, tasks=4, tenant="b"), timeout=60.0)
+        metrics = svc.metrics()
+        assert 0.0 < metrics.queue_p50 <= metrics.queue_p95
+        assert metrics.tenant_queue_depths == {}  # everything completed
+        assert metrics.jobs_served == 5
+
+        observed = svc.observability()
+        assert observed["tenants"]["a"]["served"] == 4
+        assert observed["tenants"]["b"]["served"] == 1
+        assert observed["latency"]["queue_wait"]["count"] == 5
+        assert observed["latency"]["render"]["count"] == 5
+        assert observed["latency"]["setup"]["count"] == 1  # one cold build
+        assert observed["tenants"]["a"]["queue_wait"]["p95"] >= 0.0
+
+
+def test_metrics_count_evicted_slots(scene):
+    with RenderService(
+        width=SIZE, height=SIZE, render_mode="packet", max_scenes=1
+    ) as svc:
+        svc.render(RenderJob(scene, tasks=4), timeout=60.0)
+        svc.render(RenderJob(random_scene(num_spheres=4, seed=9), tasks=4),
+                   timeout=60.0)
+        metrics = svc.metrics()
+        assert metrics.slots_evicted == 1
+        assert metrics.scenes_cached == 1
+
+
+def test_slot_ttl_evicts_idle_scenes(scene):
+    with RenderService(
+        width=SIZE, height=SIZE, render_mode="packet", slot_ttl=0.15
+    ) as svc:
+        first = svc.render(RenderJob(scene, tasks=4), timeout=60.0)
+        assert not first.warm
+        deadline = time.monotonic() + 10.0
+        while svc.metrics().scenes_cached and time.monotonic() < deadline:
+            time.sleep(0.05)
+        metrics = svc.metrics()
+        assert metrics.scenes_cached == 0, "idle slot outlived its TTL"
+        assert metrics.slots_evicted == 1
+        # the scene still renders afterwards -- cold again
+        again = svc.render(RenderJob(scene, tasks=4), timeout=60.0)
+        assert not again.warm

@@ -20,6 +20,8 @@ AUDITED_MODULES = [
     "repro.apps.service",
     "repro.apps.backends",
     "repro.apps.workloads",
+    "repro.apps.warm_pool",
+    "repro.apps.gateway",
     "repro.snet.runtime.registry",
     "repro.snet.runtime.stream",
     "repro.snet.runtime.core",

@@ -23,6 +23,7 @@ EXAMPLE_ARGS = {
     "raytracing_static.py": ["24", "24", "threaded", "packet"],
     "raytracing_dynamic.py": ["threaded", "24", "24"],
     "render_service.py": ["24", "24", "threaded", "2", "2"],
+    "gateway_demo.py": ["24", "24", "3"],
 }
 
 TIMEOUT_SECONDS = 120
