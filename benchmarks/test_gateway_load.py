@@ -63,9 +63,16 @@ SCENE_SPECS = [
 
 
 def calibrate_warm_seconds():
-    """Measured warm job time for this workload in this container."""
+    """Measured warm job time for this workload in this container.
+
+    ``incremental=False``: this benchmark sizes the storm from the cost of a
+    *full* warm render.  Animation scenes carry a mutation journal, so with
+    the temporal tile cache on, re-rendering an unchanged scene is nearly
+    free and the calibrated duration would collapse — the storm would then
+    measure socket overhead, not admission under render load.
+    """
     with RenderService("threaded", width=WIDTH, height=HEIGHT,
-                       max_scenes=1) as service:
+                       max_scenes=1, incremental=False) as service:
         scene = scene_from_spec(SCENE_SPECS[0])
         service.render(RenderJob(scene, tasks=TASKS), timeout=120.0)
         samples = []
@@ -122,6 +129,9 @@ def run_arm(storm, duration, *, max_scenes):
         height=HEIGHT,
         max_scenes=max_scenes,
         max_queue=32,
+        # the storm repeats each scene unchanged; keep the tile cache off so
+        # every served job costs a full render (see calibrate_warm_seconds)
+        incremental=False,
         tenants={
             name: TenantPolicy(
                 weight=WEIGHTS[name],

@@ -46,7 +46,10 @@ def main(
             futures = [
                 service.submit(RenderJob(frame, nodes=2, tasks=4,
                                          label=f"loop{loop}/frame{i}"))
-                for i, frame in enumerate(animation_scenes(frames))
+                # rebuild=True: independent keyframe scenes, so all frames
+                # can be submitted up front (the in-place AnimationSequence
+                # mutates one scene and must be rendered frame by frame)
+                for i, frame in enumerate(animation_scenes(frames, rebuild=True))
             ]
             for future in futures:
                 result = future.result(timeout=300.0)

@@ -19,12 +19,13 @@ the box bodies differ.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Any, List, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.raytracer.camera import Camera
+from repro.raytracer.coherence import plan_tiles
 from repro.raytracer.cost import CostParameters, SectionCostModel
 from repro.raytracer.image import (
     FrameChunkRef,
@@ -34,6 +35,7 @@ from repro.raytracer.image import (
     merge_chunk_into,
     to_ppm,
 )
+from repro.raytracer.mutation import apply_edits
 from repro.raytracer.scene import Scene
 from repro.raytracer.tracer import check_render_mode, render_section
 from repro.scheduling.base import Section
@@ -141,6 +143,27 @@ class RenderBackend:
         self.saved_images: List[Any] = []
         self._stats_lock = threading.Lock()
         self.rays_cast = 0
+        #: master switch for the temporal tile cache; even when ``True`` the
+        #: cache only engages for *journaled* scenes (``edit_epoch > 0``), so
+        #: plain one-shot jobs behave exactly as before
+        self.incremental = True
+        #: set by the warm-runtime builder on fork-based runtimes: workers
+        #: hold stale fork-shared scene copies, so dirty sections must carry
+        #: the journal entries committed since ``broadcast_epoch``
+        self.ship_edits = False
+        self.broadcast_epoch = 0
+        #: lifetime counters (like ``rays_cast``): sections served from the
+        #: tile cache and the rays those sections cost when last rendered
+        self.tiles_reused = 0
+        self.rays_saved = 0
+        # tile cache: section index -> (zero-ray chunk copy, TileSummary);
+        # valid only for the (scene object, epoch, section signature) in
+        # ``_cache_state`` — any mismatch falls back to a full render
+        self._tile_cache: Dict[int, Tuple[Any, Any]] = {}
+        self._cache_state: Optional[Dict[str, Any]] = None
+        self._pending_tiles: Dict[int, Tuple[Any, Any]] = {}
+        self._frame_meta: Optional[Dict[str, Any]] = None
+        self._camera_cache: Optional[Tuple[Any, Camera]] = None
 
     # -- reuse across runs ----------------------------------------------------
     def begin_job(self) -> None:
@@ -170,8 +193,148 @@ class RenderBackend:
         Called by the merger-side boxes (which always execute in the
         coordinating process), so the counts survive even when the solver ran
         in a forked pool worker whose backend copy is unreachable.
+
+        When the current job captures tile summaries (incremental mode), the
+        chunk is also banked for the next frame's tile cache: a zero-ray
+        copy, so a reused tile can be re-emitted any number of times without
+        ever double-counting its original rays.
         """
         self.add_rays_cast(getattr(chunk, "rays_cast", 0))
+        meta = self._frame_meta
+        if meta is None or not meta["capture"]:
+            return
+        summary = getattr(chunk, "summary", None)
+        if summary is None:
+            return
+        cached = chunk if getattr(chunk, "rays_cast", 0) == 0 else replace(chunk, rays_cast=0)
+        self._pending_tiles[getattr(chunk, "section_id", 0)] = (cached, summary)
+
+    # -- temporal tile cache ---------------------------------------------------
+    def _camera_for(self, scene: Scene) -> Camera:
+        """The camera to render ``scene`` with, at this backend's resolution.
+
+        A scene-owned camera (``scene.camera``) overrides the backend default
+        view; the resolved copy is cached by camera-object identity, so a
+        committed camera edit (which installs a fresh object) re-resolves
+        while steady-state frames pay a pointer compare.
+        """
+        cam = getattr(scene, "camera", None)
+        if cam is None:
+            return self.camera
+        cached = self._camera_cache
+        if cached is not None and cached[0] is cam:
+            return cached[1]
+        resolved = cam.with_resolution(self.camera.width, self.camera.height)
+        self._camera_cache = (cam, resolved)
+        return resolved
+
+    def edits_to_ship(self, scene: Scene) -> Tuple[Any, ...]:
+        """Journal entries dirty sections must carry to stale fork workers.
+
+        Empty on shared-memory runtimes (``ship_edits`` unset: threaded
+        workers see the coordinator's already-edited scene object).  On fork
+        runtimes every dirty section carries all entries committed since the
+        pool forked (``broadcast_epoch``): a worker only sees the sections
+        routed to it, so it may have missed any prior frame's entries —
+        replay is epoch-gated and idempotent, so over-shipping is safe.
+        Raises ``RuntimeError`` when the journal no longer reaches back to
+        the fork epoch — rendering with silently stale workers would corrupt
+        pixels; the render service discards such slots before dispatch, so
+        this fires only on direct misuse of a very stale warm runtime.
+        """
+        if not self.ship_edits:
+            return ()
+        journal = getattr(scene, "journal", None)
+        if journal is None:
+            return ()
+        entries = journal.entries_since(self.broadcast_epoch)
+        if entries is None:
+            raise RuntimeError(
+                "scene journal no longer covers this runtime's fork epoch "
+                f"({self.broadcast_epoch}); rebuild the warm runtime"
+            )
+        return tuple(entries)
+
+    def plan_job(self, scene: Scene, sections: Sequence[Section]) -> Dict[int, Any]:
+        """Decide which sections can be served from the tile cache.
+
+        Called once per job by the splitter (which always runs in the
+        coordinating process) with the job's full section list.  Returns
+        ``{section index: cached chunk}`` for every section that is provably
+        unaffected by the scene edits since the cached frame; the splitter
+        short-circuits those records straight to the merger.  Also arms the
+        capture of this frame's summaries (see :meth:`absorb_chunk_stats` /
+        :meth:`finish_job`).
+
+        The cache is consulted only when *everything* lines up: incremental
+        mode on, the scene is journaled, it is the **same scene object** as
+        the cached frame (the warm service guarantees this for in-place
+        animation), the section layout is unchanged, and the journal still
+        covers the cached epoch.  Any mismatch renders everything — the
+        planner can only ever degrade to a full re-render.
+        """
+        epoch = getattr(scene, "edit_epoch", 0)
+        capture = bool(self.incremental and epoch > 0)
+        signature = tuple(sorted((s.index, s.y_start, s.y_end) for s in sections))
+        reuse: Dict[int, Any] = {}
+        state = self._cache_state
+        journal = getattr(scene, "journal", None)
+        if (
+            capture
+            and state is not None
+            and state["scene_id"] == id(scene)
+            and state["signature"] == signature
+            and journal is not None
+        ):
+            entries = journal.entries_since(state["epoch"])
+            if entries is not None:
+                summaries = {
+                    index: entry[1] for index, entry in self._tile_cache.items()
+                }
+                dirty = plan_tiles(
+                    entries, summaries, sections, scene.lights, self._camera_for(scene)
+                )
+                if dirty is not None:
+                    for section in sections:
+                        entry = self._tile_cache.get(section.index)
+                        if section.index not in dirty and entry is not None:
+                            reuse[section.index] = entry[0]
+        self._pending_tiles = {}
+        self._frame_meta = {
+            "capture": capture,
+            "scene_id": id(scene),
+            "epoch": epoch,
+            "signature": signature,
+            "expected": len(sections),
+        }
+        if reuse:
+            saved = sum(self._tile_cache[index][1].rays for index in reuse)
+            with self._stats_lock:
+                self.tiles_reused += len(reuse)
+                self.rays_saved += saved
+        return reuse
+
+    def finish_job(self) -> None:
+        """Promote this frame's captured tiles to the cross-job tile cache.
+
+        Called by the ``genImg`` box after the picture is written — i.e.
+        after every section (fresh or reused) passed through the merger.  A
+        complete frame becomes the new cache; anything short of complete
+        (capture off, a chunk without a summary) clears it, so a stale or
+        partial cache can never serve a future frame.
+        """
+        meta, self._frame_meta = self._frame_meta, None
+        pending, self._pending_tiles = self._pending_tiles, {}
+        if meta is not None and meta["capture"] and len(pending) == meta["expected"]:
+            self._tile_cache = pending
+            self._cache_state = {
+                "scene_id": meta["scene_id"],
+                "epoch": meta["epoch"],
+                "signature": meta["signature"],
+            }
+        else:
+            self._tile_cache = {}
+            self._cache_state = None
 
     # -- geometry ------------------------------------------------------------
     @property
@@ -257,13 +420,20 @@ class RealRenderBackend(RenderBackend):
         self.copy_on_merge = copy_on_merge
 
     def render_section(self, section: Section) -> ImageChunk:
+        edits = getattr(section, "edits", ())
+        if edits:
+            # fork-based worker catching up on journal entries committed in
+            # the coordinator after the pool forked (idempotent replay)
+            apply_edits(self.scene, edits)
+        capture = bool(self.incremental and getattr(self.scene, "edit_epoch", 0) > 0)
         return render_section(
             self.scene,
-            self.camera,
+            self._camera_for(self.scene),
             section.y_start,
             section.y_end,
             section.index,
             mode=self.render_mode,
+            touch=capture,
         )
 
     def init_picture(self, chunk: ImageChunk) -> np.ndarray:
@@ -325,6 +495,7 @@ class SharedFrameRenderBackend(RealRenderBackend):
             width=ref.width,
             section_id=section.index,
             rays_cast=chunk.rays_cast,
+            summary=chunk.summary,
         )
 
     def init_picture(self, chunk: FrameChunkRef) -> SharedFramePicture:

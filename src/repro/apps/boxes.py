@@ -28,7 +28,7 @@ from typing import Callable, List, Optional
 
 from repro.apps.backends import RenderBackend
 from repro.raytracer.tracer import check_render_mode
-from repro.scheduling.base import Scheduler, Section, validate_sections
+from repro.scheduling.base import EditedSection, Scheduler, Section, validate_sections
 from repro.scheduling.block import BlockScheduler
 from repro.snet.boxes import Box
 from repro.snet.records import Record
@@ -71,6 +71,43 @@ class RayTracingBoxes:
         validate_sections(sections, self.backend.height)
         return sections
 
+    def _split_records(self, scene, sections) -> List[dict]:
+        """Base records for one job: cached chunks or renderable sections.
+
+        Consults the backend's temporal tile cache
+        (:meth:`~repro.apps.backends.RenderBackend.plan_job`): sections
+        provably unaffected by the scene edits since the cached frame are
+        emitted as ready ``(chunk, <tasks>)`` records that short-circuit
+        straight past the solvers to the merger; the rest are emitted as the
+        usual ``(scene, sect, <tasks>)`` records, with the journal entries a
+        stale fork worker needs riding along inside an
+        :class:`~repro.scheduling.base.EditedSection`.  The caller adds its
+        variant-specific placement tags to the renderable records.
+
+        Record ``index 0`` carries ``<fst>`` either way, and ``<tasks>``
+        counts *all* sections, so the merger's completion arithmetic is
+        untouched by reuse.
+        """
+        backend = self.backend
+        reuse = backend.plan_job(scene, sections)
+        edits = backend.edits_to_ship(scene)
+        total = len(sections)
+        records: List[dict] = []
+        for section in sections:
+            cached = reuse.get(section.index)
+            if cached is not None:
+                entries = {"chunk": cached, "<tasks>": total}
+            else:
+                if edits:
+                    section = EditedSection(
+                        section.index, section.y_start, section.y_end, edits=edits
+                    )
+                entries = {"scene": scene, "sect": section, "<tasks>": total}
+            if section.index == 0:
+                entries["<fst>"] = 1
+            records.append(entries)
+        return records
+
     # -- splitter variants ---------------------------------------------------
     def static_splitter(self) -> Box:
         """Splitter of Fig. 2: every section is assigned to a node up front.
@@ -83,21 +120,17 @@ class RayTracingBoxes:
 
         def splitter(scene, nodes, tasks, out):
             sections = boxes._sections(tasks)
-            for section in sections:
-                entries = {
-                    "scene": scene,
-                    "sect": section,
-                    "<node>": section.index % nodes,
-                    "<tasks>": len(sections),
-                }
-                if section.index == 0:
-                    entries["<fst>"] = 1
+            for entries in boxes._split_records(scene, sections):
+                if "sect" in entries:
+                    entries["<node>"] = entries["sect"].index % nodes
                 out(entries)
 
         return Box(
             "splitter",
             "(scene, <nodes>, <tasks>) -> (scene, sect, <node>, <tasks>, <fst>)"
-            " | (scene, sect, <node>, <tasks>)",
+            " | (scene, sect, <node>, <tasks>)"
+            " | (chunk, <tasks>, <fst>)"
+            " | (chunk, <tasks>)",
             splitter,
             cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
             parallel_safe=False,  # control logic; not worth shipping the scene out
@@ -115,22 +148,19 @@ class RayTracingBoxes:
 
         def splitter(scene, nodes, tasks, out):
             sections = boxes._sections(tasks)
-            for section in sections:
-                entries = {
-                    "scene": scene,
-                    "sect": section,
-                    "<node>": (section.index // 2) % nodes,
-                    "<cpu>": section.index % 2,
-                    "<tasks>": len(sections),
-                }
-                if section.index == 0:
-                    entries["<fst>"] = 1
+            for entries in boxes._split_records(scene, sections):
+                sect = entries.get("sect")
+                if sect is not None:
+                    entries["<node>"] = (sect.index // 2) % nodes
+                    entries["<cpu>"] = sect.index % 2
                 out(entries)
 
         return Box(
             "splitter",
             "(scene, <nodes>, <tasks>) -> (scene, sect, <node>, <cpu>, <tasks>, <fst>)"
-            " | (scene, sect, <node>, <cpu>, <tasks>)",
+            " | (scene, sect, <node>, <cpu>, <tasks>)"
+            " | (chunk, <tasks>, <fst>)"
+            " | (chunk, <tasks>)",
             splitter,
             cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
             parallel_safe=False,
@@ -157,23 +187,21 @@ class RayTracingBoxes:
         def splitter(scene, nodes, tasks, tokens, out):
             sections = boxes._sections(tasks)
             per_node = max(1, -(-tokens // nodes))  # ceil(tokens / nodes)
-            for section in sections:
-                entries = {
-                    "scene": scene,
-                    "sect": section,
-                    "<tasks>": len(sections),
-                }
-                if section.index < tokens:
-                    # distinct abstract node ids; the distributed runtime maps
-                    # them onto physical nodes modulo the cluster size (like
-                    # MPI ranks with several ranks per node), so consecutive
-                    # sections initially land on the same node until that
-                    # node's token quota is exhausted
-                    slot = section.index % per_node
-                    node = section.index // per_node
-                    entries["<node>"] = slot * nodes + node
-                if section.index == 0:
-                    entries["<fst>"] = 1
+            rank = 0  # tokens are dealt over *renderable* sections only:
+            # cached sections never enter the solver segment, so giving them
+            # tokens would strand concurrency on skipped work
+            for entries in boxes._split_records(scene, sections):
+                if "sect" in entries:
+                    if rank < tokens:
+                        # distinct abstract node ids; the distributed runtime
+                        # maps them onto physical nodes modulo the cluster
+                        # size (like MPI ranks with several ranks per node),
+                        # so consecutive sections initially land on the same
+                        # node until that node's token quota is exhausted
+                        slot = rank % per_node
+                        node = rank // per_node
+                        entries["<node>"] = slot * nodes + node
+                    rank += 1
                 out(entries)
 
         return Box(
@@ -181,7 +209,9 @@ class RayTracingBoxes:
             "(scene, <nodes>, <tasks>, <tokens>)"
             " -> (scene, sect, <node>, <tasks>, <fst>)"
             " | (scene, sect, <node>, <tasks>)"
-            " | (scene, sect, <tasks>)",
+            " | (scene, sect, <tasks>)"
+            " | (chunk, <tasks>, <fst>)"
+            " | (chunk, <tasks>)",
             splitter,
             cost=lambda rec: backend.scene_load_cost() + backend.split_cost(),
             parallel_safe=False,
@@ -244,6 +274,9 @@ class RayTracingBoxes:
 
         def genimg(pic):
             backend.write_image(pic)
+            # every section (fresh or cache-reused) has passed the merger by
+            # now: promote this frame's tile summaries to the cross-job cache
+            backend.finish_job()
             return None
 
         return Box(

@@ -22,8 +22,10 @@ correlated by an echoed ``id``, pipelining allowed):
 * **observability** — the ``metrics`` op returns the gateway's admission
   counters plus the service's full
   :meth:`~repro.apps.service.RenderService.observability` payload
-  (per-stage latency histograms, per-tenant queue depths, warm-pool and
-  recovery counters) as one JSON document.
+  (per-stage latency histograms, per-tenant queue depths, warm-pool,
+  recovery and temporal-tile-cache counters — the ``incremental`` section's
+  ``tiles_reused``/``rays_saved``) as one JSON document; render responses
+  carry the same two counters per job.
 
 Wire protocol (all examples are single lines)::
 
@@ -488,6 +490,8 @@ class RenderGateway:
             "queued_seconds": result.queued_seconds,
             "scene_key": result.scene_key,
             "rays_cast": result.rays_cast,
+            "tiles_reused": result.tiles_reused,
+            "rays_saved": result.rays_saved,
             "node_recoveries": result.node_recoveries,
             "shape": list(pixels.shape),
             "image_sha256": hashlib.sha256(pixels.tobytes()).hexdigest(),

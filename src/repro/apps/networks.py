@@ -154,9 +154,12 @@ def build_static_network(
     solver = boxes.solver()
     merger = build_merger(boxes)
     genimg = boxes.genimg_box()
-    body = Serial(
-        Serial(Serial(splitter, placed_split(solver, "node")), merger), genimg
+    # cache-reused (chunk, <tasks>) records don't match the solver's input
+    # signature; the identity branch carries them straight to the merger
+    solve_stage = Parallel(
+        placed_split(solver, "node"), Filter.identity("bypass-cached")
     )
+    body = Serial(Serial(Serial(splitter, solve_stage), merger), genimg)
     return Network("raytracing_stat", body)
 
 
@@ -177,9 +180,11 @@ def build_static_2cpu_network(
     per_cpu = IndexSplit(solver, "cpu")
     merger = build_merger(boxes)
     genimg = boxes.genimg_box()
-    body = Serial(
-        Serial(Serial(splitter, placed_split(per_cpu, "node")), merger), genimg
+    # as in build_static_network: cache-reused chunks bypass the solvers
+    solve_stage = Parallel(
+        placed_split(per_cpu, "node"), Filter.identity("bypass-cached")
     )
+    body = Serial(Serial(Serial(splitter, solve_stage), merger), genimg)
     return Network("raytracing_stat_2cpu", body)
 
 

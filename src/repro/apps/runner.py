@@ -98,6 +98,13 @@ class FarmRun:
     ``bytes_pickled`` is the total bytes serialized across the process-pool
     boundary during the run (0 on the threaded backend, which passes
     references) — the quantity the zero-copy data plane minimises.
+
+    ``tiles_reused``/``rays_saved`` account for the temporal tile cache:
+    sections served from the previous frame's cache and the rays their
+    cached renders originally cost.  The accounting is honest —
+    ``rays_cast`` only counts rays *actually traced this run*, and the
+    avoided work is reported separately rather than inflating or deflating
+    the traced count.
     """
 
     variant: str
@@ -110,6 +117,8 @@ class FarmRun:
     rays_cast: int = 0
     data_plane: str = "records"
     bytes_pickled: int = 0
+    tiles_reused: int = 0
+    rays_saved: int = 0
 
 
 def resolve_data_plane(
@@ -171,13 +180,16 @@ def build_farm_backend(
     height: int,
     plane: str,
     render_mode: Optional[str] = None,
+    incremental: bool = True,
 ) -> RenderBackend:
     """Construct the render backend matching a resolved data plane.
 
     ``plane`` must already be concrete (``"shared"`` or ``"records"``, see
     :func:`resolve_data_plane`).  The shared plane allocates the frame in
     ``multiprocessing.shared_memory`` — callers own the returned backend and
-    must eventually call ``release()`` on it.
+    must eventually call ``release()`` on it.  ``incremental=False`` disables
+    the temporal tile cache (the backend then never captures tile summaries
+    or short-circuits clean sections).
 
     >>> from repro.raytracer.scene import random_scene
     >>> backend = build_farm_backend(random_scene(num_spheres=2), 16, 16, "records")
@@ -185,11 +197,13 @@ def build_farm_backend(
     ('RealRenderBackend', 16, 16)
     """
     backend_cls = SharedFrameRenderBackend if plane == "shared" else RealRenderBackend
-    return backend_cls(
+    backend = backend_cls(
         scene,
         Camera(width=width, height=height),
         render_mode=render_mode or "scalar",
     )
+    backend.incremental = bool(incremental)
+    return backend
 
 
 @dataclass
@@ -220,6 +234,7 @@ def build_warm_runtime(
     scheduler: Optional[Scheduler] = None,
     runtime: str = "threaded",
     runtime_options: Optional[Dict[str, Any]] = None,
+    incremental: bool = True,
 ) -> WarmRuntimeParts:
     """Build the warm parts of one render slot: backend, network, runtime.
 
@@ -230,6 +245,14 @@ def build_warm_runtime(
     failure the partially built slot is torn down before the exception
     propagates — a failed cold build must not leak a shared-memory frame
     segment or half-forked workers.
+
+    With ``incremental`` (the default) the backend keeps a cross-job tile
+    cache, so consecutive jobs on this warm runtime that edit the scene
+    through :meth:`Scene.begin_edit` re-render only the dirty tiles.  On
+    fork-based runtimes (``process``/``distributed``) the workers hold
+    fork-time scene *copies*, so the backend is additionally configured to
+    ship the journal entries recorded after the fork along with every
+    renderable section (``ship_edits``/``broadcast_epoch``).
 
     >>> from repro.raytracer.scene import random_scene
     >>> parts = build_warm_runtime(random_scene(num_spheres=2), "static",
@@ -246,7 +269,9 @@ def build_warm_runtime(
     prepare = getattr(scene, "prepare_for_broadcast", None)
     if callable(prepare):
         prepare()  # build the BVH once; warm jobs inherit it
-    backend = build_farm_backend(scene, width, height, plane, render_mode)
+    backend = build_farm_backend(
+        scene, width, height, plane, render_mode, incremental=incremental
+    )
     try:
         network = FARM_VARIANTS[variant](backend, scheduler, render_mode=render_mode)
         options = dict(runtime_options or {})
@@ -257,6 +282,11 @@ def build_warm_runtime(
         if callable(setup):
             # register boxes + broadcast the scene, then fork the pool — once
             runtime_obj.setup(network, broadcast=(scene,))
+        if runtime in ("process", "distributed"):
+            # forked workers hold fork-time scene copies: ship every edit
+            # committed after this point along with the sections
+            backend.ship_edits = True
+            backend.broadcast_epoch = getattr(scene, "edit_epoch", 0)
     except BaseException:
         # the engines' setup() already tears itself down on failure; the
         # frame segment allocated above is ours to release
@@ -323,6 +353,7 @@ def run_raytracing_farm(
     timeout: float = 300.0,
     render_mode: Optional[str] = None,
     data_plane: str = "auto",
+    incremental: bool = True,
 ) -> FarmRun:
     """Build one of the paper's farm variants and run it to completion.
 
@@ -345,6 +376,13 @@ def run_raytracing_farm(
     >>> run.image.shape, run.data_plane, run.rays_cast > 0
     ((16, 16, 3), 'records', True)
 
+    A one-shot run has no previous frame, so the temporal tile cache never
+    fires and the reuse counters stay zero (they matter for warm reuse, see
+    :class:`repro.apps.service.RenderService`):
+
+    >>> run.tiles_reused, run.rays_saved
+    (0, 0)
+
     One-shot calls pay full runtime construction every time; to amortise
     setup across many renders of the same scene, use
     :class:`repro.apps.service.RenderService` instead.
@@ -358,9 +396,15 @@ def run_raytracing_farm(
     inputs = farm_inputs(variant, scene, nodes=nodes, tasks=tasks, tokens=tokens)
     release_backend = False
     if backend is None:
-        backend = build_farm_backend(scene, width, height, plane, render_mode)
+        backend = build_farm_backend(
+            scene, width, height, plane, render_mode, incremental=incremental
+        )
         release_backend = plane == "shared"
     network = FARM_VARIANTS[variant](backend, scheduler, render_mode=render_mode)
+    # the backend counters are cumulative across jobs on a reused backend;
+    # diff around the run so FarmRun reports this job's reuse only
+    tiles_before = getattr(backend, "tiles_reused", 0)
+    rays_saved_before = getattr(backend, "rays_saved", 0)
 
     options = dict(runtime_options or {})
     if runtime == "process":
@@ -393,4 +437,6 @@ def run_raytracing_farm(
         rays_cast=getattr(backend, "rays_cast", 0),
         data_plane=plane,
         bytes_pickled=getattr(runtime_obj, "bytes_pickled", 0),
+        tiles_reused=getattr(backend, "tiles_reused", 0) - tiles_before,
+        rays_saved=getattr(backend, "rays_saved", 0) - rays_saved_before,
     )

@@ -70,18 +70,14 @@ Example
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import itertools
-import pickle
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
-
-import numpy as np
 
 from repro.apps.runner import (
     FARM_VARIANTS,
@@ -91,7 +87,7 @@ from repro.apps.runner import (
 )
 from repro.apps.warm_pool import WarmPoolManager, WarmSlot
 from repro.apps.workloads import extract_image
-from repro.raytracer.materials import Material
+from repro.raytracer.mutation import scene_content_key
 from repro.raytracer.scene import Scene
 from repro.scheduling.base import Scheduler
 from repro.snet.records import Record
@@ -120,73 +116,9 @@ class ServiceOverloaded(RuntimeError):
 
 
 # -- scene content hashing ----------------------------------------------------
-_KEY_ATTR = "_repro_content_key"
-
-
-def _canonical(value: Any) -> Any:
-    """A picklable, content-deterministic description of one scene value.
-
-    NumPy arrays hash by shape/dtype/bytes; objects with a ``__dict__``
-    (primitives, materials, lights) hash by their sorted attributes with the
-    global ``primitive_id`` counter excluded — two scenes built from the
-    same description must produce the same key even though their primitive
-    ids differ.
-    """
-    if isinstance(value, np.ndarray):
-        return ("nd", value.shape, value.dtype.str, value.tobytes())
-    if isinstance(value, (list, tuple)):
-        return tuple(_canonical(item) for item in value)
-    if isinstance(value, (type(None), bool, int, float, str, bytes)):
-        return value
-    if isinstance(value, Material) or hasattr(value, "__dict__"):
-        attrs = {
-            name: attr
-            for name, attr in vars(value).items()
-            if name != "primitive_id" and not name.startswith("_")
-        }
-        return (
-            type(value).__name__,
-            tuple((name, _canonical(attr)) for name, attr in sorted(attrs.items())),
-        )
-    return repr(value)
-
-
-def scene_content_key(scene: Scene) -> str:
-    """Content hash of a scene: equal for content-identical scene objects.
-
-    The key covers everything that determines the rendered image — objects
-    (geometry + material), lights, background, recursion depth and the
-    acceleration-structure choice — and deliberately excludes derived state
-    (the lazily built BVH) and the process-global ``primitive_id`` counters.
-
-    The key is memoised on the scene object, so repeated submissions of the
-    same object are O(1).  Scenes are treated as immutable job payloads (the
-    S-Net purity contract); mutating a scene after it has been keyed is
-    unsupported — build a new :class:`Scene` instead.
-
-    >>> from repro.raytracer.scene import random_scene
-    >>> a, b = random_scene(num_spheres=3), random_scene(num_spheres=3)
-    >>> a is not b and scene_content_key(a) == scene_content_key(b)
-    True
-    >>> scene_content_key(random_scene(num_spheres=4)) == scene_content_key(a)
-    False
-    """
-    cached = getattr(scene, _KEY_ATTR, None)
-    if cached is not None:
-        return cached
-    description = (
-        tuple(_canonical(obj) for obj in scene.objects),
-        tuple(_canonical(light) for light in scene.lights),
-        _canonical(scene.background),
-        scene.max_ray_depth,
-        scene.use_bvh,
-    )
-    key = hashlib.sha256(pickle.dumps(description, protocol=5)).hexdigest()[:16]
-    try:
-        setattr(scene, _KEY_ATTR, key)
-    except AttributeError:  # __slots__ scenes: just recompute next time
-        pass
-    return key
+# scene_content_key lives with the mutation journal now (the journal updates
+# the memoised key in O(delta) on every commit); the service re-exports it
+# unchanged for its historical import path.
 
 
 # -- observability: per-stage latency histograms ------------------------------
@@ -416,6 +348,12 @@ class JobResult:
     (scene-cache hit: no scene preparation, no pool fork, no frame-buffer
     registration).  ``seconds`` is pure execution time; ``queued_seconds``
     is the time spent waiting in the queue before execution started.
+
+    ``tiles_reused``/``rays_saved`` report the temporal tile cache's work
+    avoidance for this job: sections served from the warm slot's previous
+    frame and the rays their cached renders originally cost.  ``rays_cast``
+    stays honest — it counts only rays actually traced for this job; the
+    avoided rays are reported separately, never subtracted.
     """
 
     job: RenderJob
@@ -427,6 +365,8 @@ class JobResult:
     rays_cast: int
     bytes_pickled: int
     node_recoveries: int = 0
+    tiles_reused: int = 0
+    rays_saved: int = 0
     outputs: List[Record] = field(repr=False, default_factory=list)
 
 
@@ -451,7 +391,9 @@ class ServiceMetrics:
     segments were released *at eviction time*).  ``node_recoveries`` counts
     distributed node workers that died and were failed over or revived
     while serving jobs — a non-zero value means the service stayed up
-    through node deaths.
+    through node deaths.  ``tiles_reused``/``rays_saved`` total the temporal
+    tile cache's work avoidance across all served jobs (reported separately
+    from the honest traced-ray counts, see :class:`JobResult`).
     """
 
     state: str
@@ -473,6 +415,8 @@ class ServiceMetrics:
     queue_p95: float = 0.0
     slots_evicted: int = 0
     tenant_queue_depths: Dict[str, int] = field(default_factory=dict)
+    tiles_reused: int = 0
+    rays_saved: int = 0
 
 
 @dataclass
@@ -532,6 +476,15 @@ class RenderService:
         every warm runtime the service creates: each farm network is
         validated once, before its first record flows.  An explicit
         ``runtime_options["check"]`` takes precedence.
+    incremental:
+        Enables the temporal tile cache (default on): a warm slot whose
+        scene is edited *in place* through :meth:`Scene.begin_edit
+        <repro.raytracer.scene.Scene.begin_edit>` between jobs re-renders
+        only the tiles the edits can affect and serves the rest from the
+        previous frame's cache, pixel-identically.  The edited scene's new
+        content key is migrated onto the existing slot (lineage adoption)
+        instead of cold-building a duplicate.  ``incremental=False``
+        restores the render-everything behaviour.
 
     The service starts accepting jobs immediately; :meth:`close` drains the
     queue and releases every warm slot.  Use as a context manager to
@@ -557,6 +510,7 @@ class RenderService:
         tenant_weights: Optional[Dict[str, float]] = None,
         job_timeout: float = 300.0,
         check: str = "warn",
+        incremental: bool = True,
     ):
         if overflow not in ("block", "reject"):
             raise ValueError(
@@ -583,6 +537,7 @@ class RenderService:
         self.overflow = overflow
         self.max_scenes = max_scenes
         self.job_timeout = job_timeout
+        self.incremental = bool(incremental)
         self.tenant_weights = dict(tenant_weights or {})
         self._plane = resolve_data_plane(data_plane, runtime)
 
@@ -612,6 +567,8 @@ class RenderService:
         self._render_seconds = 0.0
         self._bytes_pickled = 0
         self._node_recoveries = 0
+        self._tiles_reused = 0
+        self._rays_saved = 0
         self._tenant_depth: Dict[str, int] = {}
         self._tenant_stats: Dict[str, Dict[str, int]] = {}
         # per-stage latency histograms (all mutated under _cv)
@@ -715,6 +672,8 @@ class RenderService:
                 tenant_queue_depths={
                     t: d for t, d in self._tenant_depth.items() if d
                 },
+                tiles_reused=self._tiles_reused,
+                rays_saved=self._rays_saved,
             )
 
     def observability(self) -> Dict[str, Any]:
@@ -768,6 +727,11 @@ class RenderService:
                 "setup_seconds_saved": self._setup_seconds_saved,
                 "bytes_pickled": self._bytes_pickled,
                 "node_recoveries": self._node_recoveries,
+                "incremental": {
+                    "enabled": self.incremental,
+                    "tiles_reused": self._tiles_reused,
+                    "rays_saved": self._rays_saved,
+                },
             }
 
     @property
@@ -857,6 +821,8 @@ class RenderService:
             try:
                 slot.backend.begin_job()
                 rays_before = slot.backend.rays_cast
+                tiles_before = getattr(slot.backend, "tiles_reused", 0)
+                saved_before = getattr(slot.backend, "rays_saved", 0)
                 inputs = farm_inputs(
                     job.variant, slot.scene, nodes=job.nodes, tasks=job.tasks,
                     tokens=job.tokens,
@@ -883,6 +849,10 @@ class RenderService:
                     rays_cast=slot.backend.rays_cast - rays_before,
                     bytes_pickled=int(getattr(slot.runtime, "bytes_pickled", 0)),
                     node_recoveries=max(0, recovered),
+                    tiles_reused=getattr(slot.backend, "tiles_reused", 0)
+                    - tiles_before,
+                    rays_saved=getattr(slot.backend, "rays_saved", 0)
+                    - saved_before,
                     outputs=outputs,
                 )
             finally:
@@ -897,6 +867,8 @@ class RenderService:
                 self._render_seconds += seconds
                 self._bytes_pickled += result.bytes_pickled
                 self._node_recoveries += result.node_recoveries
+                self._tiles_reused += result.tiles_reused
+                self._rays_saved += result.rays_saved
                 self._hist_queue.add(queued_seconds)
                 self._hist_render.add(seconds)
                 self._tenant_queue_hist.setdefault(
@@ -934,9 +906,34 @@ class RenderService:
         """Snapshot of the warm pool's key -> slot mapping (tests/debugging)."""
         return self._pool.slots()
 
+    #: fork-time journal backlog beyond which a warm slot is rebuilt instead
+    #: of shipping the edits: past this, replaying the journal in every
+    #: worker costs more than a fresh fork with the edits already applied
+    MAX_SHIPPED_EDITS = 64
+
     def _slot_for(self, job: RenderJob) -> Tuple[WarmSlot, bool]:
-        """Lease the warm slot serving ``job`` (building it cold on a miss)."""
+        """Lease the warm slot serving ``job`` (building it cold on a miss).
+
+        In-place scene edits (``Scene.begin_edit``) change the scene's
+        content key; the warm slot built under the pre-edit key still holds
+        the *same live scene object*, so it is adopted to the new key
+        (keeping its forked workers and tile cache alive) rather than
+        duplicated.  A slot whose fork-time workers can no longer be caught
+        up — the journal trimmed past the fork epoch, or the backlog exceeds
+        :data:`MAX_SHIPPED_EDITS` — is discarded first: a stale worker would
+        render silently wrong pixels.
+        """
         key = (self.runtime_name, scene_content_key(job.scene), job.variant)
+        adopted = self._pool.adopt(
+            key,
+            lambda slot: (
+                slot.key[0] == self.runtime_name
+                and slot.key[2] == job.variant
+                and slot.parts.get("scene") is job.scene
+            ),
+        )
+        if adopted is not None and self._slot_stale(adopted, job.scene):
+            self._pool.discard(key)
 
         def build() -> Dict[str, Any]:
             parts = build_warm_runtime(
@@ -949,6 +946,7 @@ class RenderService:
                 scheduler=self.scheduler,
                 runtime=self.runtime_name,
                 runtime_options=self.runtime_options,
+                incremental=self.incremental,
             )
             return {
                 "scene": parts.scene,
@@ -959,3 +957,15 @@ class RenderService:
             }
 
         return self._pool.acquire(key, build)
+
+    @staticmethod
+    def _slot_stale(slot: WarmSlot, scene: Scene) -> bool:
+        """Whether a slot's fork-time workers can no longer be caught up."""
+        backend = slot.parts.get("backend")
+        if backend is None or not getattr(backend, "ship_edits", False):
+            return False
+        journal = getattr(scene, "journal", None)
+        if journal is None:
+            return False
+        pending = journal.entries_since(getattr(backend, "broadcast_epoch", 0))
+        return pending is None or len(pending) > RenderService.MAX_SHIPPED_EDITS

@@ -227,6 +227,34 @@ class WarmPoolManager:
         self._teardown(slot)
         return True
 
+    def adopt(
+        self, new_key: Hashable, match: Callable[[WarmSlot], bool]
+    ) -> Optional[WarmSlot]:
+        """Re-key the first idle slot satisfying ``match`` to ``new_key``.
+
+        In-place scene edits change the scene's content key, which would
+        orphan the warm slot built for the pre-edit key even though its
+        runtime *is* the right one (the live scene object inside it was
+        edited).  ``adopt`` lets the caller migrate such a slot to the
+        post-edit key instead of cold-building a duplicate.  No-op (returns
+        the existing slot) when ``new_key`` is already present; returns
+        ``None`` when no idle slot matches.
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            existing = self._slots.get(new_key)
+            if existing is not None:
+                return existing
+            for key, slot in list(self._slots.items()):
+                if slot.busy or not match(slot):
+                    continue
+                del self._slots[key]
+                slot.key = new_key
+                self._slots[new_key] = slot
+                return slot
+        return None
+
     def _trim_locked(self) -> List[WarmSlot]:
         """Pop LRU-excess idle slots (caller holds the lock, tears down after)."""
         victims: List[WarmSlot] = []

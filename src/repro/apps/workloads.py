@@ -32,6 +32,7 @@ from repro.snet.records import Record
 __all__ = [
     "initial_record",
     "dynamic_input_records",
+    "AnimationSequence",
     "animation_scenes",
     "scene_from_spec",
     "StormRequest",
@@ -68,6 +69,75 @@ def dynamic_input_records(
     ]
 
 
+class AnimationSequence:
+    """The looping-animation keyframes as in-place edits of **one** scene.
+
+    The pre-PR-10 animation workload rebuilt the whole scene per keyframe;
+    with the mutation journal the natural phrasing is a single live scene
+    whose orbiter moves between frames through :meth:`Scene.begin_edit
+    <repro.raytracer.scene.Scene.begin_edit>`.  ``seq[i]`` *seeks*: it
+    commits an ``update`` moving the orbiter to frame ``i``'s phase and
+    returns the (shared) scene object, so a warm render slot holding this
+    scene re-renders only the tiles the move can affect.
+
+    Indexing is list-like (``len``, negative indices, iteration) and frame
+    ``i`` is content-identical to the rebuilt frame ``i`` of
+    ``animation_scenes(..., rebuild=True)`` — the journal keeps the memoised
+    content key in sync with in-place edits.
+    """
+
+    def __init__(
+        self,
+        frames: int,
+        *,
+        num_spheres: int = 60,
+        clustering: float = 0.5,
+        seed: int = 11,
+        orbit_radius: float = 1.6,
+        orbit_depth: float = 1.5,
+    ):
+        if frames < 1:
+            raise ValueError("an animation needs at least one frame")
+        self.frames = frames
+        self.orbit_radius = orbit_radius
+        self.orbit_depth = orbit_depth
+        self.scene = random_scene(
+            num_spheres=num_spheres, clustering=clustering, seed=seed
+        )
+        self.orbiter = Sphere(self._center(0), 0.45, Material.mirror(0.9))
+        edit = self.scene.begin_edit()
+        edit.add(self.orbiter)
+        edit.commit()
+        self._frame = 0
+
+    def _center(self, i: int) -> Any:
+        phase = 2.0 * math.pi * i / self.frames
+        return vec3(
+            self.orbit_radius * math.cos(phase),
+            0.4 + 0.5 * math.sin(phase),
+            -self.orbit_depth + 0.8 * math.sin(phase),
+        )
+
+    def __len__(self) -> int:
+        return self.frames
+
+    def __getitem__(self, i: int) -> Scene:
+        if i < 0:
+            i += self.frames
+        if not 0 <= i < self.frames:
+            raise IndexError(f"frame {i} outside [0, {self.frames})")
+        if i != self._frame:
+            edit = self.scene.begin_edit()
+            edit.update(self.orbiter, center=self._center(i))
+            edit.commit()
+            self._frame = i
+        return self.scene
+
+    def __iter__(self):
+        for i in range(self.frames):
+            yield self[i]
+
+
 def animation_scenes(
     frames: int,
     *,
@@ -76,26 +146,44 @@ def animation_scenes(
     seed: int = 11,
     orbit_radius: float = 1.6,
     orbit_depth: float = 1.5,
-) -> List[Scene]:
-    """Keyframe scenes of a looping animation: a mirror sphere orbits the set.
+    rebuild: bool = False,
+) -> Sequence[Scene]:
+    """Keyframes of a looping animation: a mirror sphere orbits the set.
 
     Frame ``i`` is the deterministic base scene (``random_scene`` with the
     given ``num_spheres``/``clustering``/``seed``) plus one large reflective
     sphere at phase ``2*pi*i/frames`` of a circular orbit in front of the
-    camera.  Every call builds *fresh* scene objects, but frame ``i`` is
-    content-identical across calls — so a render service streaming the loop
-    repeatedly (``frames`` distinct cache keys) pays one cold setup per
-    keyframe on the first pass and serves every later pass warm.
+    camera.
 
-    Returns a list of ``frames`` independent :class:`Scene` objects.
+    By default the frames are served by an :class:`AnimationSequence` — one
+    live scene edited in place between frames, the shape the temporal tile
+    cache accelerates.  ``rebuild=True`` restores the historical behaviour:
+    a list of ``frames`` independent, freshly built :class:`Scene` objects
+    (so a service replaying the loop exercises its *scene cache* with
+    ``frames`` distinct content keys instead of editing one slot).  Frame
+    ``i`` is content-identical between the two modes:
 
-    >>> a, b = animation_scenes(2, num_spheres=3)
-    >>> len(a.objects) == len(b.objects) and a is not b
+    >>> seq = animation_scenes(2, num_spheres=3)
+    >>> seq[0] is seq[1]  # one live scene, edited in place between frames
+    True
+    >>> legacy = animation_scenes(2, num_spheres=3, rebuild=True)
+    >>> legacy[0] is not legacy[1]
     True
     >>> from repro.apps.service import scene_content_key
-    >>> scene_content_key(animation_scenes(2, num_spheres=3)[1]) == scene_content_key(b)
+    >>> scene_content_key(seq[1]) == scene_content_key(legacy[1])
+    True
+    >>> scene_content_key(seq[0]) == scene_content_key(legacy[0])
     True
     """
+    if not rebuild:
+        return AnimationSequence(
+            frames,
+            num_spheres=num_spheres,
+            clustering=clustering,
+            seed=seed,
+            orbit_radius=orbit_radius,
+            orbit_depth=orbit_depth,
+        )
     if frames < 1:
         raise ValueError("an animation needs at least one frame")
     scenes: List[Scene] = []

@@ -101,8 +101,20 @@ class BVH:
         self.stats = TraversalStats()
         self._packet_primitives: Optional[List[Primitive]] = None
         self._packet_index: Dict[int, int] = {}
+        self._leaf_by_prim: Optional[Dict[int, BVHNode]] = None
         for primitive in primitives:
             self.insert(primitive)
+
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self):
+        # the packet/refit lookups are keyed by id(primitive); those ids do
+        # not survive pickling, so ship the tree without them and let the
+        # unpickled copy rebuild lazily
+        state = self.__dict__.copy()
+        state["_packet_primitives"] = None
+        state["_packet_index"] = {}
+        state["_leaf_by_prim"] = None
+        return state
 
     # -- construction ------------------------------------------------------
     def insert(self, primitive: Primitive) -> None:
@@ -116,6 +128,7 @@ class BVH:
         new_leaf = BVHNode(leaf_box, primitive=primitive)
         self.size += 1
         self._packet_primitives = None  # invalidate the packet leaf index
+        self._leaf_by_prim = None
         if self.root is None:
             self.root = new_leaf
             return
@@ -176,6 +189,42 @@ class BVH:
         while node is not None:
             node.box = node.left.box.union(node.right.box)  # type: ignore[union-attr]
             node = node.parent
+
+    def refit(self, primitives: Iterable[Primitive]) -> None:
+        """Re-tighten leaf and ancestor boxes after in-place geometry edits.
+
+        ``primitives`` are objects already stored in this BVH whose shape
+        changed (a sphere moved, a triangle vertex shifted).  The tree
+        *topology* is untouched: every leaf keeps its slot, so
+        :attr:`packet_primitives` order — and with it the exact-``t``
+        tie-break of the packet/flat traversals — is preserved.  Boxes are
+        updated in two phases (all leaf boxes first, then each leaf's
+        root path re-unioned bottom-up), which leaves every ancestor equal
+        to the union of its final children regardless of how moved leaves
+        share ancestors.
+
+        Cost is O(k · depth) for k moved primitives — for the small deltas
+        of an animation frame this is far below the O(n log n) rebuild the
+        mutation path would otherwise pay every frame.
+        """
+        if self.root is None:
+            return
+        leaf_by_prim = self._leaf_by_prim
+        if leaf_by_prim is None:
+            leaf_by_prim = {id(leaf.primitive): leaf for leaf in self.leaves()}
+            self._leaf_by_prim = leaf_by_prim
+        touched: List[BVHNode] = []
+        for primitive in primitives:
+            leaf = leaf_by_prim.get(id(primitive))
+            if leaf is None:
+                raise KeyError(f"{primitive!r} is not stored in this BVH")
+            leaf.box = primitive.bounding_box()
+            touched.append(leaf)
+        for leaf in touched:
+            node = leaf.parent
+            while node is not None:
+                node.box = node.left.box.union(node.right.box)  # type: ignore[union-attr]
+                node = node.parent
 
     # -- queries -------------------------------------------------------------
     def intersect(

@@ -1,0 +1,309 @@
+"""Temporal coherence: per-tile touch capture and dirty-tile planning.
+
+The incremental re-rendering pipeline (PR 10) renders an animation frame by
+re-tracing only the image sections ("tiles" — the farm's horizontal row
+bands) that the frame's scene edits can possibly affect, and re-emitting the
+cached pixels of every other tile.  Correctness rests on a conservative
+dirty test: a tile is re-rendered unless *no* ray traced for it last frame
+could change colour.  Four rules, checked by
+:func:`plan_tiles` against the :class:`TileSummary` captured during the
+tile's last render:
+
+(a) **touched-id intersection** — every primitive whose material was read
+    while shading the tile (primary *and* secondary hits) is in the tile's
+    touched-id set; an edit to any of them dirties the tile.  Since
+    geometry-unchanged edits leave every ray path identical, materials are
+    only ever read at recorded hit points — rule (a) alone makes
+    material-only edits sound.
+(b) **secondary flag** — a tile that spawned any reflection/refraction rays
+    is dirtied by *any* geometry edit: secondary rays roam the whole scene,
+    so no cheap spatial bound applies.
+(c) **frustum projection** — a moved primitive can newly appear to (or
+    vanish from) a tile's *primary* rays only if its old∪new AABB projects
+    into the tile's row band.  The 8 box corners are projected through the
+    camera; perspective projection maps convex hulls to convex hulls, so
+    the corner rows (±1 row of margin) bound the box's image extent.  A
+    corner at or behind the eye plane makes the projection unbounded —
+    everything is dirtied.
+(d) **shadow cones** — shadow rays go from recorded primary hit points to
+    each light.  Hit points are kept as 8 per-column-bucket AABBs; a moved
+    box can affect the tile's shadows only if, seen from some light, its
+    bounding-sphere cone overlaps a bucket's cone *and* it is not entirely
+    farther than the bucket (both tests on old and new boxes, so occluders
+    moving away un-shadow correctly).
+
+Edits with no spatial bound — camera, lights, background, recursion depth,
+add/remove (the BVH rebuild may reorder leaves and flip exact-``t``
+tie-breaks), unbounded-primitive geometry — dirty every tile.  Tiles with
+no summary (never rendered under capture) are always dirty.  The planner
+never *undirties* anything: the worst case degrades to a full re-render,
+keeping output pixel-identical by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.raytracer.mutation import EditEntry, EditOp, GLOBAL_KINDS, STRUCTURAL_KINDS
+
+__all__ = ["TileTouch", "TileSummary", "plan_tiles", "BUCKETS"]
+
+#: number of per-tile column buckets for shadow-region AABBs; full-width row
+#: bands would otherwise collapse into one angularly huge hit region and the
+#: light-cone test (rule d) would dirty almost everything
+BUCKETS = 8
+
+#: absolute inflation applied to old/new AABBs before the dirty tests,
+#: absorbing the tracer's own epsilons (shadow-ray offset 1e-4, t_min 1e-6)
+BOX_EPSILON = 1e-3
+
+
+@dataclass(frozen=True)
+class TileSummary:
+    """Picklable per-tile capture result, stored in the backend tile cache."""
+
+    ids: frozenset
+    bucket_min: np.ndarray  # (BUCKETS, 3) — +inf where the bucket is empty
+    bucket_max: np.ndarray  # (BUCKETS, 3) — -inf where the bucket is empty
+    secondary: bool
+    rays: int
+
+
+class TileTouch:
+    """Mutable capture state attached to a :class:`RayTracer` for one tile.
+
+    The packet and scalar tracing paths call :meth:`note_packet` /
+    :meth:`note_scalar` as they find hits; :meth:`summary` freezes the
+    result.  Capture cost is a set-update and two ``ufunc.at`` calls per
+    packet — negligible next to traversal and shading.
+    """
+
+    __slots__ = ("width", "ids", "secondary", "current_px", "bucket_min", "bucket_max")
+
+    def __init__(self, width: int):
+        self.width = max(1, int(width))
+        self.ids: Set[int] = set()
+        self.secondary = False
+        self.current_px = 0  # scalar path: set by render_rows before trace()
+        self.bucket_min = np.full((BUCKETS, 3), np.inf)
+        self.bucket_max = np.full((BUCKETS, 3), -np.inf)
+
+    def note_packet(
+        self,
+        data: Any,
+        indices: np.ndarray,
+        t: np.ndarray,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        hits: np.ndarray,
+        depth: int,
+    ) -> None:
+        """Record one packet's hits (``hits`` = ray indices with a hit)."""
+        for row in np.unique(indices[hits]):
+            self.ids.add(data.primitives[row].primitive_id)
+        if depth > 0 or hits.size == 0:
+            return
+        # primary packets are full-row blocks, so column = ray index % width
+        points = origins[hits] + t[hits, None] * directions[hits]
+        buckets = (hits % self.width) * BUCKETS // self.width
+        np.minimum.at(self.bucket_min, buckets, points)
+        np.maximum.at(self.bucket_max, buckets, points)
+
+    def note_scalar(self, primitive: Any, point: np.ndarray, depth: int) -> None:
+        """Record one scalar hit (``current_px`` holds the pixel column)."""
+        self.ids.add(primitive.primitive_id)
+        if depth > 0:
+            return
+        bucket = self.current_px * BUCKETS // self.width
+        np.minimum.at(self.bucket_min, bucket, point)
+        np.maximum.at(self.bucket_max, bucket, point)
+
+    def summary(self, rays: int) -> TileSummary:
+        return TileSummary(
+            ids=frozenset(self.ids),
+            bucket_min=self.bucket_min.copy(),
+            bucket_max=self.bucket_max.copy(),
+            secondary=self.secondary,
+            rays=int(rays),
+        )
+
+
+# -- the planner --------------------------------------------------------------
+
+
+def _inflate(box: Tuple[Tuple[float, ...], Tuple[float, ...]]) -> Tuple[np.ndarray, np.ndarray]:
+    minimum = np.asarray(box[0], dtype=np.float64) - BOX_EPSILON
+    maximum = np.asarray(box[1], dtype=np.float64) + BOX_EPSILON
+    return minimum, maximum
+
+
+def _box_rows(camera: Any, minimum: np.ndarray, maximum: np.ndarray) -> Optional[Tuple[int, int]]:
+    """Row range the box's projection can cover, or ``None`` for "all rows".
+
+    Projects the 8 corners; any corner at/behind the eye plane makes the
+    image extent unbounded (``None``).  The returned range carries ±1 row of
+    margin for pixel-centre rounding.
+    """
+    lo = camera.height
+    hi = -1
+    for corner in product(*zip(minimum, maximum)):
+        _, y_ndc, depth = camera.ndc_of_point(np.asarray(corner))
+        if depth <= 1e-9:
+            return None
+        row = camera.row_of_ndc_y(y_ndc)
+        lo = min(lo, row)
+        hi = max(hi, row)
+    return max(0, lo - 1), min(camera.height - 1, hi + 1)
+
+
+def _cones_overlap(
+    light_pos: np.ndarray,
+    hit_min: np.ndarray,
+    hit_max: np.ndarray,
+    box_min: np.ndarray,
+    box_max: np.ndarray,
+) -> bool:
+    """Can ``box`` intersect any segment light→p for p in the hit region?
+
+    Bounding-sphere cones: if a segment from the light to a hit point passes
+    through the box, the direction to the crossing point lies within the
+    box's cone *and* within the hit region's cone (it is the direction to
+    the hit point itself), so the cone axes subtend at most the sum of the
+    half-angles; and the crossing point is no farther than the farthest hit
+    point.  Both conditions are necessary, so testing them is conservative.
+    """
+    hit_center = 0.5 * (hit_min + hit_max)
+    hit_radius = 0.5 * float(np.linalg.norm(hit_max - hit_min))
+    box_center = 0.5 * (box_min + box_max)
+    box_radius = 0.5 * float(np.linalg.norm(box_max - box_min))
+    to_hit = hit_center - light_pos
+    to_box = box_center - light_pos
+    dist_hit = float(np.linalg.norm(to_hit))
+    dist_box = float(np.linalg.norm(to_box))
+    if dist_box <= box_radius + 1e-12 or dist_hit <= hit_radius + 1e-12:
+        return True  # the light sits inside one of the spheres
+    if dist_box - box_radius > dist_hit + hit_radius:
+        return False  # the blocker is entirely beyond every hit point
+    cos_axis = float(np.dot(to_hit, to_box)) / (dist_hit * dist_box)
+    axis_angle = math.acos(min(1.0, max(-1.0, cos_axis)))
+    half_hit = math.asin(min(1.0, hit_radius / dist_hit))
+    half_box = math.asin(min(1.0, box_radius / dist_box))
+    return axis_angle <= half_hit + half_box
+
+
+def _cones_overlap_block(
+    light_pos: np.ndarray,
+    hit_min: np.ndarray,
+    hit_max: np.ndarray,
+    box_centers: np.ndarray,
+    box_radii: np.ndarray,
+) -> bool:
+    """Vectorised :func:`_cones_overlap`: any hit bucket (U) vs any box (B).
+
+    Same maths as the scalar reference, evaluated on a (U, B) grid in a
+    handful of numpy ops — the planner calls this once per (section, light)
+    instead of U*B times per section, which is what keeps planning cost
+    negligible next to the render it saves (a 2000-edit frame over 24
+    sections is ~50k scalar cone tests otherwise).
+    """
+    hit_centers = 0.5 * (hit_min + hit_max)  # (U, 3)
+    hit_radii = 0.5 * np.linalg.norm(hit_max - hit_min, axis=1)  # (U,)
+    to_hit = hit_centers - light_pos  # (U, 3)
+    to_box = box_centers - light_pos  # (B, 3)
+    dist_hit = np.linalg.norm(to_hit, axis=1)  # (U,)
+    dist_box = np.linalg.norm(to_box, axis=1)  # (B,)
+    inside = (dist_box <= box_radii + 1e-12)[None, :] | (
+        dist_hit <= hit_radii + 1e-12
+    )[:, None]
+    if inside.any():
+        return True
+    beyond = (dist_box - box_radii)[None, :] > (dist_hit + hit_radii)[:, None]
+    cos_axis = (to_hit @ to_box.T) / (dist_hit[:, None] * dist_box[None, :])
+    axis_angle = np.arccos(np.clip(cos_axis, -1.0, 1.0))
+    half_hit = np.arcsin(np.clip(hit_radii / dist_hit, 0.0, 1.0))
+    half_box = np.arcsin(np.clip(box_radii / dist_box, 0.0, 1.0))
+    overlap = ~beyond & (axis_angle <= half_hit[:, None] + half_box[None, :])
+    return bool(overlap.any())
+
+
+def plan_tiles(
+    entries: Sequence[EditEntry],
+    summaries: Dict[int, TileSummary],
+    sections: Sequence[Any],
+    lights: Sequence[Any],
+    camera: Any,
+) -> Optional[Set[int]]:
+    """Which section indices must re-render after replaying ``entries``?
+
+    Returns the set of dirty section indices, or ``None`` when everything
+    must re-render (a global edit, a structural edit, an unbounded-geometry
+    edit, or an unbounded projection).  ``summaries`` maps section index to
+    the :class:`TileSummary` captured at the cached frame; sections without
+    one are always dirty.
+    """
+    ops: List[EditOp] = [op for entry in entries for op in entry.ops]
+    if not ops:
+        return set()
+    changed_ids: Set[int] = set()
+    boxes: List[Tuple[np.ndarray, np.ndarray]] = []
+    for op in ops:
+        if op.kind in GLOBAL_KINDS or op.kind in STRUCTURAL_KINDS:
+            return None
+        if op.kind != "update":  # pragma: no cover - no other kinds exist
+            return None
+        changed_ids.add(op.target)
+        if op.geometry:
+            if op.unbounded or op.old_box is None or op.new_box is None:
+                return None
+            boxes.append(_inflate(op.old_box))
+            boxes.append(_inflate(op.new_box))
+
+    # precompute each box's projected row range (rule c)
+    box_rows: List[Optional[Tuple[int, int]]] = []
+    for minimum, maximum in boxes:
+        rows = _box_rows(camera, minimum, maximum)
+        if rows is None:
+            return None  # box reaches the eye plane: projection unbounded
+        box_rows.append(rows)
+    light_positions = [np.asarray(light.position, dtype=np.float64) for light in lights]
+    if boxes:
+        box_centers = np.array([0.5 * (mn + mx) for mn, mx in boxes])
+        box_radii = np.array(
+            [0.5 * float(np.linalg.norm(mx - mn)) for mn, mx in boxes]
+        )
+
+    dirty: Set[int] = set()
+    for section in sections:
+        index = section.index
+        summary = summaries.get(index)
+        if summary is None:
+            dirty.add(index)
+            continue
+        if summary.ids & changed_ids:  # rule (a)
+            dirty.add(index)
+            continue
+        if not boxes:
+            continue  # material-only edits: rule (a) was the whole test
+        if summary.secondary:  # rule (b)
+            dirty.add(index)
+            continue
+        y_lo, y_hi = section.y_start, section.y_end - 1
+        if any(lo <= y_hi and hi >= y_lo for lo, hi in box_rows):  # rule (c)
+            dirty.add(index)
+            continue
+        used = np.isfinite(summary.bucket_min[:, 0])
+        if not used.any():
+            continue  # no primary hits: nothing in the tile casts shadows
+        hit_min = summary.bucket_min[used]
+        hit_max = summary.bucket_max[used]
+        if any(
+            _cones_overlap_block(light_pos, hit_min, hit_max, box_centers, box_radii)
+            for light_pos in light_positions  # rule (d)
+        ):
+            dirty.add(index)
+    return dirty

@@ -35,7 +35,11 @@ beside :class:`~repro.raytracer.packet.ScenePacketData` and applies the
 same three staleness rules (rebuilt index object, in-place ``BVH.insert``,
 grown brute-force list); :meth:`Scene.invalidate_packet_cache` drops both
 caches explicitly (in-place ``Material`` mutation is invisible to the
-staleness checks).
+staleness checks).  Edits committed through the mutation journal
+(:meth:`Scene.begin_edit`) need no manual invalidation: ``commit()`` drops
+``_flat_index`` after every geometry edit (the node BVH is refit in place,
+which the staleness rules cannot see) and ``_packet_data`` after material
+edits — the next render recompiles from the refit tree.
 """
 
 from __future__ import annotations

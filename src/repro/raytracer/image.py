@@ -50,6 +50,10 @@ class ImageChunk:
     pixels: np.ndarray  # shape (rows, width, 3), float64 in [0, 1]
     section_id: int = 0
     rays_cast: int = 0
+    #: optional :class:`~repro.raytracer.coherence.TileSummary` captured
+    #: while rendering (incremental mode); rides along so the coordinating
+    #: backend can seed the next frame's dirty-tile plan
+    summary: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.pixels = np.asarray(self.pixels, dtype=np.float64)
@@ -95,6 +99,9 @@ class FrameChunkRef:
     width: int
     section_id: int = 0
     rays_cast: int = 0
+    #: optional :class:`~repro.raytracer.coherence.TileSummary` (see
+    #: :attr:`ImageChunk.summary`); small frozen metadata, not pixels
+    summary: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.y_start < 0 or self.rows < 0:

@@ -1,0 +1,584 @@
+"""Scene mutation journal: explicit edits, cheap epochs, incremental hashing.
+
+Scenes used to be immutable job payloads — the S-Net purity contract — and
+the warm :class:`~repro.apps.service.RenderService` keyed its slots by a
+full-scene content hash.  Animation through that door meant rebuilding a
+content-twin :class:`~repro.raytracer.scene.Scene` per keyframe, which
+throws away exactly the information an incremental renderer needs: *what
+changed*.
+
+This module makes mutation explicit instead of forbidden:
+
+* :meth:`Scene.begin_edit() <repro.raytracer.scene.Scene.begin_edit>`
+  returns a :class:`SceneEditor`; edits are staged and applied atomically on
+  :meth:`SceneEditor.commit`, which
+
+  - mutates the scene in place (with per-primitive attribute whitelists and
+    the same dtype conversions the constructors perform),
+  - refits the BVH for moved bounded primitives (leaf order preserved — see
+    :meth:`BVH.refit <repro.raytracer.bvh.BVH.refit>` — so packet/flat
+    traversal tie-breaks cannot flip),
+  - drops exactly the derived caches the edit invalidates (flat-BVH on
+    geometry, packet material arrays on material, the whole index on
+    add/remove),
+  - updates the memoised :func:`scene_content_key` in **O(changed objects)**
+    — per-object digests are cached, only touched objects are re-hashed —
+  - bumps ``scene.edit_epoch`` and records an :class:`EditEntry` in the
+    scene's :class:`MutationJournal`.
+
+* Workers that hold a stale fork-shared copy of the scene replay the journal
+  with :func:`apply_edits` — application is idempotent (epoch-gated), so a
+  worker may receive the same entries many times (once per dirty section).
+
+The journal is the ground truth for the dirty-tile planner in
+:mod:`repro.raytracer.coherence` and for the incremental
+``scene_content_key`` satellite; both are pinned against from-scratch
+recomputation by ``tests/raytracer/test_mutation.py``.
+
+>>> from repro.raytracer.scene import Scene, Light
+>>> from repro.raytracer.geometry.primitives import Sphere
+>>> from repro.raytracer.materials import Material
+>>> from repro.raytracer.vec import vec3
+>>> s = Sphere(vec3(0, 0, -5), 1.0)
+>>> scene = Scene([s], [Light(vec3(0, 4, 0))])
+>>> key0 = scene_content_key(scene)
+>>> edit = scene.begin_edit()
+>>> edit.update(s, center=vec3(0.5, 0.0, -5.0))
+>>> scene.edit_epoch == 0  # nothing applied until commit
+True
+>>> epoch = edit.commit()
+>>> epoch, scene.edit_epoch
+(1, 1)
+>>> scene_content_key(scene) != key0  # key tracks the edit incrementally
+True
+>>> len(scene.journal.entries_since(0)[0].ops)
+1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.raytracer.bvh import BVH
+from repro.raytracer.geometry.primitives import Plane, Primitive, Sphere, Triangle
+from repro.raytracer.materials import Material
+from repro.raytracer.vec import cross, normalize
+
+__all__ = [
+    "EditOp",
+    "EditEntry",
+    "MutationJournal",
+    "SceneEditor",
+    "apply_edits",
+    "scene_content_key",
+]
+
+
+# -- scene content hashing ----------------------------------------------------
+#
+# Moved here from repro.apps.service so the incremental update (commit-time
+# digest maintenance) and the from-scratch definition live side by side; the
+# service re-exports :func:`scene_content_key` unchanged.
+
+_KEY_ATTR = "_repro_content_key"
+_DIGEST_ATTR = "_repro_digest_map"
+_SETTINGS_ATTR = "_repro_settings_digest"
+
+
+def _canonical(value: Any) -> Any:
+    """A picklable, content-deterministic description of one scene value.
+
+    NumPy arrays hash by shape/dtype/bytes; objects with a ``__dict__``
+    (primitives, materials, lights, cameras) hash by their sorted attributes
+    with the global ``primitive_id`` counter excluded — two scenes built from
+    the same description must produce the same key even though their
+    primitive ids differ.
+    """
+    if isinstance(value, np.ndarray):
+        return ("nd", value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, (type(None), bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, Material) or hasattr(value, "__dict__"):
+        attrs = {
+            name: attr
+            for name, attr in vars(value).items()
+            if name != "primitive_id" and not name.startswith("_")
+        }
+        return (
+            type(value).__name__,
+            tuple((name, _canonical(attr)) for name, attr in sorted(attrs.items())),
+        )
+    return repr(value)
+
+
+def _object_digest(obj: Any) -> bytes:
+    """32-byte content digest of one primitive (geometry + material)."""
+    return hashlib.sha256(pickle.dumps(_canonical(obj), protocol=5)).digest()
+
+
+def _settings_digest(scene: Any) -> bytes:
+    """Digest of everything outside the object list that shapes the image."""
+    description = (
+        tuple(_canonical(light) for light in scene.lights),
+        _canonical(scene.background),
+        scene.max_ray_depth,
+        scene.use_bvh,
+        _canonical(getattr(scene, "camera", None)),
+    )
+    return hashlib.sha256(pickle.dumps(description, protocol=5)).digest()
+
+
+def _digest_map(scene: Any) -> Dict[int, bytes]:
+    """Per-object digest cache keyed by ``primitive_id`` (built on demand).
+
+    A length mismatch (an ``add`` outside the editor) rebuilds the map; edits
+    through :class:`SceneEditor` keep it current in O(changed objects).
+    """
+    cached = getattr(scene, _DIGEST_ATTR, None)
+    if cached is None or len(cached) != len(scene.objects):
+        cached = {obj.primitive_id: _object_digest(obj) for obj in scene.objects}
+        setattr(scene, _DIGEST_ATTR, cached)
+    return cached
+
+
+def _combine_key(scene: Any) -> str:
+    """Fold the cached digests into the 16-hex-char scene key (no re-hash)."""
+    digests = _digest_map(scene)
+    settings = getattr(scene, _SETTINGS_ATTR, None)
+    if settings is None:
+        settings = _settings_digest(scene)
+        setattr(scene, _SETTINGS_ATTR, settings)
+    blob = b"".join(digests[obj.primitive_id] for obj in scene.objects) + settings
+    key = hashlib.sha256(blob).hexdigest()[:16]
+    setattr(scene, _KEY_ATTR, key)
+    return key
+
+
+def scene_content_key(scene: Any) -> str:
+    """Content hash of a scene: equal for content-identical scene objects.
+
+    The key covers everything that determines the rendered image — objects
+    (geometry + material), lights, background, recursion depth, camera and
+    the acceleration-structure choice — and deliberately excludes derived
+    state (the lazily built BVH) and the process-global ``primitive_id``
+    counters.
+
+    The key is memoised on the scene object.  Mutating a scene through
+    :meth:`Scene.begin_edit <repro.raytracer.scene.Scene.begin_edit>`
+    updates the memo incrementally in O(changed objects): per-object digests
+    are cached and only edited objects are re-canonicalised; ad-hoc mutation
+    outside the editor remains unsupported (the memo would go stale).
+
+    >>> from repro.raytracer.scene import random_scene
+    >>> a, b = random_scene(num_spheres=3), random_scene(num_spheres=3)
+    >>> a is not b and scene_content_key(a) == scene_content_key(b)
+    True
+    >>> scene_content_key(random_scene(num_spheres=4)) == scene_content_key(a)
+    False
+    """
+    cached = getattr(scene, _KEY_ATTR, None)
+    if cached is not None:
+        return cached
+    return _combine_key(scene)
+
+
+def invalidate_content_key(scene: Any, *, settings: bool = False) -> None:
+    """Drop the memoised key (and optionally the settings digest)."""
+    scene.__dict__.pop(_KEY_ATTR, None)
+    if settings:
+        scene.__dict__.pop(_SETTINGS_ATTR, None)
+
+
+# -- the journal --------------------------------------------------------------
+
+#: ops that invalidate every tile regardless of geometry (see coherence.py)
+GLOBAL_KINDS = frozenset({"light", "camera", "background", "max_ray_depth"})
+#: ops that change the object list (BVH rebuild — leaf order may change)
+STRUCTURAL_KINDS = frozenset({"add", "remove"})
+
+#: per-type geometry attribute whitelists (material is allowed everywhere)
+_GEOMETRY_ATTRS = {
+    Sphere: frozenset({"center", "radius"}),
+    Triangle: frozenset({"v0", "v1", "v2"}),
+    Plane: frozenset({"point", "normal"}),
+}
+_VECTOR_ATTRS = frozenset({"center", "point", "normal", "v0", "v1", "v2"})
+_LIGHT_ATTRS = frozenset({"position", "color", "intensity"})
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One applied delta.  Picklable and self-contained for worker replay.
+
+    ``kind``:
+
+    * ``"update"`` — primitive attribute changes (``target`` = primitive_id,
+      ``attrs`` = (name, value) pairs).  ``geometry`` marks shape changes;
+      for bounded geometry the pre/post AABBs are captured (as
+      ``((min…), (max…))`` tuples) for the dirty-tile planner.
+    * ``"add"`` / ``"remove"`` — object-list changes (``payload`` carries the
+      added primitive; ``target`` names the removed one).
+    * ``"light"`` — light attribute changes (``target`` = light index).
+    * ``"camera"`` / ``"background"`` / ``"max_ray_depth"`` — global settings
+      (``payload`` carries the new value).
+    """
+
+    kind: str
+    target: Optional[int] = None
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+    payload: Any = None
+    geometry: bool = False
+    unbounded: bool = False
+    old_box: Optional[Tuple[Tuple[float, ...], Tuple[float, ...]]] = None
+    new_box: Optional[Tuple[Tuple[float, ...], Tuple[float, ...]]] = None
+
+
+@dataclass(frozen=True)
+class EditEntry:
+    """All ops of one ``commit()``, stamped with the epoch it produced."""
+
+    epoch: int
+    ops: Tuple[EditOp, ...]
+
+
+class MutationJournal:
+    """Bounded log of :class:`EditEntry` objects, ordered by epoch.
+
+    ``entries_since(epoch)`` returns the entries a reader at ``epoch`` must
+    replay to catch up — or ``None`` when the bounded log no longer reaches
+    back that far (the reader must resynchronise from scratch).
+
+    >>> j = MutationJournal(capacity=2)
+    >>> for e in range(1, 4):
+    ...     j.record(EditEntry(e, ()))
+    >>> [entry.epoch for entry in j.entries_since(1)]
+    [2, 3]
+    >>> j.entries_since(0) is None  # epoch-1 entry fell off the log
+    True
+    >>> j.entries_since(3)
+    []
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("journal capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[EditEntry] = deque(maxlen=capacity)
+
+    def record(self, entry: EditEntry) -> None:
+        if self._entries and entry.epoch <= self._entries[-1].epoch:
+            raise ValueError(
+                f"journal epochs must increase: got {entry.epoch} after "
+                f"{self._entries[-1].epoch}"
+            )
+        self._entries.append(entry)
+
+    @property
+    def latest_epoch(self) -> int:
+        return self._entries[-1].epoch if self._entries else 0
+
+    def entries_since(self, epoch: int) -> Optional[List[EditEntry]]:
+        entries = [entry for entry in self._entries if entry.epoch > epoch]
+        if entries and entries[0].epoch != epoch + 1:
+            return None  # the log has been trimmed past the reader's epoch
+        if not entries and self._entries and self._entries[-1].epoch > epoch:
+            return None  # reader is behind but everything newer was trimmed
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# -- applying ops -------------------------------------------------------------
+
+
+def _prims_by_id(scene: Any) -> Dict[int, Primitive]:
+    cached = getattr(scene, "_repro_prims_by_id", None)
+    if cached is None or len(cached) != len(scene.objects):
+        cached = {obj.primitive_id: obj for obj in scene.objects}
+        scene._repro_prims_by_id = cached
+    return cached
+
+
+def _coerce(prim: Primitive, name: str, value: Any) -> Any:
+    if name in _VECTOR_ATTRS:
+        value = np.asarray(value, dtype=np.float64)
+        if name == "normal":
+            value = normalize(value)
+        return value
+    if name == "radius":
+        value = float(value)
+        if value <= 0.0:
+            raise ValueError("sphere radius must be positive")
+        return value
+    if name == "material":
+        if not isinstance(value, Material):
+            raise TypeError(f"material must be a Material, got {type(value).__name__}")
+        return value
+    raise ValueError(f"{type(prim).__name__} has no editable attribute {name!r}")
+
+
+def _apply_update(prim: Primitive, attrs: Sequence[Tuple[str, Any]]) -> None:
+    for name, value in attrs:
+        setattr(prim, name, _coerce(prim, name, value))
+    if isinstance(prim, Triangle) and any(n in ("v0", "v1", "v2") for n, _ in attrs):
+        prim._normal = normalize(cross(prim.v1 - prim.v0, prim.v2 - prim.v0))
+
+
+def _apply_ops(scene: Any, ops: Sequence[EditOp]) -> Dict[str, bool]:
+    """Mutate ``scene`` per ``ops``; return which cache classes were hit.
+
+    Shared by the committing editor (parent process) and by worker replay
+    (:func:`apply_edits`): both sides must land on byte-identical scene
+    state, so every conversion lives here.
+    """
+    flags = {"geometry": False, "material": False, "structural": False, "settings": False}
+    prims = _prims_by_id(scene)
+    for op in ops:
+        if op.kind == "update":
+            prim = prims.get(op.target)
+            if prim is None:
+                raise KeyError(f"unknown primitive id {op.target} in edit op")
+            _apply_update(prim, op.attrs)
+            if op.geometry:
+                flags["geometry"] = True
+            else:
+                flags["material"] = True
+        elif op.kind == "add":
+            scene.objects.append(op.payload)
+            prims[op.payload.primitive_id] = op.payload
+            flags["structural"] = True
+        elif op.kind == "remove":
+            prim = prims.pop(op.target, None)
+            if prim is None:
+                raise KeyError(f"unknown primitive id {op.target} in remove op")
+            scene.objects.remove(prim)
+            flags["structural"] = True
+        elif op.kind == "light":
+            light = scene.lights[op.target]
+            for name, value in op.attrs:
+                if name not in _LIGHT_ATTRS:
+                    raise ValueError(f"Light has no editable attribute {name!r}")
+                if name == "intensity":
+                    setattr(light, name, float(value))
+                else:
+                    setattr(light, name, np.asarray(value, dtype=np.float64))
+            flags["settings"] = True
+        elif op.kind == "camera":
+            scene.camera = op.payload
+            flags["settings"] = True
+        elif op.kind == "background":
+            scene.background = np.asarray(op.payload, dtype=np.float64)
+            flags["settings"] = True
+        elif op.kind == "max_ray_depth":
+            scene.max_ray_depth = int(op.payload)
+            flags["settings"] = True
+        else:  # pragma: no cover - guarded by SceneEditor
+            raise ValueError(f"unknown edit op kind {op.kind!r}")
+    return flags
+
+
+def _invalidate_caches(scene: Any, flags: Dict[str, bool], ops: Sequence[EditOp]) -> None:
+    """Drop exactly the derived state the applied ops made stale."""
+    if flags["structural"]:
+        scene._index = None  # full rebuild (leaf order may change)
+        scene._packet_data = None
+        scene._flat_index = None
+        digests = getattr(scene, _DIGEST_ATTR, None)
+        if digests is not None:
+            for op in ops:
+                if op.kind == "add":
+                    digests[op.payload.primitive_id] = _object_digest(op.payload)
+                elif op.kind == "remove":
+                    digests.pop(op.target, None)
+    if flags["geometry"]:
+        # moved bounded primitives refit in place (leaf order preserved);
+        # the compiled flat BVH holds SoA geometry copies, so it must go
+        scene._flat_index = None
+        if not flags["structural"] and isinstance(scene._index, BVH):
+            prims = _prims_by_id(scene)
+            moved = [
+                prims[op.target]
+                for op in ops
+                if op.kind == "update" and op.geometry and not op.unbounded
+            ]
+            if moved:
+                scene._index.refit(moved)
+    if flags["material"]:
+        scene._packet_data = None  # packet material arrays are stale
+    if flags["geometry"] or flags["material"]:
+        digests = getattr(scene, _DIGEST_ATTR, None)
+        if digests is not None:
+            prims = _prims_by_id(scene)
+            for op in ops:
+                if op.kind == "update":
+                    digests[op.target] = _object_digest(prims[op.target])
+    invalidate_content_key(scene, settings=flags["settings"])
+
+
+def apply_edits(scene: Any, entries: Sequence[EditEntry]) -> int:
+    """Replay journal entries onto a (possibly stale) scene copy.
+
+    Idempotent: entries at or below ``scene.edit_epoch`` are skipped, so a
+    forked worker may receive the same entries once per dirty section and
+    apply them exactly once.  Returns the number of entries applied.
+    """
+    applied = 0
+    for entry in sorted(entries, key=lambda e: e.epoch):
+        if entry.epoch <= getattr(scene, "edit_epoch", 0):
+            continue
+        flags = _apply_ops(scene, entry.ops)
+        _invalidate_caches(scene, flags, entry.ops)
+        scene.edit_epoch = entry.epoch
+        applied += 1
+    return applied
+
+
+# -- the editor ---------------------------------------------------------------
+
+
+class SceneEditor:
+    """Staged scene edits, applied atomically by :meth:`commit`.
+
+    Obtained from :meth:`Scene.begin_edit
+    <repro.raytracer.scene.Scene.begin_edit>`.  Every mutator validates
+    eagerly (unknown attributes, bad radii, foreign primitives raise at call
+    time), but nothing touches the scene until :meth:`commit` — an aborted
+    editor leaves the scene byte-identical.
+    """
+
+    def __init__(self, scene: Any):
+        self._scene = scene
+        self._intents: List[EditOp] = []
+        self._active = True
+
+    # -- staging -----------------------------------------------------------
+    def _check_active(self) -> None:
+        if not self._active:
+            raise RuntimeError("editor already committed or aborted")
+
+    def update(self, primitive: Primitive, **attrs: Any) -> None:
+        """Stage attribute changes on one primitive already in the scene."""
+        self._check_active()
+        if not attrs:
+            raise ValueError("update() needs at least one attribute")
+        if primitive.primitive_id not in _prims_by_id(self._scene):
+            raise KeyError("primitive is not part of this scene")
+        allowed = _GEOMETRY_ATTRS.get(type(primitive), frozenset())
+        geometry = False
+        for name, value in attrs.items():
+            if name in allowed:
+                geometry = True
+                _coerce(primitive, name, value)  # validate only
+            elif name != "material":
+                raise ValueError(
+                    f"{type(primitive).__name__} has no editable attribute {name!r}"
+                )
+            else:
+                _coerce(primitive, name, value)
+        self._intents.append(
+            EditOp(
+                kind="update",
+                target=primitive.primitive_id,
+                attrs=tuple(sorted(attrs.items())),
+                geometry=geometry,
+                unbounded=not primitive.is_bounded,
+            )
+        )
+
+    def add(self, primitive: Primitive) -> None:
+        """Stage adding a new primitive (dirties every tile: BVH rebuild)."""
+        self._check_active()
+        if not isinstance(primitive, Primitive):
+            raise TypeError("add() takes a Primitive")
+        self._intents.append(EditOp(kind="add", payload=primitive))
+
+    def remove(self, primitive: Primitive) -> None:
+        """Stage removing a primitive (dirties every tile: BVH rebuild)."""
+        self._check_active()
+        if primitive.primitive_id not in _prims_by_id(self._scene):
+            raise KeyError("primitive is not part of this scene")
+        self._intents.append(EditOp(kind="remove", target=primitive.primitive_id))
+
+    def set_light(self, index: int, **attrs: Any) -> None:
+        """Stage light changes (position/color/intensity); dirties everything."""
+        self._check_active()
+        if not 0 <= index < len(self._scene.lights):
+            raise IndexError(f"light index {index} out of range")
+        if not attrs:
+            raise ValueError("set_light() needs at least one attribute")
+        for name in attrs:
+            if name not in _LIGHT_ATTRS:
+                raise ValueError(f"Light has no editable attribute {name!r}")
+        self._intents.append(
+            EditOp(kind="light", target=index, attrs=tuple(sorted(attrs.items())))
+        )
+
+    def set_camera(self, camera: Any) -> None:
+        """Stage a camera change; dirties everything."""
+        self._check_active()
+        self._intents.append(EditOp(kind="camera", payload=camera))
+
+    def set_background(self, color: Any) -> None:
+        self._check_active()
+        self._intents.append(EditOp(kind="background", payload=color))
+
+    def set_max_ray_depth(self, depth: int) -> None:
+        self._check_active()
+        if int(depth) < 0:
+            raise ValueError("max_ray_depth must be >= 0")
+        self._intents.append(EditOp(kind="max_ray_depth", payload=int(depth)))
+
+    # -- terminal ----------------------------------------------------------
+    def abort(self) -> None:
+        """Discard every staged intent; the scene is untouched."""
+        self._check_active()
+        self._active = False
+        self._intents = []
+
+    def commit(self) -> int:
+        """Apply all staged edits atomically; returns the new edit epoch.
+
+        Captures pre/post AABBs for moved bounded primitives (the dirty-tile
+        planner's expansion test), refits/rebuilds the acceleration index,
+        updates the content-key memo in O(changed objects) and appends one
+        :class:`EditEntry` to ``scene.journal``.
+        """
+        self._check_active()
+        self._active = False
+        scene = self._scene
+        if not self._intents:
+            return scene.edit_epoch
+        prims = _prims_by_id(scene)
+        # capture pre-edit boxes for bounded geometry updates
+        old_boxes: Dict[int, Tuple] = {}
+        for op in self._intents:
+            if op.kind == "update" and op.geometry and not op.unbounded:
+                box = prims[op.target].bounding_box()
+                old_boxes[op.target] = (tuple(box.minimum), tuple(box.maximum))
+        flags = _apply_ops(scene, self._intents)
+        ops: List[EditOp] = []
+        for op in self._intents:
+            if op.target in old_boxes and op.kind == "update":
+                box = prims[op.target].bounding_box()
+                op = replace(
+                    op,
+                    old_box=old_boxes[op.target],
+                    new_box=(tuple(box.minimum), tuple(box.maximum)),
+                )
+            ops.append(op)
+        _invalidate_caches(scene, flags, ops)
+        scene.edit_epoch += 1
+        if scene.journal is None:
+            scene.journal = MutationJournal()
+        scene.journal.record(EditEntry(scene.edit_epoch, tuple(ops)))
+        self._intents = []
+        return scene.edit_epoch

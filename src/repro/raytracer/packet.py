@@ -184,11 +184,18 @@ def trace_packet(
     if depth >= scene.max_ray_depth:
         return colors
     tracer.rays_cast += n
+    touch = getattr(tracer, "touch", None)
+    if touch is not None and depth > 0:
+        # the tile spawned secondary rays that were actually traced: any
+        # geometry edit can change what they hit (set even when all miss)
+        touch.secondary = True
     data = scene_packet_data(scene)
     indices, t = cast_packet(
         scene, origins, directions, index=getattr(tracer, "_traversal_index", None)
     )
     hits = (indices >= 0).nonzero()[0]
+    if touch is not None and hits.size:
+        touch.note_packet(data, indices, t, origins, directions, hits, depth)
     if hits.size == 0:
         return colors
     from repro.raytracer.shading import shade_block

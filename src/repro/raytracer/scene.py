@@ -49,6 +49,7 @@ class Scene:
         background: Optional[Vector] = None,
         max_ray_depth: int = 4,
         use_bvh: bool = True,
+        camera: Optional[Camera] = None,
     ):
         self.objects: List[Primitive] = list(objects)
         self.lights: List[Light] = list(lights)
@@ -59,6 +60,18 @@ class Scene:
         )
         self.max_ray_depth = max_ray_depth
         self.use_bvh = use_bvh
+        #: optional scene-owned camera; ``None`` keeps the render backend's
+        #: default viewing geometry (the pre-edit-API behaviour).  Backends
+        #: adapt it to their frame resolution via ``Camera.with_resolution``.
+        self.camera = camera
+        #: monotonically increasing edit counter, bumped by
+        #: :meth:`SceneEditor.commit <repro.raytracer.mutation.SceneEditor.commit>`.
+        #: ``0`` means "never edited" — incremental render machinery stays
+        #: inert for such scenes, preserving exact legacy behaviour.
+        self.edit_epoch = 0
+        #: the bounded :class:`~repro.raytracer.mutation.MutationJournal`
+        #: created on the first committed edit (``None`` until then).
+        self.journal = None
         self._index: Optional[Union[BVH, BruteForceIndex]] = None
         self._unbounded: List[Primitive] = []
 
@@ -66,6 +79,7 @@ class Scene:
     def add(self, primitive: Primitive) -> None:
         self.objects.append(primitive)
         self._index = None  # invalidate
+        self.__dict__.pop("_repro_content_key", None)  # content-key memo
 
     def invalidate_packet_cache(self) -> None:
         """Drop the cached packet material arrays and the compiled flat BVH.
@@ -86,6 +100,22 @@ class Scene:
 
     def add_light(self, light: Light) -> None:
         self.lights.append(light)
+        # lights live in the settings digest of the content key
+        self.__dict__.pop("_repro_content_key", None)
+        self.__dict__.pop("_repro_settings_digest", None)
+
+    def begin_edit(self) -> "SceneEditor":
+        """Open a staged edit transaction (see :mod:`repro.raytracer.mutation`).
+
+        Returns a :class:`~repro.raytracer.mutation.SceneEditor`; call
+        ``commit()`` to apply the staged deltas atomically (bumping
+        :attr:`edit_epoch`, refitting the BVH, updating the memoised content
+        key incrementally and journaling the deltas for forked workers) or
+        ``abort()`` to discard them.
+        """
+        from repro.raytracer.mutation import SceneEditor
+
+        return SceneEditor(self)
 
     def build_index(self) -> Union[BVH, BruteForceIndex]:
         """(Re)build the acceleration structure; called lazily by the tracer."""

@@ -124,6 +124,11 @@ class RayTracer:
         #: traversal structure used by the packet kernels instead of
         #: ``scene.index`` when set (the fused path installs the flat BVH)
         self._traversal_index = None
+        #: optional :class:`~repro.raytracer.coherence.TileTouch` capture
+        #: sink; when set, every tracing path records the primitive ids it
+        #: hits (plus primary hit regions and a spawned-secondary-rays flag)
+        #: for the incremental renderer's dirty-tile planner
+        self.touch = None
 
     # -- Algorithm 2, step "Cast" -------------------------------------------
     def cast(self, ray: Ray) -> Optional[Hit]:
@@ -154,9 +159,13 @@ class RayTracer:
         """Follow ``ray`` and return its colour contribution."""
         if ray.depth >= self.scene.max_ray_depth:
             return self.scene.background
+        if self.touch is not None and ray.depth > 0:
+            self.touch.secondary = True
         hit = self.cast(ray)
         if hit is None:
             return self.scene.background
+        if self.touch is not None:
+            self.touch.note_scalar(hit.primitive, hit.point, ray.depth)
         return shade(self, hit, ray)
 
     # -- Algorithm 1 ------------------------------------------------------------
@@ -169,8 +178,11 @@ class RayTracer:
             )
         rows = y_end - y_start
         pixels = np.zeros((rows, self.camera.width, 3), dtype=np.float64)
+        touch = self.touch
         for local_y, py in enumerate(range(y_start, y_end)):
             for px in range(self.camera.width):
+                if touch is not None:
+                    touch.current_px = px
                 ray = self.camera.primary_ray(px, py)
                 pixels[local_y, px] = self.trace(ray)
         return pixels
@@ -296,6 +308,7 @@ def render_section(
     y_end: int,
     section_id: int = 0,
     mode: str = "scalar",
+    touch: bool = False,
 ) -> ImageChunk:
     """Render one horizontal section and wrap it as an :class:`ImageChunk`.
 
@@ -303,9 +316,19 @@ def render_section(
     section record.  The returned chunk carries the number of rays the
     section cost, so the merger side can account rays even when the solver
     ran in another process.
+
+    With ``touch=True`` the tracer records which primitives the section's
+    rays touched (see :class:`~repro.raytracer.coherence.TileTouch`) and the
+    chunk carries the frozen
+    :class:`~repro.raytracer.coherence.TileSummary` on ``chunk.summary`` —
+    the input of the next frame's dirty-tile planner.
     """
     check_render_mode(mode)
     tracer = RayTracer(scene, camera)
+    if touch:
+        from repro.raytracer.coherence import TileTouch
+
+        tracer.touch = TileTouch(camera.width)
     if mode == "packet":
         pixels = tracer.render_rows_packet(y_start, y_end)
     elif mode == "fused":
@@ -317,4 +340,5 @@ def render_section(
         pixels=pixels,
         section_id=section_id,
         rays_cast=int(tracer.rays_cast),
+        summary=tracer.touch.summary(tracer.rays_cast) if touch else None,
     )

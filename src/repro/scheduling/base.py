@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
-__all__ = ["Section", "Scheduler", "validate_sections"]
+__all__ = ["Section", "EditedSection", "Scheduler", "validate_sections"]
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,26 @@ class Section:
     def payload_size(self) -> int:
         """Wire size of a section descriptor (a few integers)."""
         return 32
+
+
+@dataclass(frozen=True)
+class EditedSection(Section):
+    """A dirty section carrying the scene edits its worker must replay first.
+
+    The incremental splitter attaches the journal entries a forked worker's
+    stale fork-shared scene copy is missing (threaded workers share the
+    already-edited object, so they receive ``edits=()``).  Replay is
+    idempotent (epoch-gated, see
+    :func:`repro.raytracer.mutation.apply_edits`), so every dirty section of
+    one frame can carry the same entries.
+    """
+
+    #: :class:`repro.raytracer.mutation.EditEntry` tuple to replay
+    edits: Tuple = ()
+
+    def payload_size(self) -> int:
+        """Descriptor plus a rough 96 bytes per shipped edit op."""
+        return 32 + 96 * sum(len(entry.ops) for entry in self.edits)
 
 
 class Scheduler:

@@ -89,10 +89,13 @@ def test_cache_keys_by_content_not_identity(service):
 
 
 def test_animation_loop_replays_warm(service):
-    frames = animation_scenes(3, num_spheres=5)
+    # rebuild=True: fresh content-twin scenes per pass, exercising the scene
+    # cache (the in-place AnimationSequence path is pinned by
+    # tests/apps/test_incremental_pixels.py instead)
+    frames = animation_scenes(3, num_spheres=5, rebuild=True)
     for frame in frames:  # first pass: every keyframe builds cold
         assert not service.render(RenderJob(frame, tasks=2), timeout=60.0).warm
-    for frame in animation_scenes(3, num_spheres=5):  # replay: fresh objects
+    for frame in animation_scenes(3, num_spheres=5, rebuild=True):
         assert service.render(RenderJob(frame, tasks=2), timeout=60.0).warm
     metrics = service.metrics()
     assert metrics.cold_builds == 3 and metrics.warm_hits == 3

@@ -1,0 +1,320 @@
+"""Mutation journal tests: incremental content key, refit, editor contract.
+
+The three invariants PR 10 rides on:
+
+* the **incrementally maintained** content key (per-object digest cache
+  updated at commit time) always equals the **from-scratch** key of the
+  same scene state — pinned for arbitrary random edit sequences;
+* ``BVH.refit`` preserves tree topology and leaf order while keeping every
+  node box a superset of its children, so packet/flat traversal tie-breaks
+  cannot flip and intersections match a freshly built tree;
+* journal replay (:func:`apply_edits`) is idempotent and lands a stale
+  fork-copy of the scene on byte-identical state.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.raytracer.bvh import BVH
+from repro.raytracer.coherence import _cones_overlap, _cones_overlap_block
+from repro.raytracer.geometry.primitives import Sphere, Triangle
+from repro.raytracer.materials import Material
+from repro.raytracer.mutation import (
+    EditEntry,
+    MutationJournal,
+    apply_edits,
+    scene_content_key,
+)
+from repro.raytracer.scene import Light, Scene, random_scene
+from repro.raytracer.tracer import RayTracer
+from repro.raytracer.vec import vec3
+
+_MEMO_ATTRS = (
+    "_repro_content_key",
+    "_repro_digest_map",
+    "_repro_settings_digest",
+    "_repro_prims_by_id",
+)
+
+
+def from_scratch_key(scene):
+    """The content key recomputed with every memo dropped."""
+    saved = {}
+    for attr in _MEMO_ATTRS:
+        if attr in scene.__dict__:
+            saved[attr] = scene.__dict__.pop(attr)
+    try:
+        return scene_content_key(scene)
+    finally:
+        for attr in _MEMO_ATTRS:
+            scene.__dict__.pop(attr, None)
+        scene.__dict__.update(saved)
+
+
+def small_scene(num_spheres=6, seed=3):
+    return random_scene(num_spheres=num_spheres, clustering=0.4, seed=seed)
+
+
+# -- incremental content key --------------------------------------------------
+class TestIncrementalContentKey:
+    def test_single_move_matches_from_scratch(self):
+        scene = small_scene()
+        sphere = scene.bounded_objects[0]
+        edit = scene.begin_edit()
+        edit.update(sphere, center=vec3(0.3, 0.1, -4.0))
+        edit.commit()
+        assert scene_content_key(scene) == from_scratch_key(scene)
+
+    def test_key_matches_content_twin_after_edits(self):
+        # editing scene A into the shape of scene B yields B's key
+        a = Scene([Sphere(vec3(0, 0, -5), 1.0)], [Light(vec3(0, 4, 0))])
+        b = Scene([Sphere(vec3(1, 0, -5), 2.0)], [Light(vec3(0, 4, 0))])
+        edit = a.begin_edit()
+        edit.update(a.objects[0], center=vec3(1, 0, -5), radius=2.0)
+        edit.commit()
+        assert scene_content_key(a) == scene_content_key(b)
+
+    def test_material_and_settings_edits_update_key(self):
+        scene = small_scene()
+        keys = {scene_content_key(scene)}
+        edit = scene.begin_edit()
+        edit.update(scene.bounded_objects[1], material=Material.mirror(0.7))
+        edit.commit()
+        keys.add(scene_content_key(scene))
+        edit = scene.begin_edit()
+        edit.set_light(0, intensity=0.4)
+        edit.commit()
+        keys.add(scene_content_key(scene))
+        edit = scene.begin_edit()
+        edit.set_background(vec3(0.2, 0.2, 0.2))
+        edit.commit()
+        keys.add(scene_content_key(scene))
+        assert len(keys) == 4  # every edit changed the key...
+        assert scene_content_key(scene) == from_scratch_key(scene)  # ...correctly
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_edit_sequences_match_from_scratch(self, data):
+        scene = small_scene(num_spheres=5, seed=11)
+        n_edits = data.draw(st.integers(min_value=1, max_value=6))
+        for _ in range(n_edits):
+            edit = scene.begin_edit()
+            spheres = [o for o in scene.bounded_objects if isinstance(o, Sphere)]
+            kind = data.draw(
+                st.sampled_from(["move", "recolor", "add", "remove", "light"])
+            )
+            if kind == "move" and spheres:
+                target = data.draw(st.sampled_from(spheres))
+                delta = data.draw(
+                    st.tuples(*[st.floats(-1.0, 1.0) for _ in range(3)])
+                )
+                edit.update(target, center=target.center + np.asarray(delta))
+            elif kind == "recolor" and spheres:
+                target = data.draw(st.sampled_from(spheres))
+                rgb = data.draw(st.tuples(*[st.floats(0.1, 1.0) for _ in range(3)]))
+                edit.update(target, material=Material.matte(*rgb))
+            elif kind == "add":
+                pos = data.draw(st.tuples(*[st.floats(-3.0, 3.0) for _ in range(2)]))
+                edit.add(Sphere(vec3(pos[0], pos[1], -6.0), 0.3, Material.matte(0.5, 0.5, 0.5)))
+            elif kind == "remove" and len(spheres) > 1:
+                edit.remove(data.draw(st.sampled_from(spheres)))
+            else:
+                edit.set_light(0, intensity=data.draw(st.floats(0.1, 2.0)))
+            edit.commit()
+        assert scene_content_key(scene) == from_scratch_key(scene)
+
+    def test_abort_leaves_key_untouched(self):
+        scene = small_scene()
+        key = scene_content_key(scene)
+        edit = scene.begin_edit()
+        edit.update(scene.bounded_objects[0], center=vec3(9, 9, 9))
+        edit.abort()
+        assert scene_content_key(scene) == key
+        assert scene.edit_epoch == 0 and scene.journal is None
+
+    def test_empty_commit_is_a_noop(self):
+        scene = small_scene()
+        key = scene_content_key(scene)
+        assert scene.begin_edit().commit() == 0
+        assert scene.edit_epoch == 0 and scene_content_key(scene) == key
+
+
+# -- the journal --------------------------------------------------------------
+class TestJournal:
+    def test_entries_since_semantics(self):
+        journal = MutationJournal(capacity=3)
+        for epoch in range(1, 6):
+            journal.record(EditEntry(epoch, ()))
+        assert [e.epoch for e in journal.entries_since(2)] == [3, 4, 5]
+        assert journal.entries_since(5) == []
+        assert journal.entries_since(1) is None  # trimmed past the reader
+        assert journal.entries_since(0) is None
+        assert journal.latest_epoch == 5
+
+    def test_epochs_must_increase(self):
+        journal = MutationJournal()
+        journal.record(EditEntry(1, ()))
+        with pytest.raises(ValueError, match="increase"):
+            journal.record(EditEntry(1, ()))
+
+    def test_replay_is_idempotent_and_matches_parent(self):
+        scene = small_scene()
+        stale = pickle.loads(pickle.dumps(scene))  # a fork-time copy
+        sphere = scene.bounded_objects[0]
+        edit = scene.begin_edit()
+        edit.update(sphere, center=vec3(0.4, -0.2, -5.0), radius=0.8)
+        edit.commit()
+        edit = scene.begin_edit()
+        edit.update(scene.bounded_objects[2], material=Material.matte(0.9, 0.1, 0.1))
+        edit.commit()
+        entries = scene.journal.entries_since(0)
+        assert apply_edits(stale, entries) == 2
+        assert apply_edits(stale, entries) == 0  # replayed entries are skipped
+        assert stale.edit_epoch == scene.edit_epoch == 2
+        assert scene_content_key(stale) == scene_content_key(scene)
+        twin = stale.bounded_objects[0]
+        np.testing.assert_array_equal(twin.center, sphere.center)
+        assert twin.radius == sphere.radius
+
+
+# -- BVH refit ----------------------------------------------------------------
+def _check_boxes(node):
+    if node.is_leaf:
+        return
+    for child in (node.left, node.right):
+        assert (node.box.minimum <= child.box.minimum + 1e-12).all()
+        assert (node.box.maximum >= child.box.maximum - 1e-12).all()
+        _check_boxes(child)
+
+
+class TestRefit:
+    def test_refit_preserves_leaf_order_and_containment(self):
+        scene = small_scene(num_spheres=12, seed=5)
+        index = scene.index
+        assert isinstance(index, BVH)
+        leaves_before = list(index.packet_primitives)
+        moved = [o for o in scene.bounded_objects if isinstance(o, Sphere)][:4]
+        for i, sphere in enumerate(moved):
+            sphere.center = sphere.center + np.asarray([0.3 * (i + 1), -0.1, 0.2])
+        index.refit(moved)
+        assert list(index.packet_primitives) == leaves_before  # same order
+        _check_boxes(index.root)
+
+    def test_refit_matches_fresh_build_intersections(self):
+        scene = small_scene(num_spheres=10, seed=7)
+        sphere = [o for o in scene.bounded_objects if isinstance(o, Sphere)][0]
+        edit = scene.begin_edit()
+        edit.update(sphere, center=sphere.center + np.asarray([0.5, 0.3, -0.4]))
+        edit.commit()  # refits in place
+        fresh = Scene(scene.objects, scene.lights)  # same objects, fresh BVH
+        from repro.raytracer.camera import Camera
+
+        camera = Camera(width=16, height=16)
+        tracer_a, tracer_b = RayTracer(scene, camera), RayTracer(fresh, camera)
+        for px, py in [(0, 0), (7, 3), (15, 15), (4, 12)]:
+            ray = camera.primary_ray(px, py)
+            hit_a, hit_b = tracer_a.cast(ray), tracer_b.cast(ray)
+            assert (hit_a is None) == (hit_b is None)
+            if hit_a is not None:
+                assert hit_a.primitive is hit_b.primitive
+                assert hit_a.t == pytest.approx(hit_b.t, abs=1e-12)
+
+    def test_refit_rejects_foreign_primitive(self):
+        scene = small_scene()
+        index = scene.index
+        with pytest.raises(KeyError):
+            index.refit([Sphere(vec3(0, 0, -3), 0.5)])
+
+
+# -- the planner's vectorised cone test ---------------------------------------
+class TestConesOverlapBlock:
+    """The (U, B)-grid shadow-cone kernel must agree with the scalar reference.
+
+    ``plan_tiles`` calls the vectorised kernel once per (section, light);
+    a divergence from :func:`_cones_overlap` would silently re-render too
+    much (slow) or too little (wrong pixels), so the equivalence is pinned
+    over random sphere configurations including the degenerate branches
+    (light inside a sphere, blocker entirely beyond the hits).
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_matches_scalar_reference(self, data):
+        def boxes(count, lo, hi, max_extent):
+            out = []
+            for _ in range(count):
+                mn = np.array(
+                    [data.draw(st.floats(lo, hi)) for _ in range(3)]
+                )
+                extent = np.array(
+                    [data.draw(st.floats(0.0, max_extent)) for _ in range(3)]
+                )
+                out.append((mn, mn + extent))
+            return out
+
+        light = np.array([data.draw(st.floats(-4.0, 4.0)) for _ in range(3)])
+        hits = boxes(data.draw(st.integers(1, 4)), -6.0, 6.0, 3.0)
+        moved = boxes(data.draw(st.integers(1, 4)), -6.0, 6.0, 1.0)
+        expected = any(
+            _cones_overlap(light, h_min, h_max, b_min, b_max)
+            for h_min, h_max in hits
+            for b_min, b_max in moved
+        )
+        got = _cones_overlap_block(
+            light,
+            np.array([mn for mn, _ in hits]),
+            np.array([mx for _, mx in hits]),
+            np.array([0.5 * (mn + mx) for mn, mx in moved]),
+            np.array([0.5 * float(np.linalg.norm(mx - mn)) for mn, mx in moved]),
+        )
+        assert got == expected
+
+
+# -- the editor ---------------------------------------------------------------
+class TestEditor:
+    def test_validation_is_eager_and_non_mutating(self):
+        scene = small_scene()
+        sphere = scene.bounded_objects[0]
+        key = scene_content_key(scene)
+        edit = scene.begin_edit()
+        with pytest.raises(ValueError, match="radius"):
+            edit.update(sphere, radius=-1.0)
+        with pytest.raises(ValueError, match="editable"):
+            edit.update(sphere, wobble=3)
+        with pytest.raises(KeyError):
+            edit.update(Sphere(vec3(0, 0, -2), 0.1), radius=0.2)
+        with pytest.raises(IndexError):
+            edit.set_light(99, intensity=1.0)
+        edit.abort()
+        assert scene_content_key(scene) == key
+
+    def test_editor_single_use(self):
+        scene = small_scene()
+        edit = scene.begin_edit()
+        edit.commit()
+        with pytest.raises(RuntimeError, match="committed or aborted"):
+            edit.update(scene.bounded_objects[0], radius=1.0)
+
+    def test_triangle_normal_recomputed(self):
+        tri = Triangle(vec3(0, 0, -3), vec3(1, 0, -3), vec3(0, 1, -3))
+        scene = Scene([tri], [Light(vec3(0, 4, 0))])
+        edit = scene.begin_edit()
+        edit.update(tri, v2=vec3(0, 0, -2))
+        edit.commit()
+        expected = np.cross(tri.v1 - tri.v0, tri.v2 - tri.v0)
+        expected = expected / np.linalg.norm(expected)
+        np.testing.assert_allclose(tri._normal, expected, atol=1e-12)
+
+    def test_geometry_update_captures_boxes(self):
+        scene = small_scene()
+        sphere = scene.bounded_objects[0]
+        before = sphere.bounding_box()
+        edit = scene.begin_edit()
+        edit.update(sphere, center=sphere.center + np.asarray([1.0, 0.0, 0.0]))
+        edit.commit()
+        (op,) = scene.journal.entries_since(0)[0].ops
+        np.testing.assert_allclose(op.old_box[0], before.minimum)
+        np.testing.assert_allclose(op.new_box[0], sphere.bounding_box().minimum)

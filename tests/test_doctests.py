@@ -22,6 +22,7 @@ AUDITED_MODULES = [
     "repro.apps.workloads",
     "repro.apps.warm_pool",
     "repro.apps.gateway",
+    "repro.raytracer.mutation",
     "repro.snet.runtime.registry",
     "repro.snet.runtime.stream",
     "repro.snet.runtime.core",
